@@ -1,0 +1,138 @@
+(* Bench harness: regenerates every table/figure of DESIGN.md §4 (the
+   paper's quantitative statements) and then times the computational kernel
+   behind each one with Bechamel.
+
+   Usage: dune exec bench/main.exe            (tables + micro-benches)
+          dune exec bench/main.exe -- tables  (tables only)
+          dune exec bench/main.exe -- bench   (micro-benches only) *)
+
+open Bechamel
+open Toolkit
+
+let tables () = Core.Experiments.run_all ()
+
+(* One Test.make per experiment: the kernel that generates that table. *)
+let micro_tests () =
+  let rng = Stdx.Prng.create 99 in
+  let rs25 = Rsgraph.Rs_graph.bipartite 25 in
+  let rs10 = Rsgraph.Rs_graph.bipartite 10 in
+  let dmm25 = Core.Hard_dist.sample rs25 rng in
+  let dmm10 = Core.Hard_dist.sample rs10 rng in
+  let coins = Sketchmodel.Public_coins.create 4242 in
+  let g128 = Dgraph.Gen.gnp rng 128 0.25 in
+  let g256 = Dgraph.Gen.gnp rng 256 0.25 in
+  let g1024 = Dgraph.Gen.gnp rng 1024 0.05 in
+  let bridge_g, _ = Dgraph.Gen.bridge_of_clouds rng ~half:128 ~p:0.5 in
+  [
+    Test.make ~name:"T1:rs-construction(m=50)"
+      (Staged.stage (fun () -> ignore (Rsgraph.Rs_graph.bipartite 50)));
+    Test.make ~name:"T2:behrend-best(m=2000)"
+      (Staged.stage (fun () -> ignore (Rsgraph.Behrend.best 2000)));
+    Test.make ~name:"T3:dmm-sample+claim(m=25)"
+      (Staged.stage (fun () ->
+           let dmm = Core.Hard_dist.sample rs25 rng in
+           ignore (Core.Claims.check dmm ())));
+    Test.make ~name:"F4:budget-protocol(m=25,b=64)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sketchmodel.Model.run
+                (Protocols.Sampled_mm.protocol ~budget_bits:64
+                   ~strategy:Protocols.Sampled_mm.Uniform)
+                dmm25.Core.Hard_dist.graph coins)));
+    Test.make ~name:"F5:info-accounting(micro,b=4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Accounting.analyze
+                {
+                  Core.Accounting.rs = Core.Accounting.micro_rs ();
+                  k = 2;
+                  bits = 4;
+                  strategy = Core.Accounting.Truncate;
+                  sigma_mode = Core.Accounting.Fix_sigma;
+                })));
+    Test.make ~name:"T6:agm-forest(n=128)"
+      (Staged.stage (fun () -> ignore (Agm.Spanning_forest.run g128 coins)));
+    Test.make ~name:"T6b:coloring(n=256)"
+      (Staged.stage (fun () -> ignore (Coloring.Palette.run g256 coins)));
+    Test.make ~name:"T6:two-round-mm(n=1024)"
+      (Staged.stage (fun () -> ignore (Protocols.Two_round_mm.run g1024 coins)));
+    Test.make ~name:"T6:two-round-mis(n=1024)"
+      (Staged.stage (fun () -> ignore (Protocols.Two_round_mis.run g1024 coins)));
+    Test.make ~name:"T8:reduction-end-to-end(m=10)"
+      (Staged.stage (fun () ->
+           ignore (Core.Reduction.end_to_end_cost dmm10 Protocols.Trivial.mis coins)));
+    Test.make ~name:"F9:bridge(half=128)"
+      (Staged.stage (fun () -> ignore (Agm.Bridge_demo.run bridge_g ~samples_per_vertex:3 coins)));
+    Test.make ~name:"F10:blossom-maximum(n=128)"
+      (Staged.stage (fun () -> ignore (Dgraph.Blossom.maximum_matching g128)));
+    Test.make ~name:"T10:stream-feed+decode(n=64)"
+      (Staged.stage (fun () ->
+           let g = Dgraph.Gen.gnp rng 64 0.1 in
+           let stream = Streams.Stream.with_decoys rng g ~decoys:50 in
+           let proc = Streams.Sketch_stream.create ~n:64 coins in
+           Streams.Sketch_stream.feed_all proc stream;
+           ignore (Streams.Sketch_stream.spanning_forest proc)));
+    Test.make ~name:"T11:k-forests(n=48,k=3)"
+      (Staged.stage (fun () ->
+           let g = Dgraph.Gen.gnp rng 48 0.2 in
+           ignore (Agm.Connectivity.k_forests g ~k:3 coins)));
+    Test.make ~name:"T11:mincut-stoer-wagner(n=64)"
+      (Staged.stage (fun () ->
+           let g = Dgraph.Gen.gnp rng 64 0.3 in
+           ignore (Dgraph.Mincut.min_cut g)));
+    Test.make ~name:"T12:one-round-local-minima(n=1024)"
+      (Staged.stage (fun () ->
+           ignore (Protocols.One_round_mis.undominated_fraction g1024 coins)));
+    Test.make ~name:"T13:yao-derandomize(m=5)"
+      (Staged.stage (fun () ->
+           let rs5 = Rsgraph.Rs_graph.bipartite 5 in
+           let instances = Array.init 4 (fun i -> Core.Hard_dist.sample rs5 (Stdx.Prng.create i)) in
+           ignore
+             (Core.Yao.derandomize ~seeds:[ 1; 2 ] ~instances ~run:(fun c dmm ->
+                  let p =
+                    Protocols.Sampled_mm.protocol ~budget_bits:24
+                      ~strategy:Protocols.Sampled_mm.Uniform
+                  in
+                  let out, _ = Sketchmodel.Model.run p dmm.Core.Hard_dist.graph c in
+                  Dgraph.Matching.is_maximal dmm.Core.Hard_dist.graph out))));
+    Test.make ~name:"T14:bcc-logn-mm(n=128)"
+      (Staged.stage (fun () -> ignore (Protocols.Bcc_mm.run g128 coins)));
+    Test.make ~name:"T2b:packed-rs(N=50,r=5)"
+      (Staged.stage (fun () ->
+           ignore (Rsgraph.Packed.achieved_t (Stdx.Prng.create 3) ~big_n:50 ~r:5 ~tries:500)));
+  ]
+
+let run_benchmarks () =
+  print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"sketchlb" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-50s %15s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let pretty =
+        if estimate >= 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+        else if estimate >= 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+        else if estimate >= 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+        else Printf.sprintf "%.0f ns" estimate
+      in
+      Printf.printf "%-50s %15s\n" name pretty)
+    rows
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "tables" -> tables ()
+  | "bench" -> run_benchmarks ()
+  | "all" | _ ->
+      tables ();
+      run_benchmarks ());
+  print_endline "\nbench: done"

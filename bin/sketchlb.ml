@@ -1,0 +1,274 @@
+(* Command-line driver: one subcommand per experiment of DESIGN.md §4, with
+   every size knob exposed so larger-than-default runs are one flag away. *)
+
+open Cmdliner
+
+let ints_arg ~doc ~default name =
+  Arg.(value & opt (list int) default & info [ name ] ~doc ~docv:"INTS")
+
+let int_arg ~doc ~default name = Arg.(value & opt int default & info [ name ] ~doc ~docv:"INT")
+
+let seed_arg = int_arg ~doc:"Random seed." ~default:7 "seed"
+
+(* T1 *)
+let rs_table_cmd =
+  let run ms =
+    Core.Experiments.print_rs_table (Core.Experiments.rs_table ~ms)
+  in
+  Cmd.v
+    (Cmd.info "rs-table" ~doc:"T1: Proposition 2.1 RS-graph parameter table (verified).")
+    Term.(const run $ ints_arg ~doc:"Construction parameters m." ~default:[ 5; 10; 25; 50; 100; 200 ] "m")
+
+(* T2 *)
+let behrend_cmd =
+  let run ms =
+    Core.Experiments.print_behrend_table (Core.Experiments.behrend_table ~ms)
+  in
+  Cmd.v
+    (Cmd.info "behrend" ~doc:"T2: 3-AP-free set sizes (greedy vs Behrend vs exact).")
+    Term.(const run $ ints_arg ~doc:"Set range bounds m." ~default:[ 10; 30; 100; 300; 1000; 3000; 10000 ] "m")
+
+(* T3 *)
+let claim31_cmd =
+  let run ms samples seed =
+    Core.Experiments.print_claim31 (Core.Experiments.claim31 ~ms ~samples ~seed)
+  in
+  Cmd.v
+    (Cmd.info "claim31" ~doc:"T3: Claim 3.1 — unique-unique edges in maximal matchings of D_MM.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50 ] "m"
+      $ int_arg ~doc:"Samples per m." ~default:20 "samples"
+      $ seed_arg)
+
+(* F4 *)
+let sweep_cmd =
+  let run m k budgets trials seed =
+    let k = if k <= 0 then None else Some k in
+    Core.Experiments.print_budget_sweep
+      (Core.Experiments.budget_sweep ~m ?k ~budgets ~trials ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "budget-sweep" ~doc:"F4: success of budget-b protocols on D_MM vs b.")
+    Term.(
+      const run
+      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
+      $ int_arg ~doc:"Copies k (0 = t, the paper's choice)." ~default:0 "k"
+      $ ints_arg ~doc:"Per-player budgets in bits."
+          ~default:[ 8; 16; 32; 64; 128; 256; 512; 1024 ] "budgets"
+      $ int_arg ~doc:"Trials per configuration." ~default:10 "trials"
+      $ seed_arg)
+
+(* F5 *)
+let info_cmd =
+  let run bits =
+    Core.Experiments.print_info_accounting (Core.Experiments.info_accounting ~bits)
+  in
+  Cmd.v
+    (Cmd.info "info-accounting"
+       ~doc:"F5: exact Lemma 3.3-3.5 information accounting on micro instances.")
+    Term.(const run $ ints_arg ~doc:"Per-player budgets in bits." ~default:[ 0; 2; 4; 6; 10 ] "bits")
+
+(* T6 *)
+let upper_cmd =
+  let run ns seed =
+    Core.Experiments.print_upper_bounds (Core.Experiments.upper_bounds ~ns ~seed)
+  in
+  Cmd.v
+    (Cmd.info "upper-bounds" ~doc:"T6: measured sketch sizes of the cited upper bounds.")
+    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 64; 128; 256 ] "n" $ seed_arg)
+
+(* T6b *)
+let coloring_cmd =
+  let run ns seed =
+    Core.Experiments.print_coloring_contrast (Core.Experiments.coloring_contrast ~ns ~seed)
+  in
+  Cmd.v
+    (Cmd.info "coloring-contrast"
+       ~doc:"T6b: palette sparsification vs trivial on dense graphs.")
+    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 256; 512; 1024; 2048 ] "n" $ seed_arg)
+
+(* F7 *)
+let curve_cmd =
+  let run ms = Core.Experiments.print_bound_curve (Core.Experiments.bound_curve ~ms) in
+  Cmd.v
+    (Cmd.info "bound-curve" ~doc:"F7: Theorem 1 arithmetic vs upper bounds along the curve.")
+    Term.(const run $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50; 100; 200; 400 ] "m")
+
+(* T8 *)
+let reduction_cmd =
+  let run ms samples seed =
+    Core.Experiments.print_reduction (Core.Experiments.reduction_check ~ms ~samples ~seed)
+  in
+  Cmd.v
+    (Cmd.info "reduction" ~doc:"T8: the Section-4 MM-to-MIS reduction, end to end.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"RS parameters m." ~default:[ 5; 10; 25 ] "m"
+      $ int_arg ~doc:"Samples per m." ~default:10 "samples"
+      $ seed_arg)
+
+(* F9 *)
+let bridge_cmd =
+  let run halves samples trials seed =
+    Core.Experiments.print_bridge (Core.Experiments.bridge ~halves ~samples ~trials ~seed)
+  in
+  Cmd.v
+    (Cmd.info "bridge" ~doc:"F9: Footnote 1 — find the bridge between two random clouds.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"Cloud sizes (n/2)." ~default:[ 32; 128; 512 ] "halves"
+      $ ints_arg ~doc:"Sampled edges per vertex." ~default:[ 1; 2; 4 ] "samples"
+      $ int_arg ~doc:"Trials per configuration." ~default:20 "trials"
+      $ seed_arg)
+
+(* F10 *)
+let approx_cmd =
+  let run ns budgets trials seed =
+    Core.Experiments.print_approx_matching
+      (Core.Experiments.approx_matching ~ns ~budgets ~trials ~seed)
+  in
+  Cmd.v
+    (Cmd.info "approx-matching" ~doc:"F10: approximation ratio of budget protocols (Blossom oracle).")
+    Term.(
+      const run
+      $ ints_arg ~doc:"Graph sizes n." ~default:[ 40; 80; 160 ] "n"
+      $ ints_arg ~doc:"Budgets in bits." ~default:[ 8; 24; 64; 256 ] "budgets"
+      $ int_arg ~doc:"Trials per configuration." ~default:8 "trials"
+      $ seed_arg)
+
+(* F11 *)
+let ksweep_cmd =
+  let run m ks budgets trials seed =
+    Core.Experiments.print_k_sweep (Core.Experiments.k_sweep ~m ~ks ~budgets ~trials ~seed)
+  in
+  Cmd.v
+    (Cmd.info "k-sweep" ~doc:"F11: ablation decoupling k from t.")
+    Term.(
+      const run
+      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
+      $ ints_arg ~doc:"Values of k." ~default:[ 3; 6; 12; 25 ] "k"
+      $ ints_arg ~doc:"Budgets in bits." ~default:[ 4; 8; 16; 32; 64; 128 ] "budgets"
+      $ int_arg ~doc:"Trials per configuration." ~default:8 "trials"
+      $ seed_arg)
+
+(* T10 *)
+let streams_cmd =
+  let run ns seed =
+    Core.Experiments.print_stream_table (Core.Experiments.stream_table ~ns ~seed)
+  in
+  Cmd.v
+    (Cmd.info "streams" ~doc:"T10: dynamic streams = linear sketches, bit for bit.")
+    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 24; 48; 96 ] "n" $ seed_arg)
+
+(* T11 *)
+let connectivity_cmd =
+  let run seed =
+    Core.Experiments.print_connectivity_table (Core.Experiments.connectivity_table ~seed)
+  in
+  Cmd.v
+    (Cmd.info "connectivity" ~doc:"T11: k-forest edge-connectivity and bipartiteness sketches.")
+    Term.(const run $ seed_arg)
+
+(* T12 *)
+let rounds_cmd =
+  let run ms seed =
+    Core.Experiments.print_rounds_table (Core.Experiments.rounds_table ~ms ~seed)
+  in
+  Cmd.v
+    (Cmd.info "rounds" ~doc:"T12: one-round MIS failure vs two-round success on D_MM.")
+    Term.(const run $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50 ] "m" $ seed_arg)
+
+(* T2b *)
+let packing_cmd =
+  let run ms tries seed =
+    Core.Experiments.print_packing_table (Core.Experiments.packing_table ~ms ~tries ~seed)
+  in
+  Cmd.v
+    (Cmd.info "packing" ~doc:"T2b: random induced-matching packing vs Behrend RS graphs.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"RS parameters m." ~default:[ 5; 10; 25; 50 ] "m"
+      $ int_arg ~doc:"Packing attempts." ~default:3000 "tries"
+      $ seed_arg)
+
+(* F5b *)
+let estimate_cmd =
+  let run bits samples seed =
+    Core.Experiments.print_estimate_accounting
+      (Core.Experiments.estimate_accounting ~bits ~samples ~seed)
+  in
+  Cmd.v
+    (Cmd.info "estimate-info" ~doc:"F5b: sampled MI estimates vs exact enumeration.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"Budgets in bits." ~default:[ 6; 10; 14 ] "bits"
+      $ int_arg ~doc:"Samples." ~default:6000 "samples"
+      $ seed_arg)
+
+(* T13 *)
+let yao_cmd =
+  let run m budgets instances seeds seed =
+    Core.Experiments.print_yao_table (Core.Experiments.yao_table ~m ~budgets ~instances ~seeds ~seed)
+  in
+  Cmd.v
+    (Cmd.info "yao" ~doc:"T13: derandomization by averaging on D_MM.")
+    Term.(
+      const run
+      $ int_arg ~doc:"RS parameter m." ~default:10 "m"
+      $ ints_arg ~doc:"Budgets in bits." ~default:[ 16; 32; 48 ] "budgets"
+      $ int_arg ~doc:"Sampled instances." ~default:20 "instances"
+      $ int_arg ~doc:"Coin seeds evaluated." ~default:8 "seeds"
+      $ seed_arg)
+
+(* T14 *)
+let bcc_cmd =
+  let run ms trials seed =
+    Core.Experiments.print_bcc_table (Core.Experiments.bcc_table ~ms ~trials ~seed)
+  in
+  Cmd.v
+    (Cmd.info "bcc" ~doc:"T14: BCC rounds/bandwidth trade-off on D_MM.")
+    Term.(
+      const run
+      $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25 ] "m"
+      $ int_arg ~doc:"One-round trials." ~default:10 "trials"
+      $ seed_arg)
+
+let all_cmd =
+  let run fast = Core.Experiments.run_all ~fast () in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at default sizes.")
+    Term.(const run $ Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk sizes (for smoke tests)."))
+
+let () =
+  let doc =
+    "Reproduction harness for 'Lower Bounds for Distributed Sketching of Maximal Matchings \
+     and Maximal Independent Sets' (PODC 2020)."
+  in
+  let info = Cmd.info "sketchlb" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        rs_table_cmd;
+        behrend_cmd;
+        claim31_cmd;
+        sweep_cmd;
+        info_cmd;
+        upper_cmd;
+        coloring_cmd;
+        curve_cmd;
+        reduction_cmd;
+        bridge_cmd;
+        approx_cmd;
+        ksweep_cmd;
+        streams_cmd;
+        connectivity_cmd;
+        rounds_cmd;
+        packing_cmd;
+        estimate_cmd;
+        yao_cmd;
+        bcc_cmd;
+        all_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

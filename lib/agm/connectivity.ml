@@ -1,0 +1,176 @@
+module Model = Sketchmodel.Model
+module Public_coins = Sketchmodel.Public_coins
+module SF = Spanning_forest
+module L0 = Linear_sketch.L0_sampler
+module Graph = Dgraph.Graph
+
+type certificate = { forests : Graph.edge list array; union : Graph.t }
+
+let forest_coins coins j = Public_coins.derive coins "agm-kforest" j
+
+let forests_player config ~n ~k (view : Model.view) coins =
+  let w = Stdx.Bitbuf.Writer.create () in
+  for j = 0 to k - 1 do
+    let stack = SF.empty_stack config ~n (forest_coins coins j) in
+    Array.iter
+      (fun u -> SF.stack_update ~n stack view.Model.vertex u ~weight:1)
+      view.Model.neighbors;
+    Array.iter (fun s -> L0.write s w) stack
+  done;
+  w
+
+let forests_referee config ~n ~k ~sketches coins =
+  (* Parse the k stacks of every vertex. *)
+  let params = Array.init k (fun j -> SF.sampler_params config ~n (forest_coins coins j)) in
+  let parsed =
+    Array.map
+      (fun r -> Array.init k (fun j -> Array.map (fun p -> L0.read p r) params.(j)))
+      sketches
+  in
+  (* Peel: decode forest j after subtracting forests 0..j-1 from stack j —
+     pure referee-side linear algebra, no player involvement. *)
+  let forests = Array.make k [] in
+  for j = 0 to k - 1 do
+    let stacks_j = Array.init n (fun v -> parsed.(v).(j)) in
+    for prior = 0 to j - 1 do
+      List.iter
+        (fun (u, v) ->
+          SF.stack_update ~n stacks_j.(u) u v ~weight:(-1);
+          SF.stack_update ~n stacks_j.(v) v u ~weight:(-1))
+        forests.(prior)
+    done;
+    forests.(j) <- SF.decode_forest ~n ~per_vertex:stacks_j
+  done;
+  let union = Graph.create n (List.concat (Array.to_list forests)) in
+  { forests; union }
+
+let forests_protocol ?(config = SF.default_config) ~n ~k () =
+  if k < 1 then invalid_arg "Connectivity.forests_protocol: k";
+  {
+    Model.name = Printf.sprintf "agm-%d-forests" k;
+    player = (fun view coins -> forests_player config ~n ~k view coins);
+    referee = (fun ~n ~sketches coins -> forests_referee config ~n ~k ~sketches coins);
+  }
+
+let k_forests ?(config = SF.default_config) g ~k coins =
+  Model.run (forests_protocol ~config ~n:(Graph.n g) ~k ()) g coins
+
+let certificate_valid g ~k cert =
+  Array.length cert.forests = k
+  &&
+  let seen = Hashtbl.create 256 in
+  let disjoint =
+    Array.for_all
+      (fun forest ->
+        List.for_all
+          (fun e ->
+            if Hashtbl.mem seen e then false
+            else begin
+              Hashtbl.replace seen e ();
+              true
+            end)
+          forest)
+      cert.forests
+  in
+  disjoint
+  &&
+  (* F_j must be a spanning forest of G minus the earlier forests. *)
+  let removed = Hashtbl.create 256 in
+  let ok = ref true in
+  Array.iter
+    (fun forest ->
+      let residual =
+        Graph.create (Graph.n g)
+          (List.filter (fun e -> not (Hashtbl.mem removed e)) (Graph.edges g))
+      in
+      if not (Dgraph.Components.is_spanning_forest residual forest) then ok := false;
+      List.iter (fun e -> Hashtbl.replace removed e ()) forest)
+    cert.forests;
+  !ok
+
+let edge_connectivity_estimate cert ~k =
+  let label, count = Dgraph.Components.components cert.union in
+  ignore label;
+  if count > 1 then 0 else min k (Dgraph.Mincut.min_cut cert.union)
+
+(* --- bipartiteness via the double cover --- *)
+
+let double_cover_updates ~n vertex neighbors =
+  (* Vertex v holds both cover copies v and n+v; edge (v, u) becomes
+     (v, n+u) and (n+v, u). Returns (cover_vertex, cover_neighbor) pairs. *)
+  Array.to_list neighbors
+  |> List.concat_map (fun u -> [ (vertex, n + u); (n + vertex, u) ])
+
+let bipartiteness_player config ~n (view : Model.view) coins =
+  let w = Stdx.Bitbuf.Writer.create () in
+  (* Stack on G itself (for the component count of G)... *)
+  let g_stack = SF.empty_stack config ~n (Public_coins.derive coins "agm-bip-g" 0) in
+  Array.iter
+    (fun u -> SF.stack_update ~n g_stack view.Model.vertex u ~weight:1)
+    view.Model.neighbors;
+  Array.iter (fun s -> L0.write s w) g_stack;
+  (* ...and the two double-cover copies this vertex simulates. *)
+  let cover_coins = Public_coins.derive coins "agm-bip-cover" 0 in
+  let stack_for cover_vertex =
+    let stack = SF.empty_stack config ~n:(2 * n) cover_coins in
+    List.iter
+      (fun (cv, cu) -> if cv = cover_vertex then SF.stack_update ~n:(2 * n) stack cv cu ~weight:1)
+      (double_cover_updates ~n view.Model.vertex view.Model.neighbors);
+    stack
+  in
+  Array.iter (fun s -> L0.write s w) (stack_for view.Model.vertex);
+  Array.iter (fun s -> L0.write s w) (stack_for (n + view.Model.vertex));
+  w
+
+let bipartiteness_referee config ~n ~sketches coins =
+  let g_params = SF.sampler_params config ~n (Public_coins.derive coins "agm-bip-g" 0) in
+  let cover_params =
+    SF.sampler_params config ~n:(2 * n) (Public_coins.derive coins "agm-bip-cover" 0)
+  in
+  let g_stacks = Array.make n [||] in
+  let cover_stacks = Array.make (2 * n) [||] in
+  Array.iteri
+    (fun v r ->
+      g_stacks.(v) <- Array.map (fun p -> L0.read p r) g_params;
+      cover_stacks.(v) <- Array.map (fun p -> L0.read p r) cover_params;
+      cover_stacks.(n + v) <- Array.map (fun p -> L0.read p r) cover_params)
+    sketches;
+  let g_components = n - List.length (SF.decode_forest ~n ~per_vertex:g_stacks) in
+  let cover_components =
+    (2 * n) - List.length (SF.decode_forest ~n:(2 * n) ~per_vertex:cover_stacks)
+  in
+  cover_components = 2 * g_components
+
+let bipartiteness_protocol ?(config = SF.default_config) ~n () =
+  {
+    Model.name = "agm-bipartiteness";
+    player = (fun view coins -> bipartiteness_player config ~n view coins);
+    referee = (fun ~n ~sketches coins -> bipartiteness_referee config ~n ~sketches coins);
+  }
+
+let is_bipartite_via_sketches ?(config = SF.default_config) g coins =
+  Model.run (bipartiteness_protocol ~config ~n:(Graph.n g) ()) g coins
+
+let is_bipartite_exact g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let queue = Queue.create () in
+  let ok = ref true in
+  for start = 0 to n - 1 do
+    if color.(start) = -1 then begin
+      color.(start) <- 0;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Array.iter
+          (fun u ->
+            if color.(u) = -1 then begin
+              color.(u) <- 1 - color.(v);
+              Queue.add u queue
+            end
+            else if color.(u) = color.(v) then ok := false)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  !ok

@@ -1,0 +1,11 @@
+let universe n = n * n
+
+let index ~n u v =
+  let u, v = Dgraph.Graph.normalize_edge u v in
+  (u * n) + v
+
+let endpoints ~n idx = (idx / n, idx mod n)
+
+let vertex_updates ~n v neighbors =
+  Array.to_list neighbors
+  |> List.map (fun u -> (index ~n v u, if v < u then 1 else -1))

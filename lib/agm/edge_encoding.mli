@@ -1,0 +1,22 @@
+(** The signed vertex/edge incidence encoding of AGM sketches [1].
+
+    Each vertex [v] owns a virtual vector over the universe of vertex pairs
+    [(a, b)], [a < b]: coordinate [(a, b)] is [+1] if [v = a] and the edge
+    exists, [-1] if [v = b] and the edge exists, [0] otherwise. Summing the
+    vectors of any vertex set [S] cancels the edges inside [S] exactly and
+    leaves [±1] on the edges crossing the cut [(S, V∖S)] — the identity
+    that lets a referee find outgoing edges of a component from the sum of
+    its members' linear sketches. *)
+
+val universe : int -> int
+(** Size of the pair universe for an [n]-vertex graph: [n * n]. *)
+
+val index : n:int -> int -> int -> int
+(** Index of the normalised pair. *)
+
+val endpoints : n:int -> int -> int * int
+(** Inverse of {!index}. *)
+
+val vertex_updates : n:int -> int -> int array -> (int * int) list
+(** [(coordinate, weight)] updates a vertex applies for its neighbour
+    list. *)

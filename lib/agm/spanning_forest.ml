@@ -1,0 +1,99 @@
+module Model = Sketchmodel.Model
+module Public_coins = Sketchmodel.Public_coins
+module L0 = Linear_sketch.L0_sampler
+
+type config = { sparsity : int; reps : int }
+
+let default_config = { sparsity = 4; reps = 3 }
+
+let rounds n =
+  let rec bits v acc = if v <= 1 then acc else bits ((v + 1) / 2) (acc + 1) in
+  max 1 (bits n 0) + 1
+
+let sampler_params config ~n coins =
+  let universe = Edge_encoding.universe n in
+  Array.init (rounds n) (fun round ->
+      let rng = Public_coins.keyed coins "agm-sampler" round in
+      L0.make_params rng ~universe ~sparsity:config.sparsity ~reps:config.reps ())
+
+let empty_stack config ~n coins =
+  Array.map L0.create (sampler_params config ~n coins)
+
+let stack_update ~n stack v u ~weight =
+  if u = v then invalid_arg "Spanning_forest.stack_update: self-loop";
+  let idx = Edge_encoding.index ~n v u in
+  let w = (if v < u then 1 else -1) * weight in
+  Array.iter (fun s -> L0.update s idx w) stack
+
+let player_sketches config ~n coins (view : Model.view) =
+  let stack = empty_stack config ~n coins in
+  Array.iter (fun u -> stack_update ~n stack view.Model.vertex u ~weight:1) view.Model.neighbors;
+  stack
+
+let write_stack sketches =
+  let w = Stdx.Bitbuf.Writer.create () in
+  Array.iter (fun s -> L0.write s w) sketches;
+  w
+
+let read_sketches params r = Array.map (fun p -> L0.read p r) params
+
+(* Borůvka: in round [j] every component sums its members' round-[j]
+   samplers and decodes one outgoing edge; internal edges cancel by
+   construction, so any decoded coordinate crosses the cut. *)
+let decode_forest ~n ~per_vertex =
+  let uf = Dgraph.Unionfind.create n in
+  let forest = ref [] in
+  let round_count = if Array.length per_vertex = 0 then 0 else Array.length per_vertex.(0) in
+  let continue = ref true in
+  let round = ref 0 in
+  while !continue && !round < round_count do
+    let members = Dgraph.Unionfind.class_members uf in
+    let merged = ref false in
+    let candidates = ref [] in
+    Array.iteri
+      (fun root vs ->
+        match vs with
+        | [] -> ()
+        | first :: rest ->
+            ignore root;
+            let combined =
+              List.fold_left
+                (fun acc v -> L0.combine acc per_vertex.(v).(!round))
+                per_vertex.(first).(!round) rest
+            in
+            (match L0.decode combined with
+            | Some (idx, _) -> candidates := idx :: !candidates
+            | None -> ()))
+      members;
+    List.iter
+      (fun idx ->
+        let u, v = Edge_encoding.endpoints ~n idx in
+        if u >= 0 && u < n && v >= 0 && v < n && u <> v then
+          if Dgraph.Unionfind.union uf u v then begin
+            forest := Dgraph.Graph.normalize_edge u v :: !forest;
+            merged := true
+          end)
+      !candidates;
+    if not !merged then continue := false;
+    incr round
+  done;
+  List.rev !forest
+
+let referee config ~n ~sketches coins =
+  let params = sampler_params config ~n coins in
+  let per_vertex = Array.map (read_sketches params) sketches in
+  decode_forest ~n ~per_vertex
+
+let protocol ?(config = default_config) ~n () =
+  {
+    Model.name = "agm-spanning-forest";
+    player = (fun view coins -> write_stack (player_sketches config ~n coins view));
+    referee = (fun ~n ~sketches coins -> referee config ~n ~sketches coins);
+  }
+
+let run ?(config = default_config) g coins =
+  Model.run (protocol ~config ~n:(Dgraph.Graph.n g) ()) g coins
+
+let connected_components ?(config = default_config) g coins =
+  let forest, stats = run ~config g coins in
+  (Dgraph.Graph.n g - List.length forest, stats)

@@ -1,0 +1,66 @@
+(** The AGM spanning-forest sketch [Ahn–Guha–McGregor, SODA'12]: the
+    positive result the paper's introduction contrasts with its lower
+    bound. Per-vertex sketches of [O(log^3 n)] bits suffice for the referee
+    to output a spanning forest with high probability.
+
+    Each vertex serialises [⌈log2 n⌉ + 1] independent L0-samplers of its
+    signed edge-incidence vector (fresh randomness per Borůvka round, so
+    adaptivity never reuses a sampler). The referee decodes round by round:
+    it sums the current round's samplers over each component, draws an
+    outgoing edge, and merges. *)
+
+type config = { sparsity : int; reps : int }
+
+val default_config : config
+
+val protocol :
+  ?config:config -> n:int -> unit -> Dgraph.Graph.edge list Sketchmodel.Model.protocol
+(** A one-round sketching protocol (the paper's model, Section 2.1) whose
+    referee outputs a spanning forest. The graph size [n] parametrises the
+    public randomness; communication is measured by the runner. *)
+
+val rounds : int -> int
+(** Number of Borůvka rounds / samplers per vertex for an [n]-vertex
+    graph. *)
+
+val run :
+  ?config:config ->
+  Dgraph.Graph.t ->
+  Sketchmodel.Public_coins.t ->
+  Dgraph.Graph.edge list * Sketchmodel.Model.stats
+(** Convenience wrapper around {!Sketchmodel.Model.run}. *)
+
+val connected_components :
+  ?config:config ->
+  Dgraph.Graph.t ->
+  Sketchmodel.Public_coins.t ->
+  int * Sketchmodel.Model.stats
+(** Number of connected components according to the decoded forest. *)
+
+(** {1 Low-level pieces}
+
+    Exposed so other substrates (the dynamic-stream processor, the
+    k-forest connectivity certificate) can reuse the exact same sampler
+    stacks, serialisation and Borůvka decoder. *)
+
+val sampler_params :
+  config -> n:int -> Sketchmodel.Public_coins.t -> Linear_sketch.L0_sampler.params array
+(** One sampler parameter set per Borůvka round, derived from public
+    coins (players and referee call this identically). *)
+
+val empty_stack :
+  config -> n:int -> Sketchmodel.Public_coins.t -> Linear_sketch.L0_sampler.t array
+(** Fresh all-zero samplers, one per round. *)
+
+val stack_update : n:int -> Linear_sketch.L0_sampler.t array -> int -> int -> weight:int -> unit
+(** [stack_update ~n stack v u ~weight] applies the signed edge-incidence
+    update of edge [(v, u)] as seen from vertex [v], scaled by [weight]
+    ([+1] insert, [-1] delete), to every round's sampler. *)
+
+val write_stack : Linear_sketch.L0_sampler.t array -> Stdx.Bitbuf.Writer.t
+(** Serialise a vertex's samplers — this is the protocol message. *)
+
+val decode_forest :
+  n:int -> per_vertex:Linear_sketch.L0_sampler.t array array -> Dgraph.Graph.edge list
+(** The Borůvka referee over deserialised (or directly maintained)
+    per-vertex sampler stacks. *)

@@ -1,0 +1,215 @@
+module Graph = Dgraph.Graph
+module Rs = Rsgraph.Rs_graph
+module Model = Sketchmodel.Model
+
+type strategy = Truncate | Hash
+
+type sigma_mode = Fix_sigma | Enumerate_sigma
+
+type spec = { rs : Rs.t; k : int; bits : int; strategy : strategy; sigma_mode : sigma_mode }
+
+type report = {
+  spec_bits : int;
+  outcomes : int;
+  sigma_enumerated : bool;
+  kr : float;
+  info : float;
+  h_m_given_pi : float;
+  eq1_residual : float;
+  expected_recovered : float;
+  lemma33_slack : float;
+  h_public : float;
+  per_copy_info : float array;
+  per_copy_h : float array;
+  lemma34_slack : float;
+  lemma35_slacks : float array;
+  budget_bound : float;
+  theorem_slack : float;
+}
+
+let tiny_rs () = Rs.trivial ~r:1 ~t:2
+
+let micro_rs () = Rs.bipartite 2
+
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest -> (x :: y :: rest) :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  perms (List.init n (fun i -> i)) |> List.map Array.of_list
+
+(* Message of one player: a prefix (or hash) of its adjacency bitmap over
+   the vertex labels [0 .. bits-1].  A genuine function of the player's
+   input (its view) and nothing else. *)
+let message spec (view : Model.view) =
+  let b = spec.bits in
+  match spec.strategy with
+  | Truncate ->
+      let bytes = Bytes.make ((b + 7) / 8) '\000' in
+      Array.iter
+        (fun u ->
+          if u < b then
+            Bytes.set bytes (u / 8)
+              (Char.chr (Char.code (Bytes.get bytes (u / 8)) lor (1 lsl (u mod 8)))))
+        view.Model.neighbors;
+      Bytes.to_string bytes
+  | Hash ->
+      let acc =
+        Array.fold_left
+          (fun acc u -> Stdx.Hashing.mix64 (acc lxor (u + 1)))
+          (Stdx.Hashing.mix64 (view.Model.vertex + 17))
+          view.Model.neighbors
+      in
+      let masked = if b >= 62 then acc else acc land ((1 lsl b) - 1) in
+      string_of_int masked
+
+(* Everything the random variables need, precomputed per outcome. *)
+type cell = {
+  sigma_id : int;
+  j : int;
+  m_codes : int array;  (** M_{i,J} packed as an r-bit code per copy *)
+  pi_public : string;
+  pi_unique : string array;  (** per copy: concatenated unique messages *)
+  recovered : int;  (** |M^U_π| of the certifying referee *)
+}
+
+let build_cell spec ~edge_count ~sigma ~sigma_id (j, code) =
+  let rs = spec.rs in
+  let nn = Rs.n rs in
+  let kept =
+    Array.init spec.k (fun i ->
+        Array.init edge_count (fun e -> code land (1 lsl ((i * edge_count) + e)) <> 0))
+  in
+  let dmm = Hard_dist.make rs ~k:spec.k ~j_star:j ~sigma ~kept in
+  let views = Hard_dist.augmented_views dmm in
+  let p = Hard_dist.public_player_count dmm in
+  let msgs = Array.map (fun view -> message spec view) views in
+  let concat lo hi =
+    let buf = Buffer.create 64 in
+    for idx = lo to hi do
+      Buffer.add_string buf msgs.(idx);
+      Buffer.add_char buf '|'
+    done;
+    Buffer.contents buf
+  in
+  let pi_public = concat 0 (p - 1) in
+  let pi_unique = Array.init spec.k (fun i -> concat (p + (i * nn)) (p + ((i + 1) * nn) - 1)) in
+  let m_codes =
+    Array.init spec.k (fun i ->
+        let v = Hard_dist.kept_vector dmm ~copy:i ~j in
+        Array.to_list v
+        |> List.fold_left (fun acc kept_bit -> (acc lsl 1) lor (if kept_bit then 1 else 0)) 0)
+  in
+  (* Certifying referee (Truncate only): a surviving special edge (i,(a,b))
+     is output iff one endpoint's transmitted bitmap prefix covers the
+     other endpoint's label, so the referee is certain it exists. *)
+  let recovered =
+    match spec.strategy with
+    | Hash -> 0
+    | Truncate ->
+        Hard_dist.surviving_special dmm
+        |> List.filter (fun (_, (a, b)) -> a < spec.bits || b < spec.bits)
+        |> List.length
+  in
+  { sigma_id; j; m_codes; pi_public; pi_unique; recovered }
+
+let analyze spec =
+  let rs = spec.rs in
+  let edge_count = Graph.m rs.Rs.graph in
+  if spec.k * edge_count > 16 then invalid_arg "Accounting.analyze: space too large";
+  if spec.k < 1 || spec.bits < 0 then invalid_arg "Accounting.analyze: spec";
+  let tt = rs.Rs.t_count and rr = rs.Rs.r in
+  let nn = Rs.n rs in
+  let n = nn - (2 * rr) + (2 * rr * spec.k) in
+  let sigmas =
+    match spec.sigma_mode with
+    | Fix_sigma -> [| Array.init n (fun v -> v) |]
+    | Enumerate_sigma ->
+        if n > 7 then invalid_arg "Accounting.analyze: n too large to enumerate sigma";
+        Array.of_list (permutations n)
+  in
+  let code_count = 1 lsl (spec.k * edge_count) in
+  let per_sigma = tt * code_count in
+  let cells =
+    Array.init (Array.length sigmas * per_sigma) (fun idx ->
+        let sigma_id = idx / per_sigma in
+        let rest = idx mod per_sigma in
+        build_cell spec ~edge_count ~sigma:sigmas.(sigma_id) ~sigma_id
+          (rest / code_count, rest mod code_count))
+  in
+  let space = Infotheory.Space.uniform (List.init (Array.length cells) (fun i -> i)) in
+  let sigma_rv i = cells.(i).sigma_id in
+  let j_rv i = cells.(i).j in
+  let given_rv i = (cells.(i).sigma_id, cells.(i).j) in
+  let m_rv i = Array.to_list cells.(i).m_codes in
+  let m_i_rv copy i = cells.(i).m_codes.(copy) in
+  let pi_p_rv i = cells.(i).pi_public in
+  let pi_u_rv copy i = cells.(i).pi_unique.(copy) in
+  let pi_rv i = (cells.(i).pi_public, Array.to_list cells.(i).pi_unique) in
+  ignore sigma_rv;
+  ignore j_rv;
+  let module E = Infotheory.Entropy in
+  let info = E.conditional_mutual_information space m_rv pi_rv ~given:given_rv in
+  let h_m_given_pi = E.conditional_entropy space m_rv ~given:(E.pair pi_rv given_rv) in
+  let kr = float_of_int (spec.k * rr) in
+  let expected_recovered =
+    Infotheory.Space.expectation space (fun i -> float_of_int cells.(i).recovered)
+  in
+  let h_public = E.entropy space pi_p_rv in
+  let per_copy_info =
+    Array.init spec.k (fun copy ->
+        E.conditional_mutual_information space (m_i_rv copy) (pi_u_rv copy) ~given:given_rv)
+  in
+  let per_copy_h = Array.init spec.k (fun copy -> E.entropy space (pi_u_rv copy)) in
+  let sum = Array.fold_left ( +. ) 0. in
+  let p_count = nn - (2 * rr) in
+  let budget_bound =
+    float_of_int spec.bits
+    *. (float_of_int p_count +. (float_of_int (spec.k * nn) /. float_of_int tt))
+  in
+  {
+    spec_bits = spec.bits;
+    outcomes = Array.length cells;
+    sigma_enumerated = spec.sigma_mode = Enumerate_sigma;
+    kr;
+    info;
+    h_m_given_pi;
+    eq1_residual = abs_float (info -. (kr -. h_m_given_pi));
+    expected_recovered;
+    lemma33_slack = kr -. expected_recovered +. 1. -. h_m_given_pi;
+    h_public;
+    per_copy_info;
+    per_copy_h;
+    lemma34_slack = h_public +. sum per_copy_info -. info;
+    lemma35_slacks =
+      Array.init spec.k (fun i -> (per_copy_h.(i) /. float_of_int tt) -. per_copy_info.(i));
+    budget_bound;
+    theorem_slack = budget_bound -. info;
+  }
+
+let all_inequalities_hold report =
+  let tol = 1e-6 in
+  report.eq1_residual < tol
+  && report.lemma33_slack >= -.tol
+  && report.lemma34_slack >= -.tol
+  && ((not report.sigma_enumerated) || Array.for_all (fun s -> s >= -.tol) report.lemma35_slacks)
+  && ((not report.sigma_enumerated) || report.theorem_slack >= -.tol)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>b=%d outcomes=%d sigma_enumerated=%b kr=%.0f@,\
+     I(M;Pi|S,J)=%.4f  H(M|Pi,S,J)=%.4f  eq1_residual=%.2e@,\
+     E|M^U|=%.4f  lemma3.3 slack=%.4f@,\
+     H(Pi(P))=%.4f  sum I(M_i;Pi(U_i)|S,J)=%.4f  lemma3.4 slack=%.4f@,\
+     lemma3.5 slacks=[%s]@,\
+     budget bound=%.2f  theorem slack=%.2f@]"
+    r.spec_bits r.outcomes r.sigma_enumerated r.kr r.info r.h_m_given_pi r.eq1_residual
+    r.expected_recovered r.lemma33_slack r.h_public
+    (Array.fold_left ( +. ) 0. r.per_copy_info)
+    r.lemma34_slack
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.4f") r.lemma35_slacks)))
+    r.budget_bound r.theorem_slack

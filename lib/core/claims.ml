@@ -1,0 +1,62 @@
+module Graph = Dgraph.Graph
+
+type order = Lexicographic | Random of int | Public_first
+
+let order_name = function
+  | Lexicographic -> "lexicographic"
+  | Random seed -> Printf.sprintf "random(%d)" seed
+  | Public_first -> "public-first"
+
+let maximal_matching_under dmm order =
+  let g = dmm.Hard_dist.graph in
+  let edges = Array.of_list (Graph.edges g) in
+  (match order with
+  | Lexicographic -> ()
+  | Random seed -> Stdx.Prng.shuffle (Stdx.Prng.create seed) edges
+  | Public_first ->
+      let pub = Stdx.Bitset.create dmm.Hard_dist.n in
+      Array.iter (Stdx.Bitset.add pub) dmm.Hard_dist.public_labels;
+      let touches_public (u, v) = Stdx.Bitset.mem pub u || Stdx.Bitset.mem pub v in
+      (* Stable partition: public-touching edges first. *)
+      let first = Array.of_list (List.filter touches_public (Array.to_list edges)) in
+      let second =
+        Array.of_list (List.filter (fun e -> not (touches_public e)) (Array.to_list edges))
+      in
+      Array.blit first 0 edges 0 (Array.length first);
+      Array.blit second 0 edges (Array.length first) (Array.length second));
+  Dgraph.Matching.greedy g ~order:edges ()
+
+type stats = {
+  k : int;
+  r : int;
+  union_special : int;
+  chernoff_threshold : float;
+  claim_threshold : float;
+  failure_bound : float;
+  per_order : (string * int * bool) list;
+}
+
+let check dmm ?(orders = [ Lexicographic; Random 17; Random 43; Public_first ]) () =
+  let k = dmm.Hard_dist.k and r = Hard_dist.r dmm in
+  let union_special = List.length (Hard_dist.surviving_special dmm) in
+  let per_order =
+    List.map
+      (fun order ->
+        let matching = maximal_matching_under dmm order in
+        let uu = List.length (Hard_dist.unique_unique_edges dmm matching) in
+        (order_name order, uu, Dgraph.Matching.is_maximal dmm.Hard_dist.graph matching))
+      orders
+  in
+  {
+    k;
+    r;
+    union_special;
+    chernoff_threshold = float_of_int (k * r) /. 3.;
+    claim_threshold = float_of_int (k * r) /. 4.;
+    failure_bound = 2. ** (-.float_of_int (k * r) /. 10.);
+    per_order;
+  }
+
+let holds stats =
+  List.for_all (fun (_, uu, maximal) -> maximal && float_of_int uu >= stats.claim_threshold)
+    stats.per_order

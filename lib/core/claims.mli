@@ -1,0 +1,35 @@
+(** Executable Claim 3.1: w.p. [>= 1 - 2^{-kr/10}] over [G ~ D_MM], every
+    maximal matching of [G] has at least [k·r/4] edges whose endpoints are
+    both unique vertices.
+
+    The checker measures both halves of the claim's proof: the Chernoff
+    event [|∪_i M_i| >= k·r/3] on the surviving hidden matchings, and the
+    counting step (at most [N - 2r] matched edges can touch a public
+    vertex). Maximal matchings are generated under several edge orders,
+    including an adversarial order that matches public vertices first —
+    the order that makes the unique–unique count smallest. *)
+
+type order = Lexicographic | Random of int | Public_first
+(** [Public_first] greedily matches every public-touching edge before any
+    unique–unique edge — the adversarial case for the claim. *)
+
+val order_name : order -> string
+
+val maximal_matching_under : Hard_dist.t -> order -> Dgraph.Matching.t
+
+type stats = {
+  k : int;
+  r : int;
+  union_special : int;  (** [|∪_i M_i|], surviving hidden edges *)
+  chernoff_threshold : float;  (** [k·r/3] *)
+  claim_threshold : float;  (** [k·r/4] *)
+  failure_bound : float;  (** [2^{-k·r/10}] *)
+  per_order : (string * int * bool) list;
+      (** (order, unique–unique edges in that maximal matching, is the
+          matching really maximal) *)
+}
+
+val check : Hard_dist.t -> ?orders:order list -> unit -> stats
+
+val holds : stats -> bool
+(** Every tested maximal matching met the [k·r/4] bound. *)

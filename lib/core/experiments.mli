@@ -1,0 +1,317 @@
+(** The experiment suite: one function per table/figure of DESIGN.md §4.
+
+    Each function returns plain row records (so tests can assert on them)
+    and has a matching [print_*] that renders the table the bench harness
+    and the CLI show. Sizes are chosen so the whole suite runs in a couple
+    of minutes; every knob is exposed for larger runs from the CLI. *)
+
+(** {1 T1 — Proposition 2.1: RS graph parameters} *)
+
+type rs_verified_row = { row : Rsgraph.Params.rs_row; verified : bool }
+
+val rs_table : ms:int list -> rs_verified_row list
+val print_rs_table : rs_verified_row list -> unit
+
+(** {1 T2 — Behrend's theorem: 3-AP-free set sizes} *)
+
+type behrend_row = {
+  m : int;
+  greedy_size : int;
+  behrend_size : int;
+  best_size : int;
+  exact_size : int option;  (** branch-and-bound optimum, small [m] only *)
+  rate : float;  (** [ln(m/best) / √(ln m)], the Behrend exponent constant *)
+}
+
+val behrend_table : ms:int list -> behrend_row list
+val print_behrend_table : behrend_row list -> unit
+
+(** {1 T2b — alternative RS families: random packing vs Behrend}
+
+    The paper cites several incomparable RS constructions; this table
+    measures the [t] achieved by greedy random induced-matching packing
+    ({!Rsgraph.Packed}) against the Behrend-based construction at equal
+    [(N, r)] — packing wins at small [N], the additive-combinatorics
+    construction asymptotically. *)
+
+type packing_row = {
+  pn : int;  (** vertices N *)
+  pr : int;  (** matching size r *)
+  packed_t : int;
+  behrend_t : int;
+  tries : int;
+}
+
+val packing_table : ms:int list -> tries:int -> seed:int -> packing_row list
+val print_packing_table : packing_row list -> unit
+
+(** {1 T3 — Claim 3.1} *)
+
+type claim_row = {
+  m : int;
+  k : int;
+  r : int;
+  n : int;
+  samples : int;
+  min_union : int;  (** min over samples of [|∪_i M_i|] *)
+  mean_union : float;
+  chernoff_threshold : float;
+  min_unique_unique : int;  (** min over samples and orders *)
+  claim_threshold : float;
+  violations : int;  (** samples where some maximal matching fell below [k·r/4] *)
+  failure_bound : float;  (** the claim's own failure probability [2^{-kr/10}] *)
+  consistent : bool;
+      (** violation rate within 3 binomial standard deviations of the
+          theoretical bound (the claim is probabilistic; at small [k·r]
+          occasional violations are {e predicted}) *)
+}
+
+val claim31 : ms:int list -> samples:int -> seed:int -> claim_row list
+val print_claim31 : claim_row list -> unit
+
+(** {1 F4 — Theorem 1's shape: budget sweep on [D_MM]} *)
+
+type sweep_row = {
+  budget_bits : int;
+  strategy : string;
+  special_recovered : float;  (** mean fraction of surviving hidden edges in the output *)
+  relaxed_success : float;
+      (** Remark 3.6(iv): output is a valid disjoint edge set with
+          [>= k·r/4] unique–unique edges of [G] *)
+  maximal_success : float;  (** output is a maximal matching of [G] *)
+}
+
+type sweep = {
+  m : int;
+  k : int;
+  r : int;
+  n : int;
+  predicted_bits : float;  (** Theorem 1 arithmetic at these parameters *)
+  oracle_success : float;
+      (** ablation: players told [σ, j*] succeed (relaxed) with [O(log n)] bits *)
+  oracle_bits : int;
+  rows : sweep_row list;
+}
+
+val budget_sweep :
+  m:int -> ?k:int -> budgets:int list -> trials:int -> seed:int -> unit -> sweep
+val print_budget_sweep : sweep -> unit
+
+(** {1 F5 — Lemmas 3.3–3.5: exact accounting} *)
+
+val info_accounting : bits:int list -> Accounting.report list
+(** Runs both Σ modes ({!Accounting.tiny_rs} enumerated, then
+    {!Accounting.micro_rs} fixed) for each budget. *)
+
+val print_info_accounting : Accounting.report list -> unit
+
+(** {1 F5b — sampled information estimates vs exact}
+
+    The plug-in MI estimator ({!Infotheory.Estimate}) evaluated on i.i.d.
+    samples of the micro instance, against the exact enumeration of F5 —
+    quantifying the sampling error a larger-instance audit would incur. *)
+
+type estimate_row = {
+  ebits : int;
+  samples : int;
+  exact_info : float;
+  estimated_info : float;
+  abs_error : float;
+}
+
+val estimate_accounting : bits:int list -> samples:int -> seed:int -> estimate_row list
+val print_estimate_accounting : estimate_row list -> unit
+
+(** {1 T6 — Section 1 landscape: upper-bound protocol costs} *)
+
+type ub_row = {
+  n : int;
+  agm_forest_bits : int;  (** AGM spanning forest, per-player max *)
+  agm_ok : bool;
+  coloring_bits : int;
+  coloring_ok : bool;
+  trivial_mm_bits : int;
+  two_round_mm_bits : int;  (** both rounds, per-player max *)
+  two_round_mm_ok : bool;
+  two_round_mis_bits : int;
+  two_round_mis_ok : bool;
+}
+
+val upper_bounds : ns:int list -> seed:int -> ub_row list
+val print_upper_bounds : ub_row list -> unit
+
+(** {1 T6b — the coloring contrast on dense graphs}
+
+    Palette sparsification beats the trivial protocol only once
+    [Δ ≫ log² n]; this table uses dense [G(n, 1/2)] instances, where the
+    ratio [coloring/trivial] visibly decays with [n]. *)
+
+type coloring_row = {
+  cn : int;
+  delta : int;
+  list_size : int;
+  palette_bits : int;
+  full_bits : int;
+  ratio : float;
+  proper : bool;
+}
+
+val coloring_contrast : ns:int list -> seed:int -> coloring_row list
+val print_coloring_contrast : coloring_row list -> unit
+
+(** {1 F7 — The gap: lower-bound curve vs upper bounds} *)
+
+type curve_row = {
+  m : int;
+  n_dmm : int;
+  lower_bound_bits : float;  (** Theorem 1 arithmetic *)
+  sqrt_n : float;
+  trivial_bits : float;
+  two_round_bits : float;
+}
+
+val bound_curve : ms:int list -> curve_row list
+val print_bound_curve : curve_row list -> unit
+
+(** {1 T8 — Theorem 2: the MM→MIS reduction} *)
+
+type reduction_row = {
+  m : int;
+  samples : int;
+  lemma41_all : bool;
+  complete_all : bool;  (** output always contained every surviving edge *)
+  min_rule_exact_all : bool;  (** the min-side ablation recovered exactly *)
+  mean_valid_fraction : float;
+  cost_ratio : float;  (** per-G-player bits / per-H-player bits, = 2.0 *)
+}
+
+val reduction_check : ms:int list -> samples:int -> seed:int -> reduction_row list
+val print_reduction : reduction_row list -> unit
+
+(** {1 F9 — Footnote 1: bridge recovery} *)
+
+type bridge_row = { half : int; samples_per_vertex : int; max_bits : int; success : float }
+
+val bridge : halves:int list -> samples:int list -> trials:int -> seed:int -> bridge_row list
+val print_bridge : bridge_row list -> unit
+
+(** {1 F10 — approximate matching vs budget (the [AKLY16] connection)} *)
+
+type approx_row = {
+  an : int;
+  abudget : int;
+  ratio_mean : float;  (** output size / maximum matching (Blossom oracle) *)
+  ratio_min : float;
+}
+
+val approx_matching : ns:int list -> budgets:int list -> trials:int -> seed:int -> approx_row list
+val print_approx_matching : approx_row list -> unit
+
+(** {1 F11 — ablation: decoupling k from t}
+
+    The proof sets [k = t]. The bound arithmetic degrades linearly as [k]
+    shrinks, while the natural sampling protocol's measured threshold is
+    [k]-independent (each unique player faces the same local task
+    whatever [k] is) — so the lower bound is tightest exactly at the
+    paper's choice [k = t]. *)
+
+type k_sweep_row = {
+  kk : int;
+  kt_ratio : float;
+  predicted : float;  (** Theorem 1 arithmetic at this k *)
+  threshold_bits : int option;  (** smallest tested budget with relaxed success >= 1/2 *)
+}
+
+val k_sweep :
+  m:int -> ks:int list -> budgets:int list -> trials:int -> seed:int -> k_sweep_row list
+val print_k_sweep : k_sweep_row list -> unit
+
+(** {1 T10 — dynamic streams = linear sketches} *)
+
+type stream_row = {
+  sn : int;
+  decoys : int;
+  events : int;
+  forest_ok : bool;
+  messages_identical : bool;  (** streamed state = one-round messages, bitwise *)
+  greedy_mm_ok : bool;  (** insertion-only greedy still fine without deletions *)
+}
+
+val stream_table : ns:int list -> seed:int -> stream_row list
+val print_stream_table : stream_row list -> unit
+
+(** {1 T11 — further AGM positives: edge connectivity and bipartiteness} *)
+
+type connectivity_row = {
+  workload : string;
+  k_cert : int;
+  cert_valid : bool;
+  estimate : int;
+  truth : int;
+  bipartite_sketch : bool;
+  bipartite_truth : bool;
+  conn_bits : int;
+}
+
+val connectivity_table : seed:int -> connectivity_row list
+val print_connectivity_table : connectivity_row list -> unit
+
+(** {1 T12 — why one round fails and one more round suffices, on D_MM} *)
+
+type rounds_row = {
+  rm : int;
+  one_round_undominated : float;  (** local-minima MIS: undominated fraction *)
+  one_round_bits : int;
+  two_round_mm_maximal : bool;
+  two_round_mm_bits : int;
+  two_round_mis_maximal : bool;
+  two_round_mis_bits : int;
+  sqrt_n_dmm : float;
+}
+
+val rounds_table : ms:int list -> seed:int -> rounds_row list
+val print_rounds_table : rounds_row list -> unit
+
+(** {1 T13 — the averaging (Yao) step}
+
+    Fixing the best coin seed does at least as well as the coin-averaged
+    protocol on the sampled distribution — the derandomization step at the
+    start of Theorem 1's proof, run on real [D_MM] instances. *)
+
+type yao_row = {
+  ym : int;
+  ybudget : int;
+  randomized : float;  (** coin-averaged success *)
+  derandomized : float;  (** best fixed seed *)
+  dominates : bool;
+}
+
+val yao_table : m:int -> budgets:int list -> instances:int -> seeds:int -> seed:int -> yao_row list
+val print_yao_table : yao_row list -> unit
+
+(** {1 T14 — the rounds/bandwidth trade-off in the BCC}
+
+    Result 1 reads as a one-round broadcast-congested-clique bound; with
+    [O(log n)] rounds, maximal matching needs only [O(log n)] bits per
+    round (proposal/resolution, Israeli–Itai style). This table shows the
+    measured frontier: per-round bits stay tiny while one-round protocols
+    below the [Ω(√n)]-ish threshold fail on the same instances. *)
+
+type bcc_row = {
+  bn : int;  (** vertices of the D_MM instance *)
+  bcc_rounds : int;
+  bcc_bits_per_round : int;
+  bcc_total_bits : int;
+  bcc_maximal : bool;
+  one_round_same_budget_maximal : float;
+      (** success of a one-round protocol given the same {e per-round}
+          bandwidth (the BCC cost measure) *)
+}
+
+val bcc_table : ms:int list -> trials:int -> seed:int -> bcc_row list
+val print_bcc_table : bcc_row list -> unit
+
+(** {1 Everything} *)
+
+val run_all : ?fast:bool -> unit -> unit
+(** Print every table at default sizes ([fast] shrinks them for tests). *)

@@ -1,0 +1,157 @@
+module Graph = Dgraph.Graph
+module Rs = Rsgraph.Rs_graph
+
+type t = {
+  rs : Rs.t;
+  k : int;
+  j_star : int;
+  sigma : int array;
+  graph : Graph.t;
+  n : int;
+  public_labels : int array;
+  unique_labels : int array array;
+  copy_map : int array array;
+  kept : bool array array;
+  rs_edges : Graph.edge array;
+}
+
+let big_n dmm = Rs.n dmm.rs
+let r dmm = dmm.rs.Rs.r
+let t_count dmm = dmm.rs.Rs.t_count
+
+let make rs ~k ~j_star ~sigma ~kept =
+  if k < 1 then invalid_arg "Hard_dist.make: k";
+  let nn = Rs.n rs in
+  let rr = rs.Rs.r in
+  let tt = rs.Rs.t_count in
+  let n = nn - (2 * rr) + (2 * rr * k) in
+  if j_star < 0 || j_star >= tt then invalid_arg "Hard_dist.make: j_star";
+  if Array.length sigma <> n then invalid_arg "Hard_dist.make: sigma length";
+  let v_star = Array.of_list (Rs.matching_vertices rs j_star) in
+  let in_star = Stdx.Bitset.create nn in
+  Array.iter (Stdx.Bitset.add in_star) v_star;
+  let non_star =
+    Array.of_list (List.filter (fun v -> not (Stdx.Bitset.mem in_star v)) (List.init nn (fun v -> v)))
+  in
+  let n_public = nn - (2 * rr) in
+  let public_labels = Array.init n_public (fun l -> sigma.(l)) in
+  let unique_labels =
+    Array.init k (fun i -> Array.init (2 * rr) (fun l -> sigma.(n_public + (i * 2 * rr) + l)))
+  in
+  (* star_pos.(v) = rank of v inside V*, or -1; non_pos likewise. *)
+  let star_pos = Array.make nn (-1) and non_pos = Array.make nn (-1) in
+  Array.iteri (fun pos v -> star_pos.(v) <- pos) v_star;
+  Array.iteri (fun pos v -> non_pos.(v) <- pos) non_star;
+  let copy_map =
+    Array.init k (fun i ->
+        Array.init nn (fun v ->
+            if star_pos.(v) >= 0 then unique_labels.(i).(star_pos.(v))
+            else public_labels.(non_pos.(v))))
+  in
+  let rs_edges = Array.of_list (Graph.edges rs.Rs.graph) in
+  if
+    Array.length kept <> k
+    || Array.exists (fun row -> Array.length row <> Array.length rs_edges) kept
+  then invalid_arg "Hard_dist.make: kept shape";
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    Array.iteri
+      (fun e (u, v) ->
+        if kept.(i).(e) then edges := Graph.normalize_edge copy_map.(i).(u) copy_map.(i).(v) :: !edges)
+      rs_edges
+  done;
+  let graph = Graph.create n !edges in
+  { rs; k; j_star; sigma; graph; n; public_labels; unique_labels; copy_map; kept; rs_edges }
+
+let sample rs ?k rng =
+  let k = Option.value ~default:rs.Rs.t_count k in
+  let nn = Rs.n rs in
+  let rr = rs.Rs.r in
+  let n = nn - (2 * rr) + (2 * rr * k) in
+  let j_star = Stdx.Prng.int rng rs.Rs.t_count in
+  let sigma = Stdx.Prng.permutation rng n in
+  let edge_count = Graph.m rs.Rs.graph in
+  let kept = Array.init k (fun _ -> Array.init edge_count (fun _ -> Stdx.Prng.bool rng)) in
+  make rs ~k ~j_star ~sigma ~kept
+
+let public_set dmm =
+  let s = Stdx.Bitset.create dmm.n in
+  Array.iter (Stdx.Bitset.add s) dmm.public_labels;
+  s
+
+let is_public dmm label = Array.exists (fun l -> l = label) dmm.public_labels
+
+let is_unique dmm label = label >= 0 && label < dmm.n && not (is_public dmm label)
+
+let rs_edge_index dmm edge =
+  let e = Graph.normalize_edge (fst edge) (snd edge) in
+  let found = ref None in
+  Array.iteri (fun idx e' -> if e' = e then found := Some idx) dmm.rs_edges;
+  !found
+
+let kept_vector dmm ~copy ~j =
+  if copy < 0 || copy >= dmm.k then invalid_arg "Hard_dist.kept_vector: copy";
+  Array.map
+    (fun (u, v) ->
+      match rs_edge_index dmm (u, v) with
+      | Some idx -> dmm.kept.(copy).(idx)
+      | None -> invalid_arg "Hard_dist.kept_vector: matching edge missing from RS edge list")
+    dmm.rs.Rs.matchings.(j)
+
+let special_pairs dmm =
+  List.concat
+    (List.init dmm.k (fun i ->
+         Array.to_list dmm.rs.Rs.matchings.(dmm.j_star)
+         |> List.map (fun (u, v) ->
+                (i, Graph.normalize_edge dmm.copy_map.(i).(u) dmm.copy_map.(i).(v)))))
+
+let surviving_special dmm =
+  List.concat
+    (List.init dmm.k (fun i ->
+         Array.to_list dmm.rs.Rs.matchings.(dmm.j_star)
+         |> List.filter_map (fun (u, v) ->
+                match rs_edge_index dmm (u, v) with
+                | Some idx when dmm.kept.(i).(idx) ->
+                    Some (i, Graph.normalize_edge dmm.copy_map.(i).(u) dmm.copy_map.(i).(v))
+                | Some _ | None -> None)))
+
+let unique_unique_edges dmm matching =
+  let pub = public_set dmm in
+  List.filter
+    (fun (u, v) -> (not (Stdx.Bitset.mem pub u)) && not (Stdx.Bitset.mem pub v))
+    matching
+
+let public_player_count dmm = Array.length dmm.public_labels
+let unique_player_count dmm = dmm.k * big_n dmm
+
+let augmented_views dmm =
+  let nn = big_n dmm in
+  let public_views =
+    Array.map
+      (fun label ->
+        {
+          Sketchmodel.Model.n = dmm.n;
+          vertex = label;
+          neighbors = Graph.neighbors dmm.graph label;
+        })
+      dmm.public_labels
+  in
+  (* Copy-i adjacency at RS granularity: unique player (i, v) sees the
+     surviving copy-i edges at v, translated to G labels. *)
+  let unique_views =
+    Array.init (dmm.k * nn) (fun idx ->
+        let i = idx / nn and v = idx mod nn in
+        let nbrs = ref [] in
+        Array.iteri
+          (fun e (a, b) ->
+            if dmm.kept.(i).(e) then
+              if a = v then nbrs := dmm.copy_map.(i).(b) :: !nbrs
+              else if b = v then nbrs := dmm.copy_map.(i).(a) :: !nbrs)
+          dmm.rs_edges;
+        {
+          Sketchmodel.Model.n = dmm.n;
+          vertex = dmm.copy_map.(i).(v);
+          neighbors = Array.of_list (List.sort compare !nbrs);
+        })
+  in
+  Array.append public_views unique_views

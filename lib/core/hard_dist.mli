@@ -1,0 +1,85 @@
+(** The hard input distribution [D_MM] of Section 3.1.
+
+    Parameters (paper notation): an [(r, t)]-RS graph [G^RS] on [N]
+    vertices, [k] copies (the paper sets [k = t]), a secret matching index
+    [j* ∈ [t]], and a secret permutation [σ] of [\[n\]],
+    [n = N - 2r + 2rk].
+
+    Construction: every copy [G_i] keeps each RS edge independently with
+    probability 1/2; the [N - 2r] vertices outside [V* = V(M_{j*})] are
+    {e public} — glued across all copies under one label — while the [2r]
+    vertices of [V*] get fresh {e unique} labels per copy. [G] is the
+    union.
+
+    A sample keeps all hidden structure ([σ], [j*], the drop coins) so the
+    experiments can play referee-with-free-advice exactly as Remark 3.6
+    allows. *)
+
+type t = {
+  rs : Rsgraph.Rs_graph.t;
+  k : int;
+  j_star : int;
+  sigma : int array;
+  graph : Dgraph.Graph.t;  (** the players' input graph [G] *)
+  n : int;  (** vertices of [G] *)
+  public_labels : int array;
+      (** [public_labels.(ℓ)]: label of the ℓ-th non-[V*] RS vertex *)
+  unique_labels : int array array;
+      (** [unique_labels.(i).(ℓ)]: label of the ℓ-th [V*] vertex in copy i *)
+  copy_map : int array array;  (** [copy_map.(i).(v)]: label of RS vertex [v] in copy [i] *)
+  kept : bool array array;  (** [kept.(i).(e)]: did RS edge [e] survive in copy [i] *)
+  rs_edges : Dgraph.Graph.edge array;  (** indexed RS edge list *)
+}
+
+val sample : Rsgraph.Rs_graph.t -> ?k:int -> Stdx.Prng.t -> t
+(** Draw [G ~ D_MM]. [k] defaults to [t], the paper's choice. *)
+
+val make :
+  Rsgraph.Rs_graph.t ->
+  k:int ->
+  j_star:int ->
+  sigma:int array ->
+  kept:bool array array ->
+  t
+(** Deterministic constructor with all randomness injected — the
+    information-accounting harness enumerates the whole sample space
+    through this. [kept.(i).(e)] follows the edge order of
+    [Graph.edges rs.graph]; [sigma] must be a permutation of
+    [\[0, N - 2r + 2rk)]. *)
+
+val big_n : t -> int
+val r : t -> int
+val t_count : t -> int
+
+val is_public : t -> int -> bool
+(** Is this [G]-label a public vertex? *)
+
+val is_unique : t -> int -> bool
+
+val rs_edge_index : t -> Dgraph.Graph.edge -> int option
+(** Index of an RS edge in [rs_edges]. *)
+
+val kept_vector : t -> copy:int -> j:int -> bool array
+(** The paper's [M_{i,j}]: for each edge of RS matching [j] (in matching
+    order), whether it survived in copy [i]. *)
+
+val special_pairs : t -> (int * Dgraph.Graph.edge) list
+(** All [(i, (u, v))] with [(u, v)] the [G]-labelled copy of an edge of
+    [M_{j*}] in copy [i] — the paper's [M^RS_{i,j*}], {e before} edge
+    dropping. Both endpoints are always unique vertices. *)
+
+val surviving_special : t -> (int * Dgraph.Graph.edge) list
+(** The subset of {!special_pairs} that survived the coin flips: the union
+    [∪_i M_i] of Claim 3.1. These are vertex-disjoint. *)
+
+val unique_unique_edges : t -> Dgraph.Matching.t -> Dgraph.Matching.t
+(** The edges of a matching whose endpoints are both unique. *)
+
+val augmented_views : t -> Sketchmodel.Model.view array
+(** The public/unique player model of Section 3.1: [N - 2r] public players
+    (seeing all [G]-edges of their public vertex) followed by [k·N] unique
+    players in copy-major order ([u_{i,v}] sees the copy-[i] edges at RS
+    vertex [v], translated to [G] labels). *)
+
+val public_player_count : t -> int
+val unique_player_count : t -> int

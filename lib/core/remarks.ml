@@ -1,0 +1,44 @@
+module Graph = Dgraph.Graph
+
+let base_graph_shared dmm =
+  (* Re-map every copy's pre-drop edge set back through its labelling; all
+     copies must land on the same RS edge list. *)
+  let rs_edges = Array.to_list dmm.Hard_dist.rs_edges in
+  List.for_all
+    (fun i ->
+      let back = Hashtbl.create 64 in
+      Array.iteri (fun v label -> Hashtbl.replace back label v) dmm.Hard_dist.copy_map.(i);
+      List.for_all
+        (fun (u, v) ->
+          let lu = dmm.Hard_dist.copy_map.(i).(u) and lv = dmm.Hard_dist.copy_map.(i).(v) in
+          Hashtbl.find_opt back lu = Some u && Hashtbl.find_opt back lv = Some v)
+        rs_edges)
+    (List.init dmm.Hard_dist.k (fun i -> i))
+
+let distributed_h dmm =
+  let n = dmm.Hard_dist.n in
+  let g = dmm.Hard_dist.graph in
+  let public = Stdx.Bitset.create n in
+  Array.iter (Stdx.Bitset.add public) dmm.Hard_dist.public_labels;
+  (* Each player u contributes, from local knowledge only:
+     - copies of its own G-edges on both sides;
+     - if public: its biclique edges to every public vertex (incl itself),
+       which requires exactly Remark 3.6(iii). *)
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        edges := (u, v) :: (u + n, v + n) :: !edges)
+      (Graph.neighbors g u);
+    if Stdx.Bitset.mem public u then
+      Array.iter
+        (fun p -> edges := (u, p + n) :: (p, u + n) :: !edges)
+        dmm.Hard_dist.public_labels
+  done;
+  Graph.create (2 * n) !edges
+
+let meets_remark_iv dmm output =
+  let verdict = Dgraph.Matching.verify dmm.Hard_dist.graph output in
+  verdict.Dgraph.Matching.edges_exist && verdict.Dgraph.Matching.disjoint
+  && float_of_int (List.length (Hard_dist.unique_unique_edges dmm output))
+     >= float_of_int (dmm.Hard_dist.k * Hard_dist.r dmm) /. 4.

@@ -1,0 +1,30 @@
+(** Remark 3.6, executable: the four extra conditions under which the
+    lower bound still holds, each of which the Section-4 reduction leans
+    on. Tests and experiments call these rather than re-deriving them.
+
+    (i)   the base RS graph is known to everyone — structural in our
+          implementation ({!base_graph_shared});
+    (ii)  the referee knows [σ] and [j*] — every referee-side function in
+          {!Reduction} takes the [Hard_dist.t] record, which carries them;
+    (iii) public vertices know they are public and know each other —
+          {!distributed_h} builds the reduction's doubled graph [H] from
+          purely {e local} information plus exactly that knowledge, and
+          must reproduce {!Reduction.build_h};
+    (iv)  outputting [k·r/4] unique–unique edges suffices —
+          {!meets_remark_iv} is the relaxed success notion every
+          budget-sweep experiment scores against. *)
+
+val base_graph_shared : Hard_dist.t -> bool
+(** Every copy is a relabelling of the same RS edge set: the pre-drop
+    graph each player would reconstruct locally is the public [G^RS]. *)
+
+val distributed_h : Hard_dist.t -> Dgraph.Graph.t
+(** [H] assembled from per-player local computations only: each vertex
+    [u] contributes the [H]-edges incident on its two copies, computed
+    from its own [G]-neighbourhood plus the public-vertex list
+    (Remark 3.6(iii)). Must equal {!Reduction.build_h} — asserted in
+    tests; the reduction is thus implementable by the players. *)
+
+val meets_remark_iv : Hard_dist.t -> Dgraph.Matching.t -> bool
+(** All output edges exist and are disjoint, and at least [k·r/4] of them
+    have both endpoints unique. *)

@@ -1,0 +1,33 @@
+type 'i report = {
+  per_seed : (int * float) list;
+  average : float;
+  best_seed : int;
+  best_rate : float;
+}
+
+let derandomize ~seeds ~instances ~run =
+  if seeds = [] then invalid_arg "Yao.derandomize: no seeds";
+  if Array.length instances = 0 then invalid_arg "Yao.derandomize: no instances";
+  let total = float_of_int (Array.length instances) in
+  let per_seed =
+    List.map
+      (fun seed ->
+        let coins = Sketchmodel.Public_coins.create seed in
+        let wins =
+          Array.fold_left (fun acc inst -> if run coins inst then acc + 1 else acc) 0 instances
+        in
+        (seed, float_of_int wins /. total))
+      seeds
+  in
+  let average =
+    List.fold_left (fun acc (_, rate) -> acc +. rate) 0. per_seed
+    /. float_of_int (List.length per_seed)
+  in
+  let best_seed, best_rate =
+    List.fold_left
+      (fun ((_, br) as best) ((_, rate) as cand) -> if rate > br then cand else best)
+      (List.hd per_seed) (List.tl per_seed)
+  in
+  { per_seed; average; best_seed; best_rate }
+
+let dominates report = report.best_rate >= report.average -. 1e-12

@@ -1,0 +1,31 @@
+(** The averaging step of Theorem 1's proof, executable ("the easy
+    direction of Yao's minimax principle" [53]).
+
+    The proof fixes a public-coin protocol for [D_MM] and argues: since
+    the distributional success probability is an average over coin
+    outcomes, {e some} fixed coin outcome does at least as well, giving a
+    deterministic protocol with the same worst-case message length. This
+    module performs exactly that step on concrete protocols: evaluate a
+    finite set of coin seeds against a sample of instances, and return the
+    best fixed seed — whose success rate provably dominates the average.
+
+    (The converse hard direction — distributional lower bounds imply
+    randomized ones — is what makes analysing [D_MM] sufficient.) *)
+
+type 'i report = {
+  per_seed : (int * float) list;  (** success rate of each fixed seed *)
+  average : float;  (** randomized (coin-averaged) success rate *)
+  best_seed : int;
+  best_rate : float;  (** [>= average], always *)
+}
+
+val derandomize :
+  seeds:int list ->
+  instances:'i array ->
+  run:(Sketchmodel.Public_coins.t -> 'i -> bool) ->
+  'i report
+(** Requires non-empty [seeds] and [instances]. *)
+
+val dominates : 'i report -> bool
+(** [best_rate >= average] — the inequality the proof step rests on;
+    always true, asserted in tests and the T13 experiment. *)

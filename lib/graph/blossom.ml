@@ -1,0 +1,113 @@
+(* Edmonds' blossom algorithm, classic O(n^3) formulation: repeated BFS for
+   augmenting paths with blossom contraction tracked through [base].
+   Invariants per search:
+   - [parent.(u)] is the BFS tree edge used to reach the odd vertex [u];
+   - [base.(v)] is the base vertex of the contracted blossom containing v;
+   - even (outer) vertices are the [used] ones. *)
+
+let maximum_matching g =
+  let n = Graph.n g in
+  let mate = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let base = Array.make n 0 in
+  let used = Array.make n false in
+  let blossom = Array.make n false in
+  let queue = Queue.create () in
+
+  let lca a b =
+    let used_path = Array.make n false in
+    (* Walk a's alternating path to the root, marking blossom bases. *)
+    let rec mark v =
+      let v = base.(v) in
+      used_path.(v) <- true;
+      if mate.(v) <> -1 then mark parent.(mate.(v))
+    in
+    mark a;
+    let rec find v =
+      let v = base.(v) in
+      if used_path.(v) then v else find parent.(mate.(v))
+    in
+    find b
+  in
+
+  let mark_path v b child =
+    let v = ref v and child = ref child in
+    while base.(!v) <> b do
+      blossom.(base.(!v)) <- true;
+      blossom.(base.(mate.(!v))) <- true;
+      parent.(!v) <- !child;
+      child := mate.(!v);
+      v := parent.(mate.(!v))
+    done
+  in
+
+  let find_path root =
+    Array.fill used 0 n false;
+    Array.fill parent 0 n (-1);
+    for i = 0 to n - 1 do
+      base.(i) <- i
+    done;
+    Queue.clear queue;
+    used.(root) <- true;
+    Queue.add root queue;
+    let found = ref (-1) in
+    while !found = -1 && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      let nbrs = Graph.neighbors g v in
+      let i = ref 0 in
+      while !found = -1 && !i < Array.length nbrs do
+        let u = nbrs.(!i) in
+        incr i;
+        if base.(v) <> base.(u) && mate.(v) <> u then begin
+          if u = root || (mate.(u) <> -1 && parent.(mate.(u)) <> -1) then begin
+            (* An edge between two outer vertices: contract the blossom. *)
+            let cur_base = lca v u in
+            Array.fill blossom 0 n false;
+            mark_path v cur_base u;
+            mark_path u cur_base v;
+            for j = 0 to n - 1 do
+              if blossom.(base.(j)) then begin
+                base.(j) <- cur_base;
+                if not used.(j) then begin
+                  used.(j) <- true;
+                  Queue.add j queue
+                end
+              end
+            done
+          end
+          else if parent.(u) = -1 then begin
+            parent.(u) <- v;
+            if mate.(u) = -1 then found := u
+            else begin
+              used.(mate.(u)) <- true;
+              Queue.add mate.(u) queue
+            end
+          end
+        end
+      done
+    done;
+    if !found = -1 then false
+    else begin
+      (* Augment along the alternating path ending at [found]. *)
+      let v = ref !found in
+      while !v <> -1 do
+        let pv = parent.(!v) in
+        let ppv = mate.(pv) in
+        mate.(!v) <- pv;
+        mate.(pv) <- !v;
+        v := ppv
+      done;
+      true
+    end
+  in
+
+  for v = 0 to n - 1 do
+    if mate.(v) = -1 then ignore (find_path v)
+  done;
+  let out = ref [] in
+  for v = 0 to n - 1 do
+    if mate.(v) > v then out := Graph.normalize_edge v mate.(v) :: !out
+  done;
+  List.rev !out
+
+let maximum_matching_size g = List.length (maximum_matching g)

@@ -1,0 +1,10 @@
+(** Maximum matching in general graphs (Edmonds' blossom algorithm).
+
+    The exact oracle behind the approximate-matching experiments: the
+    quality of a budget-limited sketching protocol's output is its size
+    relative to this maximum. [O(n^3)]; fine for the experiment sizes. *)
+
+val maximum_matching : Graph.t -> Matching.t
+(** A maximum-cardinality matching. *)
+
+val maximum_matching_size : Graph.t -> int

@@ -1,0 +1,68 @@
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if label.(start) = -1 then begin
+      label.(start) <- !count;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if label.(v) = -1 then begin
+              label.(v) <- !count;
+              Queue.add v queue
+            end)
+          (Graph.neighbors g u)
+      done;
+      incr count
+    end
+  done;
+  (label, !count)
+
+let same_component g u v =
+  let label, _ = components g in
+  label.(u) = label.(v)
+
+let spanning_forest g =
+  let n = Graph.n g in
+  let visited = Array.make n false in
+  let out = ref [] in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if not visited.(start) then begin
+      visited.(start) <- true;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              out := Graph.normalize_edge u v :: !out;
+              Queue.add v queue
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  List.rev !out
+
+let is_spanning_forest g forest =
+  let n = Graph.n g in
+  let all_edges = List.for_all (fun (u, v) -> Graph.mem_edge g u v) forest in
+  if not all_edges then false
+  else begin
+    let uf = Unionfind.create n in
+    let acyclic = List.for_all (fun (u, v) -> Unionfind.union uf u v) forest in
+    if not acyclic then false
+    else begin
+      let _, count = components g in
+      (* Same number of classes as true components, and every graph edge
+         stays within one class. *)
+      Unionfind.count uf = count
+      && Graph.fold_edges (fun u v acc -> acc && Unionfind.same uf u v) g true
+    end
+  end

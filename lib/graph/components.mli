@@ -1,0 +1,15 @@
+(** Connected components and spanning forests (reference implementations the
+    AGM sketch decoder is checked against). *)
+
+val components : Graph.t -> int array * int
+(** [(label, count)]: [label.(v)] is the component id of [v], ids are
+    [0 .. count-1]. *)
+
+val same_component : Graph.t -> int -> int -> bool
+
+val spanning_forest : Graph.t -> Graph.edge list
+(** A BFS forest: exactly [n - #components] edges, acyclic, spanning. *)
+
+val is_spanning_forest : Graph.t -> Graph.edge list -> bool
+(** The given edges are graph edges, contain no cycle, and connect exactly
+    the pairs the graph connects. *)

@@ -1,0 +1,146 @@
+let gnp rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if Stdx.Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let random_bipartite rng ~left ~right ~p =
+  let edges = ref [] in
+  for u = 0 to left - 1 do
+    for v = left to left + right - 1 do
+      if Stdx.Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create (left + right) !edges
+
+let path n = Graph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: needs >= 3 vertices";
+  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star";
+  Graph.create n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create (a + b) !edges
+
+let perfect_matching k = Graph.create (2 * k) (List.init k (fun i -> ((2 * i), (2 * i) + 1)))
+
+let disjoint_matchings ~sizes =
+  let total = 2 * List.fold_left ( + ) 0 sizes in
+  let edges = ref [] and base = ref 0 in
+  List.iter
+    (fun size ->
+      for i = 0 to size - 1 do
+        edges := (!base + (2 * i), !base + (2 * i) + 1) :: !edges
+      done;
+      base := !base + (2 * size))
+    sizes;
+  Graph.create total !edges
+
+let random_regular_ish rng n d =
+  if d >= n then invalid_arg "Gen.random_regular_ish: d >= n";
+  let target = d * n / 2 in
+  let seen = Hashtbl.create (2 * target) in
+  let edges = ref [] and count = ref 0 and attempts = ref 0 in
+  while !count < target && !attempts < 50 * target do
+    incr attempts;
+    let u = Stdx.Prng.int rng n and v = Stdx.Prng.int rng n in
+    if u <> v then begin
+      let e = Graph.normalize_edge u v in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.replace seen e ();
+        edges := e :: !edges;
+        incr count
+      end
+    end
+  done;
+  Graph.create n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
+  let idx i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then edges := (idx i j, idx i (j + 1)) :: !edges;
+      if i + 1 < rows then edges := (idx i j, idx (i + 1) j) :: !edges
+    done
+  done;
+  Graph.create (rows * cols) !edges
+
+let configuration_model rng ~degrees =
+  let n = Array.length degrees in
+  let total = Array.fold_left ( + ) 0 degrees in
+  if total mod 2 <> 0 then invalid_arg "Gen.configuration_model: odd degree sum";
+  Array.iter (fun d -> if d < 0 then invalid_arg "Gen.configuration_model: negative degree") degrees;
+  (* Stubs: one entry per half-edge. *)
+  let stubs = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!pos) <- v;
+        incr pos
+      done)
+    degrees;
+  Stdx.Prng.shuffle rng stubs;
+  let edges = ref [] in
+  let i = ref 0 in
+  while !i + 1 < total do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u <> v then edges := (u, v) :: !edges;
+    i := !i + 2
+  done;
+  Graph.create n !edges
+
+let power_law_degrees rng ~n ~exponent ~dmax =
+  if n < 1 || dmax < 1 || exponent <= 1. then invalid_arg "Gen.power_law_degrees";
+  (* Inverse-CDF sampling over the discrete truncated power law. *)
+  let weights = Array.init dmax (fun i -> float_of_int (i + 1) ** -.exponent) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let draw () =
+    let u = Stdx.Prng.float rng *. total in
+    let rec go i acc =
+      if i >= dmax - 1 then dmax
+      else begin
+        let acc = acc +. weights.(i) in
+        if u < acc then i + 1 else go (i + 1) acc
+      end
+    in
+    go 0 0.
+  in
+  let degrees = Array.init n (fun _ -> min (n - 1) (draw ())) in
+  let sum = Array.fold_left ( + ) 0 degrees in
+  if sum mod 2 = 1 then degrees.(0) <- degrees.(0) + if degrees.(0) < n - 1 then 1 else -1;
+  degrees
+
+let bridge_of_clouds rng ~half ~p =
+  if half < 1 then invalid_arg "Gen.bridge_of_clouds";
+  let a = gnp rng half p in
+  let b = gnp rng half p in
+  let g = Graph.disjoint_union a b in
+  let u = Stdx.Prng.int rng half in
+  let v = half + Stdx.Prng.int rng half in
+  let bridge = Graph.normalize_edge u v in
+  (Graph.union g (Graph.create (2 * half) [ bridge ]), bridge)

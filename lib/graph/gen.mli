@@ -1,0 +1,45 @@
+(** Graph generators for tests, examples and workloads. *)
+
+val gnp : Stdx.Prng.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n, p)]. *)
+
+val random_bipartite : Stdx.Prng.t -> left:int -> right:int -> p:float -> Graph.t
+(** Bipartite random graph; left vertices are [0 .. left-1]. *)
+
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+val complete : int -> Graph.t
+val star : int -> Graph.t
+(** [star n]: centre [0] joined to [1 .. n-1]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+
+val perfect_matching : int -> Graph.t
+(** [perfect_matching k]: [2k] vertices, edges [(2i, 2i+1)]. *)
+
+val disjoint_matchings : sizes:int list -> Graph.t
+(** A union of vertex-disjoint matchings with the given sizes — the
+    degenerate RS graph used in micro information-accounting instances. *)
+
+val random_regular_ish : Stdx.Prng.t -> int -> int -> Graph.t
+(** Approximately [d]-regular: [d * n / 2] random edges sampled without
+    replacement (self-loops and duplicates discarded). *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]: the 2D lattice, vertex [(i, j)] at index
+    [i * cols + j]. *)
+
+val configuration_model : Stdx.Prng.t -> degrees:int array -> Graph.t
+(** The configuration model: pair up half-edges uniformly; self-loops and
+    multi-edges are dropped, so realised degrees can fall slightly short.
+    Requires an even degree sum. *)
+
+val power_law_degrees : Stdx.Prng.t -> n:int -> exponent:float -> dmax:int -> int array
+(** Degree sequence sampled from [P(d) ∝ d^{-exponent}], [1 <= d <= dmax],
+    adjusted to an even sum — feed to {!configuration_model} for heavy-tail
+    workloads. *)
+
+val bridge_of_clouds : Stdx.Prng.t -> half:int -> p:float -> Graph.t * Graph.edge
+(** The Footnote-1 instance: two disjoint [G(half, p)] "clouds" joined by a
+    single uniformly random bridge edge. Returns the graph and the bridge.
+    The first cloud is vertices [0 .. half-1]. *)

@@ -1,0 +1,110 @@
+type edge = int * int
+
+type t = { n : int; adj : int array array; m : int }
+
+let normalize_edge u v =
+  if u = v then invalid_arg "Graph.normalize_edge: self-loop";
+  if u < v then (u, v) else (v, u)
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let buckets = Array.make n [] in
+  let add_edge (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: vertex out of range";
+    let u, v = normalize_edge u v in
+    buckets.(u) <- v :: buckets.(u);
+    buckets.(v) <- u :: buckets.(v)
+  in
+  List.iter add_edge edge_list;
+  let dedup_sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let out = ref [] and last = ref min_int in
+    Array.iter
+      (fun x ->
+        if x <> !last then begin
+          out := x :: !out;
+          last := x
+        end)
+      a;
+    Array.of_list (List.rev !out)
+  in
+  let adj = Array.map dedup_sorted buckets in
+  let m = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2 in
+  { n; adj; m }
+
+let empty n = create n []
+
+let n g = g.n
+let m g = g.m
+let neighbors g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g = Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 g.adj
+
+let mem_edge g u v =
+  if u = v then false
+  else begin
+    let nbrs = g.adj.(u) in
+    let rec bsearch lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if nbrs.(mid) = v then true else if nbrs.(mid) < v then bsearch (mid + 1) hi else bsearch lo mid
+    in
+    bsearch 0 (Array.length nbrs)
+  end
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: vertex count mismatch";
+  create a.n (edges a @ edges b)
+
+let union_all n gs = create n (List.concat_map edges gs)
+
+let relabel g sigma =
+  if Array.length sigma <> g.n then invalid_arg "Graph.relabel: bad permutation length";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= g.n || seen.(x) then invalid_arg "Graph.relabel: not a permutation";
+      seen.(x) <- true)
+    sigma;
+  create g.n (List.map (fun (u, v) -> normalize_edge sigma.(u) sigma.(v)) (edges g))
+
+let induced g vs =
+  let vs = List.sort_uniq compare vs in
+  let back = Array.of_list vs in
+  let fwd = Hashtbl.create (List.length vs) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let sub_edges =
+    fold_edges
+      (fun u v acc ->
+        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+        | Some u', Some v' -> (u', v') :: acc
+        | _ -> acc)
+      g []
+  in
+  (create (Array.length back) sub_edges, back)
+
+let disjoint_union a b =
+  let shift = a.n in
+  create (a.n + b.n) (edges a @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges b))
+
+let equal a b = a.n = b.n && a.adj = b.adj
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
+  iter_edges (fun u v -> Format.fprintf ppf "%d -- %d@," u v) g;
+  Format.fprintf ppf "@]"

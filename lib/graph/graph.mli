@@ -1,0 +1,59 @@
+(** Undirected simple graphs on vertex set [\[0, n)].
+
+    This is the substrate every layer above shares: the RS construction, the
+    hard distribution, the sketching protocols and the referee all exchange
+    values of this type. The representation is a frozen sorted adjacency
+    array, so neighbourhood queries are cache-friendly and deterministic. *)
+
+type t
+
+type edge = int * int
+(** Normalised: [(u, v)] with [u < v]. *)
+
+val normalize_edge : int -> int -> edge
+(** Orders the endpoints; rejects self-loops. *)
+
+val create : int -> edge list -> t
+(** [create n edges] builds a graph; duplicate edges are collapsed,
+    endpoints must lie in [\[0, n)], self-loops are rejected. *)
+
+val empty : int -> t
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted, read-only by convention (do not mutate). *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> edge list
+(** All edges, normalised, in lexicographic order. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val union : t -> t -> t
+(** Union of edge sets; both graphs must have the same vertex count. *)
+
+val union_all : int -> t list -> t
+
+val relabel : t -> int array -> t
+(** [relabel g sigma] renames vertex [v] to [sigma.(v)]; [sigma] must be a
+    permutation of [\[0, n)]. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the induced subgraph on [vs] with vertices renumbered
+    [0 ..]; the returned array maps new indices back to original ones. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [n first]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

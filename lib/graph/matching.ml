@@ -1,0 +1,154 @@
+type t = Graph.edge list
+
+type verdict = { edges_exist : bool; disjoint : bool; maximal : bool }
+
+let size = List.length
+
+let matched_vertices g matching =
+  let s = Stdx.Bitset.create (Graph.n g) in
+  List.iter
+    (fun (u, v) ->
+      Stdx.Bitset.add s u;
+      Stdx.Bitset.add s v)
+    matching;
+  s
+
+let disjoint_pairs n matching =
+  let seen = Stdx.Bitset.create n in
+  let ok = ref true in
+  List.iter
+    (fun (u, v) ->
+      if u = v || Stdx.Bitset.mem seen u || Stdx.Bitset.mem seen v then ok := false
+      else begin
+        Stdx.Bitset.add seen u;
+        Stdx.Bitset.add seen v
+      end)
+    matching;
+  !ok
+
+let is_matching g matching =
+  disjoint_pairs (Graph.n g) matching && List.for_all (fun (u, v) -> Graph.mem_edge g u v) matching
+
+let no_free_edge g matched =
+  Graph.fold_edges
+    (fun u v acc -> acc && not ((not (Stdx.Bitset.mem matched u)) && not (Stdx.Bitset.mem matched v)))
+    g true
+
+let is_maximal g matching = is_matching g matching && no_free_edge g (matched_vertices g matching)
+
+let verify g matching =
+  {
+    edges_exist = List.for_all (fun (u, v) -> Graph.mem_edge g u v) matching;
+    disjoint = disjoint_pairs (Graph.n g) matching;
+    maximal = no_free_edge g (matched_vertices g matching);
+  }
+
+let greedy g ?order () =
+  let order =
+    match order with Some o -> o | None -> Array.of_list (Graph.edges g)
+  in
+  let matched = Stdx.Bitset.create (Graph.n g) in
+  let out = ref [] in
+  Array.iter
+    (fun (u, v) ->
+      if (not (Stdx.Bitset.mem matched u)) && not (Stdx.Bitset.mem matched v) then begin
+        Stdx.Bitset.add matched u;
+        Stdx.Bitset.add matched v;
+        out := Graph.normalize_edge u v :: !out
+      end)
+    order;
+  List.rev !out
+
+let greedy_on_reported g reported =
+  let matched = Stdx.Bitset.create (Graph.n g) in
+  let out = ref [] in
+  List.iter
+    (fun (u, v) ->
+      if u <> v && (not (Stdx.Bitset.mem matched u)) && not (Stdx.Bitset.mem matched v) then begin
+        Stdx.Bitset.add matched u;
+        Stdx.Bitset.add matched v;
+        out := Graph.normalize_edge u v :: !out
+      end)
+    reported;
+  List.rev !out
+
+let augment_to_maximal g partial =
+  let valid = List.filter (fun (u, v) -> Graph.mem_edge g u v) partial in
+  let valid = greedy_on_reported g valid in
+  let matched = matched_vertices g valid in
+  let out = ref (List.rev valid) in
+  Graph.iter_edges
+    (fun u v ->
+      if (not (Stdx.Bitset.mem matched u)) && not (Stdx.Bitset.mem matched v) then begin
+        Stdx.Bitset.add matched u;
+        Stdx.Bitset.add matched v;
+        out := (u, v) :: !out
+      end)
+    g;
+  List.rev !out
+
+(* Hopcroft-Karp.  Left vertices are those in [left]; [pair.(v)] is the
+   current partner or -1.  Distances drive the layered BFS/DFS phases. *)
+let maximum_bipartite g ~left =
+  let n = Graph.n g in
+  if Stdx.Bitset.capacity left <> n then invalid_arg "Matching.maximum_bipartite: bitset capacity";
+  Graph.iter_edges
+    (fun u v ->
+      if Stdx.Bitset.mem left u = Stdx.Bitset.mem left v then
+        invalid_arg "Matching.maximum_bipartite: edge inside one side")
+    g;
+  let pair = Array.make n (-1) in
+  let dist = Array.make n max_int in
+  let lefts = Array.of_list (Stdx.Bitset.to_list left) in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let found_free = ref false in
+    Array.fill dist 0 n max_int;
+    Array.iter
+      (fun u ->
+        if pair.(u) = -1 then begin
+          dist.(u) <- 0;
+          Queue.add u queue
+        end)
+      lefts;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          let u' = pair.(v) in
+          if u' = -1 then found_free := true
+          else if dist.(u') = max_int then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' queue
+          end)
+        (Graph.neighbors g u)
+    done;
+    !found_free
+  in
+  let rec dfs u =
+    let nbrs = Graph.neighbors g u in
+    let rec try_from i =
+      if i >= Array.length nbrs then begin
+        dist.(u) <- max_int;
+        false
+      end
+      else begin
+        let v = nbrs.(i) in
+        let u' = pair.(v) in
+        let advance = u' = -1 || (dist.(u') = dist.(u) + 1 && dfs u') in
+        if advance then begin
+          pair.(v) <- u;
+          pair.(u) <- v;
+          true
+        end
+        else try_from (i + 1)
+      end
+    in
+    try_from 0
+  in
+  while bfs () do
+    Array.iter (fun u -> if pair.(u) = -1 then ignore (dfs u)) lefts
+  done;
+  Array.to_list lefts
+  |> List.filter_map (fun u -> if pair.(u) = -1 then None else Some (Graph.normalize_edge u pair.(u)))

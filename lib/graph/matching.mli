@@ -1,0 +1,47 @@
+(** Matchings: validity, maximality, greedy construction, and a maximum
+    bipartite matching (Hopcroft–Karp) used as a test oracle.
+
+    A matching is a list of normalised edges. The checkers mirror the
+    paper's error model exactly (Section 2.1, "Types of error"): a protocol
+    output can fail by (a) containing a non-edge, (b) sharing endpoints, or
+    (c) not being maximal — each is reported separately. *)
+
+type t = Graph.edge list
+
+type verdict = {
+  edges_exist : bool;  (** every listed edge is an edge of the graph *)
+  disjoint : bool;  (** no two listed edges share an endpoint *)
+  maximal : bool;  (** no graph edge has both endpoints unmatched *)
+}
+
+val size : t -> int
+
+val is_matching : Graph.t -> t -> bool
+(** Edges exist and are pairwise disjoint. *)
+
+val is_maximal : Graph.t -> t -> bool
+(** [is_matching] and no extendable edge remains. *)
+
+val verify : Graph.t -> t -> verdict
+
+val matched_vertices : Graph.t -> t -> Stdx.Bitset.t
+
+val greedy : Graph.t -> ?order:Graph.edge array -> unit -> t
+(** Greedy maximal matching scanning edges in the given order (default:
+    lexicographic). Always returns a maximal matching of the input graph. *)
+
+val greedy_on_reported : Graph.t -> Graph.edge list -> t
+(** Greedy matching over an arbitrary reported edge list (what a referee
+    does with the union of received edge samples); edges not in the graph
+    are kept — deciding validity is the experiment's job, as in the paper's
+    error model. The result is pairwise disjoint but need not be a matching
+    {e of the graph}. *)
+
+val augment_to_maximal : Graph.t -> t -> t
+(** Extends a disjoint edge set greedily to a maximal matching of the
+    graph (keeping only its valid edges first). *)
+
+val maximum_bipartite : Graph.t -> left:Stdx.Bitset.t -> t
+(** Hopcroft–Karp maximum matching. [left] is one side of a bipartition;
+    every edge must cross it, otherwise the function raises
+    [Invalid_argument]. Used as an oracle in tests. *)

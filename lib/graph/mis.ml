@@ -1,0 +1,121 @@
+type t = int list
+
+type verdict = { independent : bool; maximal : bool }
+
+let member_set g set =
+  let s = Stdx.Bitset.create (Graph.n g) in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then invalid_arg "Mis: vertex out of range";
+      Stdx.Bitset.add s v)
+    set;
+  s
+
+let is_independent g set =
+  let s = member_set g set in
+  Graph.fold_edges (fun u v acc -> acc && not (Stdx.Bitset.mem s u && Stdx.Bitset.mem s v)) g true
+
+let dominated g s v =
+  Stdx.Bitset.mem s v || Array.exists (fun u -> Stdx.Bitset.mem s u) (Graph.neighbors g v)
+
+let is_maximal_given g s =
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if not (dominated g s v) then ok := false
+  done;
+  !ok
+
+let is_maximal g set =
+  let s = member_set g set in
+  is_independent g set && is_maximal_given g s
+
+let verify g set =
+  let s = member_set g set in
+  {
+    independent =
+      Graph.fold_edges (fun u v acc -> acc && not (Stdx.Bitset.mem s u && Stdx.Bitset.mem s v)) g true;
+    maximal = is_maximal_given g s;
+  }
+
+let greedy g ?order () =
+  let order = match order with Some o -> o | None -> Array.init (Graph.n g) (fun i -> i) in
+  let chosen = Stdx.Bitset.create (Graph.n g) in
+  let blocked = Stdx.Bitset.create (Graph.n g) in
+  let out = ref [] in
+  Array.iter
+    (fun v ->
+      if not (Stdx.Bitset.mem blocked v) then begin
+        Stdx.Bitset.add chosen v;
+        Stdx.Bitset.add blocked v;
+        Array.iter (fun u -> Stdx.Bitset.add blocked u) (Graph.neighbors g v);
+        out := v :: !out
+      end)
+    order;
+  List.rev !out
+
+let greedy_prefix g ~order ~prefix =
+  let n = Graph.n g in
+  if prefix < 0 || prefix > Array.length order then invalid_arg "Mis.greedy_prefix";
+  let blocked = Stdx.Bitset.create n in
+  let decided = Stdx.Bitset.create n in
+  let out = ref [] in
+  for i = 0 to prefix - 1 do
+    let v = order.(i) in
+    if not (Stdx.Bitset.mem blocked v) then begin
+      Stdx.Bitset.add blocked v;
+      Stdx.Bitset.add decided v;
+      Array.iter
+        (fun u ->
+          Stdx.Bitset.add blocked u;
+          Stdx.Bitset.add decided u)
+        (Graph.neighbors g v);
+      out := v :: !out
+    end
+  done;
+  (List.rev !out, decided)
+
+let luby g rng =
+  let n = Graph.n g in
+  let alive = Stdx.Bitset.create n in
+  for v = 0 to n - 1 do
+    Stdx.Bitset.add alive v
+  done;
+  let chosen = ref [] in
+  let round = ref 0 in
+  while not (Stdx.Bitset.is_empty alive) do
+    incr round;
+    if !round > 4 * (n + 2) then failwith "Mis.luby: did not converge";
+    (* Each alive vertex draws a random priority; local minima join. *)
+    let prio = Array.make n max_int in
+    Stdx.Bitset.iter (fun v -> prio.(v) <- Stdx.Prng.int rng (n * n * 4 + 1)) alive;
+    let winners =
+      Stdx.Bitset.fold
+        (fun v acc ->
+          let beaten =
+            Array.exists
+              (fun u ->
+                Stdx.Bitset.mem alive u
+                && (prio.(u) < prio.(v) || (prio.(u) = prio.(v) && u < v)))
+              (Graph.neighbors g v)
+          in
+          if beaten then acc else v :: acc)
+        alive []
+    in
+    List.iter
+      (fun v ->
+        if Stdx.Bitset.mem alive v then begin
+          chosen := v :: !chosen;
+          Stdx.Bitset.remove alive v;
+          Array.iter (fun u -> if Stdx.Bitset.mem alive u then Stdx.Bitset.remove alive u) (Graph.neighbors g v)
+        end)
+      winners
+  done;
+  List.rev !chosen
+
+let residual_after g set =
+  let s = member_set g set in
+  let survivors = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not (dominated g s v) then survivors := v :: !survivors
+  done;
+  Graph.induced g !survivors

@@ -1,0 +1,33 @@
+(** Maximal independent sets: validity, maximality, greedy and Luby's
+    algorithm.
+
+    Mirrors the paper's MIS error model: a protocol output can fail by not
+    being independent or by not being maximal (dominating) — the two are
+    reported separately by {!verify}. *)
+
+type t = int list
+
+type verdict = {
+  independent : bool;  (** no graph edge inside the set *)
+  maximal : bool;  (** every vertex outside the set has a neighbour inside *)
+}
+
+val is_independent : Graph.t -> t -> bool
+val is_maximal : Graph.t -> t -> bool
+val verify : Graph.t -> t -> verdict
+
+val greedy : Graph.t -> ?order:int array -> unit -> t
+(** Scan vertices in the given order (default [0 .. n-1]), adding each
+    vertex with no earlier-chosen neighbour. Always maximal. *)
+
+val greedy_prefix : Graph.t -> order:int array -> prefix:int -> t * Stdx.Bitset.t
+(** Run greedy over only the first [prefix] vertices of [order]; returns the
+    partial independent set and the set of {e decided} vertices (chosen or
+    dominated). This is the round-1 step of the two-round MIS protocol. *)
+
+val luby : Graph.t -> Stdx.Prng.t -> t
+(** Luby's classic parallel MIS; returns a maximal independent set. *)
+
+val residual_after : Graph.t -> t -> Graph.t * int array
+(** Graph induced on vertices that are neither in the given independent set
+    nor adjacent to it, with the back-mapping to original labels. *)

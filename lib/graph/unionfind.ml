@@ -1,0 +1,36 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if uf.rank.(ra) < uf.rank.(rb) then (rb, ra) else (ra, rb) in
+    uf.parent.(rb) <- ra;
+    if uf.rank.(ra) = uf.rank.(rb) then uf.rank.(ra) <- uf.rank.(ra) + 1;
+    uf.classes <- uf.classes - 1;
+    true
+  end
+
+let same uf a b = find uf a = find uf b
+
+let count uf = uf.classes
+
+let class_members uf =
+  let n = Array.length uf.parent in
+  let out = Array.make n [] in
+  for v = n - 1 downto 0 do
+    let r = find uf v in
+    out.(r) <- v :: out.(r)
+  done;
+  out

@@ -1,0 +1,20 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    Used by the referee when decoding AGM sketches (Borůvka rounds) and by
+    the spanning-forest checkers. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union uf a b] merges the two classes; returns [false] when they were
+    already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct classes. *)
+
+val class_members : t -> int list array
+(** [class_members uf] groups vertices by representative: index by
+    [find uf v]. Non-representative indices hold the empty list. *)

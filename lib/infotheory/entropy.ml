@@ -1,0 +1,45 @@
+let log2 x = log x /. log 2.
+
+let marginal space f =
+  let table = Hashtbl.create 64 in
+  Space.iter
+    (fun outcome p ->
+      let v = f outcome in
+      let cur = Option.value ~default:0. (Hashtbl.find_opt table v) in
+      Hashtbl.replace table v (cur +. p))
+    space;
+  table
+
+let entropy_of_table table =
+  Hashtbl.fold (fun _ p acc -> if p > 0. then acc -. (p *. log2 p) else acc) table 0.
+
+let entropy space f = entropy_of_table (marginal space f)
+
+let pair x y outcome = (x outcome, y outcome)
+
+let joint_entropy space x y = entropy space (pair x y)
+
+let conditional_entropy space x ~given = joint_entropy space x given -. entropy space given
+
+let mutual_information space x y =
+  (* Computed as H(X) + H(Y) - H(X,Y); clamp tiny negative float noise. *)
+  let v = entropy space x +. entropy space y -. joint_entropy space x y in
+  if v < 0. && v > -1e-9 then 0. else v
+
+let conditional_mutual_information space x y ~given =
+  let v =
+    joint_entropy space x given +. joint_entropy space y given
+    -. joint_entropy space (pair x y) given
+    -. entropy space given
+  in
+  if v < 0. && v > -1e-9 then 0. else v
+
+let kl_divergence p q =
+  let q_table = Hashtbl.create 64 in
+  Space.iter (fun x pr -> Hashtbl.replace q_table x pr) q;
+  Space.fold
+    (fun x pr acc ->
+      match Hashtbl.find_opt q_table x with
+      | None -> infinity
+      | Some qr -> acc +. (pr *. log2 (pr /. qr)))
+    p 0.

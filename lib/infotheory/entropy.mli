@@ -1,0 +1,29 @@
+(** Shannon entropy, conditional entropy and (conditional) mutual
+    information of random variables over an explicit finite space.
+
+    A random variable is any function of the outcome; values are compared
+    with polymorphic equality, so use ints, tuples, lists or strings. All
+    quantities are in bits (log base 2). *)
+
+val entropy : 'a Space.t -> ('a -> 'b) -> float
+(** [H(X)] *)
+
+val joint_entropy : 'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> float
+(** [H(X, Y)] *)
+
+val conditional_entropy : 'a Space.t -> ('a -> 'b) -> given:('a -> 'c) -> float
+(** [H(X | Y)] *)
+
+val mutual_information : 'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> float
+(** [I(X ; Y) = H(X) - H(X | Y)] *)
+
+val conditional_mutual_information :
+  'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> given:('a -> 'd) -> float
+(** [I(X ; Y | Z)] *)
+
+val kl_divergence : 'a Space.t -> 'a Space.t -> float
+(** [D(P || Q)]; [infinity] if [P] puts mass outside [Q]'s support. *)
+
+val pair : ('a -> 'b) -> ('a -> 'c) -> 'a -> 'b * 'c
+(** Combine random variables: [pair x y] is the joint variable [(X, Y)].
+    Chain it to build tuples of any arity. *)

@@ -1,0 +1,64 @@
+let log2 x = log x /. log 2.
+
+let counts samples =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun x -> Hashtbl.replace table x (1 + Option.value ~default:0 (Hashtbl.find_opt table x)))
+    samples;
+  table
+
+let entropy_plugin samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Estimate.entropy_plugin: empty";
+  let total = float_of_int n in
+  Hashtbl.fold
+    (fun _ c acc ->
+      let p = float_of_int c /. total in
+      acc -. (p *. log2 p))
+    (counts samples) 0.
+
+let entropy_miller_madow samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Estimate.entropy_miller_madow: empty";
+  let support = Hashtbl.length (counts samples) in
+  entropy_plugin samples +. (float_of_int (support - 1) /. (2. *. float_of_int n *. log 2.))
+
+let mutual_information_plugin joint =
+  let xs = Array.map fst joint and ys = Array.map snd joint in
+  let v = entropy_plugin xs +. entropy_plugin ys -. entropy_plugin joint in
+  if v < 0. then 0. else v
+
+let conditional_mutual_information_plugin samples =
+  (* I(X;Y|Z) = H(X,Z) + H(Y,Z) - H(X,Y,Z) - H(Z). *)
+  let xz = Array.map (fun (x, (_, z)) -> (x, z)) samples in
+  let yz = Array.map (fun (_, (y, z)) -> (y, z)) samples in
+  let z = Array.map (fun (_, (_, z)) -> z) samples in
+  let v =
+    entropy_plugin xz +. entropy_plugin yz -. entropy_plugin samples -. entropy_plugin z
+  in
+  if v < 0. then 0. else v
+
+let sample_space rng space count =
+  if count <= 0 then invalid_arg "Estimate.sample_space: count";
+  (* Build the cumulative table once. *)
+  let outcomes = ref [] in
+  Space.iter (fun x p -> outcomes := (x, p) :: !outcomes) space;
+  let table = Array.of_list (List.rev !outcomes) in
+  let cumulative = Array.make (Array.length table) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (_, p) ->
+      acc := !acc +. p;
+      cumulative.(i) <- !acc)
+    table;
+  let draw () =
+    let u = Stdx.Prng.float rng in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+    in
+    fst table.(bsearch 0 (Array.length table - 1))
+  in
+  Array.init count (fun _ -> draw ())

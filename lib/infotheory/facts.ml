@@ -1,0 +1,48 @@
+let tolerance = 1e-9
+
+let log2 x = log x /. log 2.
+
+let entropy_bounds space a =
+  let h = Entropy.entropy space a in
+  let support = Hashtbl.create 16 in
+  Space.iter (fun outcome _ -> Hashtbl.replace support (a outcome) ()) space;
+  (h, log2 (float_of_int (Hashtbl.length support)))
+
+let mi_nonneg space a b = Entropy.mutual_information space a b
+
+let conditioning_reduces_entropy space a ~given ~extra =
+  Entropy.conditional_entropy space a ~given
+  -. Entropy.conditional_entropy space a ~given:(Entropy.pair given extra)
+
+let chain_rule_entropy_residual space a b ~given =
+  let lhs = Entropy.conditional_entropy space (Entropy.pair a b) ~given in
+  let rhs =
+    Entropy.conditional_entropy space a ~given
+    +. Entropy.conditional_entropy space b ~given:(Entropy.pair given a)
+  in
+  abs_float (lhs -. rhs)
+
+let chain_rule_mi_residual space a b c ~given =
+  let lhs = Entropy.conditional_mutual_information space (Entropy.pair a b) c ~given in
+  let rhs =
+    Entropy.conditional_mutual_information space a c ~given
+    +. Entropy.conditional_mutual_information space b c ~given:(Entropy.pair a given)
+  in
+  abs_float (lhs -. rhs)
+
+let cond_independent space a d ~given =
+  Entropy.conditional_mutual_information space a d ~given <= tolerance
+
+let proposition_2_3 space ~a ~b ~c ~d =
+  if not (cond_independent space a d ~given:c) then None
+  else
+    Some
+      (Entropy.conditional_mutual_information space a b ~given:(Entropy.pair c d)
+      -. Entropy.conditional_mutual_information space a b ~given:c)
+
+let proposition_2_4 space ~a ~b ~c ~d =
+  if not (cond_independent space a d ~given:(Entropy.pair b c)) then None
+  else
+    Some
+      (Entropy.conditional_mutual_information space a b ~given:c
+      -. Entropy.conditional_mutual_information space a b ~given:(Entropy.pair c d))

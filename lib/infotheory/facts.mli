@@ -1,0 +1,45 @@
+(** Executable versions of the paper's information-theory toolbox
+    (Fact 2.2 and Propositions 2.3 / 2.4).
+
+    Each check returns the numerical slack of the corresponding
+    (in)equality on the given space and random variables; tests assert the
+    slack is non-negative (inequalities) or negligible (identities). These
+    are the exact tools the lower-bound proof chains together, so having
+    them as runnable assertions lets the accounting harness validate every
+    step it takes. *)
+
+val tolerance : float
+(** Numerical tolerance used by the [*_ok] helpers ([1e-9]). *)
+
+val entropy_bounds : 'a Space.t -> ('a -> 'b) -> float * float
+(** Fact 2.2-(1): returns [(H(A), log2 |supp A|)]; the invariant is
+    [0 <= H(A) <= log2 |supp A|]. *)
+
+val mi_nonneg : 'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> float
+(** Fact 2.2-(2): returns [I(A ; B)], which must be [>= 0]. *)
+
+val conditioning_reduces_entropy :
+  'a Space.t -> ('a -> 'b) -> given:('a -> 'c) -> extra:('a -> 'd) -> float
+(** Fact 2.2-(3): slack [H(A | B) - H(A | B, C)], must be [>= 0]. *)
+
+val chain_rule_entropy_residual :
+  'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> given:('a -> 'd) -> float
+(** Fact 2.2-(4): [|H(A,B | C) - H(A | C) - H(B | C,A)|], must be ~0. *)
+
+val chain_rule_mi_residual :
+  'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> ('a -> 'd) -> given:('a -> 'e) -> float
+(** Fact 2.2-(5): [|I(A,B ; C | D) - I(A ; C | D) - I(B ; C | A,D)|]. *)
+
+val cond_independent :
+  'a Space.t -> ('a -> 'b) -> ('a -> 'c) -> given:('a -> 'd) -> bool
+(** [A ⊥ D | C], decided as [I(A ; D | C) <= tolerance]. *)
+
+val proposition_2_3 :
+  'a Space.t -> a:('a -> 'b) -> b:('a -> 'c) -> c:('a -> 'd) -> d:('a -> 'e) -> float option
+(** If the premise [A ⊥ D | C] holds, returns
+    [Some (I(A;B | C,D) - I(A;B | C))] (must be [>= 0]); otherwise [None]. *)
+
+val proposition_2_4 :
+  'a Space.t -> a:('a -> 'b) -> b:('a -> 'c) -> c:('a -> 'd) -> d:('a -> 'e) -> float option
+(** If the premise [A ⊥ D | B,C] holds, returns
+    [Some (I(A;B | C) - I(A;B | C,D))] (must be [>= 0]); otherwise [None]. *)

@@ -1,0 +1,64 @@
+(* Outcomes are kept in a flat array; equal outcomes are merged through a
+   polymorphic-hash table at construction time, so iteration later is cheap
+   and every probability is strictly positive. *)
+
+type 'a t = ('a * float) array
+
+let normalize pairs =
+  let table = Hashtbl.create (List.length pairs) in
+  let total = ref 0. in
+  List.iter
+    (fun (x, w) ->
+      if w < 0. then invalid_arg "Space: negative weight";
+      if w > 0. then begin
+        total := !total +. w;
+        let cur = Option.value ~default:0. (Hashtbl.find_opt table x) in
+        Hashtbl.replace table x (cur +. w)
+      end)
+    pairs;
+  if !total <= 0. then invalid_arg "Space: total weight must be positive";
+  let out = Hashtbl.fold (fun x w acc -> (x, w /. !total) :: acc) table [] in
+  Array.of_list out
+
+let of_weighted pairs = normalize pairs
+
+let uniform xs = normalize (List.map (fun x -> (x, 1.)) xs)
+
+let product a b =
+  let pairs = ref [] in
+  Array.iter
+    (fun (x, px) -> Array.iter (fun (y, py) -> pairs := ((x, y), px *. py) :: !pairs) b)
+    a;
+  normalize !pairs
+
+let bits k =
+  if k < 0 || k > 22 then invalid_arg "Space.bits: k out of tractable range";
+  let outcomes = ref [] in
+  for code = 0 to (1 lsl k) - 1 do
+    outcomes := Array.init k (fun i -> code land (1 lsl i) <> 0) :: !outcomes
+  done;
+  uniform !outcomes
+
+let map f d = normalize (Array.to_list (Array.map (fun (x, p) -> (f x, p)) d))
+
+let condition pred d =
+  let kept = Array.to_list (Array.of_seq (Seq.filter (fun (x, _) -> pred x) (Array.to_seq d))) in
+  if kept = [] then invalid_arg "Space.condition: event has probability zero";
+  normalize kept
+
+let support_size d = Array.length d
+
+let iter f d = Array.iter (fun (x, p) -> f x p) d
+
+let fold f d init =
+  let acc = ref init in
+  iter (fun x p -> acc := f x p !acc) d;
+  !acc
+
+let prob d pred = fold (fun x p acc -> if pred x then acc +. p else acc) d 0.
+
+let expectation d f = fold (fun x p acc -> acc +. (p *. f x)) d 0.
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Space.of_samples: empty";
+  normalize (Array.to_list (Array.map (fun x -> (x, 1.)) xs))

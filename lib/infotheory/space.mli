@@ -1,0 +1,38 @@
+(** Finite probability spaces with explicit outcomes.
+
+    The paper's information accounting (Lemmas 3.3–3.5) talks about random
+    variables over the sample space of the hard distribution: the edge-drop
+    indicators [M_{i,j}], the transcript [Π], the permutation [Σ] and the
+    index [J]. For exact (not estimated) computation we enumerate the whole
+    space on micro instances: an outcome is a concrete value of all the
+    underlying randomness, and every random variable is an ordinary OCaml
+    function of the outcome. *)
+
+type 'a t
+(** A finitely-supported distribution over outcomes of type ['a]. *)
+
+val of_weighted : ('a * float) list -> 'a t
+(** Normalises the weights; requires a positive total. Outcomes may repeat
+    (their weights add). *)
+
+val uniform : 'a list -> 'a t
+
+val product : 'a t -> 'b t -> ('a * 'b) t
+(** Independent product. *)
+
+val bits : int -> bool array t
+(** The uniform distribution over bit vectors of the given length — the
+    edge-drop randomness of [D_MM]. Space size [2^k]; keep [k] small. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val condition : ('a -> bool) -> 'a t -> 'a t
+(** Conditional distribution; requires positive probability of the event. *)
+
+val support_size : 'a t -> int
+val iter : ('a -> float -> unit) -> 'a t -> unit
+val fold : ('a -> float -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val prob : 'a t -> ('a -> bool) -> float
+val expectation : 'a t -> ('a -> float) -> float
+
+val of_samples : 'a array -> 'a t
+(** Empirical (plug-in) distribution from samples. *)

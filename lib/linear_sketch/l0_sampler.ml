@@ -1,0 +1,90 @@
+type params = {
+  levels : int;
+  salt : int;  (** public salt for the level hash *)
+  sparse : Sparse_recovery.params;
+  universe : int;
+}
+
+let level_of params i =
+  (* Trailing zeros of a salted 62-bit mix of the index. *)
+  let h = Stdx.Hashing.mix64 (i lxor params.salt) in
+  let rec count h acc =
+    if acc >= params.levels - 1 then params.levels - 1
+    else if h land 1 = 1 then acc
+    else count (h lsr 1) (acc + 1)
+  in
+  count h 0
+
+let hash_rank params i = Stdx.Hashing.mix64 ((i * 2654435761) lxor params.salt lxor 0x5bd1e995)
+
+let make_params rng ~universe ?(sparsity = 8) ?(reps = 3) () =
+  if universe <= 0 then invalid_arg "L0_sampler.make_params";
+  let levels =
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    bits universe 0 + 2
+  in
+  {
+    levels;
+    salt = Stdx.Prng.int rng (1 lsl 60);
+    sparse = Sparse_recovery.make_params rng ~universe ~buckets:(2 * sparsity) ~reps;
+    universe;
+  }
+
+let universe params = params.universe
+
+type t = { params : params; per_level : Sparse_recovery.t array }
+
+let create params =
+  { params; per_level = Array.init params.levels (fun _ -> Sparse_recovery.create params.sparse) }
+
+let zero_like sketch = create sketch.params
+
+let update sketch i w =
+  (* Coordinate i participates in levels 0 .. level_of i. *)
+  let top = level_of sketch.params i in
+  for level = 0 to top do
+    Sparse_recovery.update sketch.per_level.(level) i w
+  done
+
+let combine a b =
+  if a.params != b.params && a.params <> b.params then invalid_arg "L0_sampler.combine";
+  { params = a.params; per_level = Array.map2 Sparse_recovery.combine a.per_level b.per_level }
+
+let decoded_levels sketch =
+  (* Deepest-first: deeper levels are sparser and decode more reliably, but
+     may be empty; scanning from the top finds the sparsest nonempty one. *)
+  let rec scan level =
+    if level < 0 then None
+    else
+      match Sparse_recovery.decode sketch.per_level.(level) with
+      | Some ((_ :: _) as items) -> Some items
+      | Some [] | None -> scan (level - 1)
+  in
+  scan (sketch.params.levels - 1)
+
+let support_hint sketch = Option.value ~default:[] (decoded_levels sketch)
+
+let decode sketch =
+  match decoded_levels sketch with
+  | None -> None
+  | Some items ->
+      let best =
+        List.fold_left
+          (fun acc (i, w) ->
+            match acc with
+            | None -> Some (i, w)
+            | Some (j, _) when hash_rank sketch.params i < hash_rank sketch.params j -> Some (i, w)
+            | Some _ -> acc)
+          None items
+      in
+      best
+
+let write sketch w = Array.iter (fun level -> Sparse_recovery.write level w) sketch.per_level
+
+let read params r =
+  { params; per_level = Array.init params.levels (fun _ -> Sparse_recovery.read params.sparse r) }
+
+let size_bits sketch =
+  let w = Stdx.Bitbuf.Writer.create () in
+  write sketch w;
+  Stdx.Bitbuf.Writer.length_bits w

@@ -1,0 +1,46 @@
+(** L0-sampling: return {e some} nonzero coordinate of a linear-sketched
+    vector.
+
+    The classic subsampling tower: level [ℓ] keeps the coordinates whose
+    public hash has at least [ℓ] trailing zero bits (an expected
+    [2^{-ℓ}] fraction) in an s-sparse recovery structure. Whatever the
+    number of nonzeros, some level holds between 1 and [s] of them with
+    good probability, and that level decodes exactly.
+
+    AGM's referee only needs {e an arbitrary} nonzero coordinate (an
+    outgoing edge), so the decoder returns the recovered coordinate with
+    the smallest hash value — a fixed choice that also makes the sample
+    uniform-ish among nonzeros. *)
+
+type params
+
+val make_params :
+  Stdx.Prng.t -> universe:int -> ?sparsity:int -> ?reps:int -> unit -> params
+(** [sparsity] (default 8) is the per-level recovery capacity; [reps]
+    (default 3) the repetitions inside each level. *)
+
+val universe : params -> int
+
+type t
+
+val create : params -> t
+
+val zero_like : t -> t
+(** A fresh zero sampler with the same parameters. *)
+
+val update : t -> int -> int -> unit
+val combine : t -> t -> t
+
+val decode : t -> (int * int) option
+(** [Some (index, weight)] for some nonzero coordinate, or [None] if the
+    vector is zero or every level fails (rare). *)
+
+val support_hint : t -> (int * int) list
+(** All coordinates recovered by the deepest successfully-decoded level —
+    more than one when the vector is sparse. Used opportunistically by the
+    spanning-forest referee. *)
+
+val write : t -> Stdx.Bitbuf.Writer.t -> unit
+val read : params -> Stdx.Bitbuf.Reader.t -> t
+val size_bits : t -> int
+(** Serialised size of this sketch in bits. *)

@@ -1,0 +1,77 @@
+type params = { p : int; z : int; universe : int }
+
+let make_params rng ~universe =
+  if universe <= 0 || universe >= 1 lsl 30 then invalid_arg "One_sparse.make_params: universe";
+  let p = Stdx.Prime.next_prime_above (max universe (1 lsl 20)) in
+  { p; z = 1 + Stdx.Prng.int rng (p - 1); universe }
+
+let universe params = params.universe
+
+type t = { params : params; mutable s0 : int; mutable s1 : int; mutable f : int }
+
+let create params = { params; s0 = 0; s1 = 0; f = 0 }
+
+let copy cell = { cell with s0 = cell.s0 }
+
+let zero_like cell = create cell.params
+
+let powmod base exp m =
+  let rec go base exp acc =
+    if exp = 0 then acc
+    else
+      let acc = if exp land 1 = 1 then acc * base mod m else acc in
+      go (base * base mod m) (exp lsr 1) acc
+  in
+  go (base mod m) exp 1
+
+let update cell i w =
+  if i < 0 || i >= cell.params.universe then invalid_arg "One_sparse.update: index";
+  let p = cell.params.p in
+  cell.s0 <- cell.s0 + w;
+  cell.s1 <- cell.s1 + (i * w);
+  let wp = ((w mod p) + p) mod p in
+  cell.f <- (cell.f + (wp * powmod cell.params.z i p)) mod p
+
+let combine a b =
+  if a.params <> b.params then invalid_arg "One_sparse.combine: params mismatch";
+  { params = a.params; s0 = a.s0 + b.s0; s1 = a.s1 + b.s1; f = (a.f + b.f) mod a.params.p }
+
+let scale cell c =
+  let p = cell.params.p in
+  let cp = ((c mod p) + p) mod p in
+  { cell with s0 = cell.s0 * c; s1 = cell.s1 * c; f = cell.f * cp mod p }
+
+type result = Zero | Singleton of int * int | Collision
+
+let decode cell =
+  let p = cell.params.p in
+  if cell.s0 = 0 && cell.s1 = 0 && cell.f = 0 then Zero
+  else if cell.s0 = 0 then Collision
+  else if cell.s1 mod cell.s0 <> 0 then Collision
+  else begin
+    let i = cell.s1 / cell.s0 in
+    if i < 0 || i >= cell.params.universe then Collision
+    else begin
+      let wp = ((cell.s0 mod p) + p) mod p in
+      if wp * powmod cell.params.z i p mod p = cell.f then Singleton (i, cell.s0) else Collision
+    end
+  end
+
+(* Zigzag mapping so varints handle negative counters. *)
+let zigzag v = if v >= 0 then 2 * v else (-2 * v) - 1
+let unzigzag u = if u land 1 = 0 then u / 2 else -((u + 1) / 2)
+
+let field_width params =
+  let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+  bits params.p 0
+
+let write cell w =
+  Stdx.Bitbuf.Writer.uvarint w (zigzag cell.s0);
+  Stdx.Bitbuf.Writer.uvarint w (zigzag cell.s1);
+  Stdx.Bitbuf.Writer.bits w cell.f ~width:(field_width cell.params)
+
+let read params r =
+  let s0 = unzigzag (Stdx.Bitbuf.Reader.uvarint r) in
+  let s1 = unzigzag (Stdx.Bitbuf.Reader.uvarint r) in
+  let f = Stdx.Bitbuf.Reader.bits r ~width:(field_width params) in
+  { params; s0; s1; f }

@@ -1,0 +1,55 @@
+(** Exact 1-sparse recovery over integer vectors.
+
+    The base cell of the AGM stack. For a vector [x : \[0, universe) -> Z]
+    it maintains three linear measurements:
+    - [s0 = Σ x_i],
+    - [s1 = Σ i·x_i],
+    - a fingerprint [f = Σ x_i·z^i mod p] for a public random [z].
+
+    If [x] has exactly one nonzero coordinate [(i, w)] then [s0 = w],
+    [s1 = i·w] and [f = w·z^i]; the decoder checks all three. A vector with
+    two or more nonzeros passes the check with probability
+    [<= universe / p] (Schwartz–Ippel on the degree-[universe]
+    polynomial), so false singletons are rare and detected as
+    {!result.Collision} otherwise.
+
+    All operations are linear: {!combine} of two cells built from the same
+    {!params} is the cell of the summed vectors — the property AGM's
+    referee exploits when it merges the sketches of a component. *)
+
+type params
+(** Public randomness of a cell: the prime [p], evaluation point [z] and
+    the universe size. Players and referee derive equal [params] from
+    public coins. *)
+
+val make_params : Stdx.Prng.t -> universe:int -> params
+val universe : params -> int
+
+type t
+
+val create : params -> t
+val copy : t -> t
+
+val zero_like : t -> t
+(** A fresh zero cell with the same parameters. *)
+
+val update : t -> int -> int -> unit
+(** [update cell i w] adds [w] to coordinate [i]. *)
+
+val combine : t -> t -> t
+(** Cell of the pointwise sum; both arguments must share [params]. *)
+
+val scale : t -> int -> t
+(** Cell of the scaled vector. *)
+
+type result =
+  | Zero  (** the zero vector (up to fingerprint error) *)
+  | Singleton of int * int  (** exactly one nonzero: (index, weight) *)
+  | Collision  (** two or more nonzeros *)
+
+val decode : t -> result
+
+val write : t -> Stdx.Bitbuf.Writer.t -> unit
+(** Serialise the cell's three counters (exact bit accounting). *)
+
+val read : params -> Stdx.Bitbuf.Reader.t -> t

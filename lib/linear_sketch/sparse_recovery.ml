@@ -1,0 +1,91 @@
+type params = {
+  cell : One_sparse.params;
+  hashes : Stdx.Hashing.t array;  (** one per repetition *)
+  buckets : int;
+}
+
+let make_params rng ~universe ~buckets ~reps =
+  if buckets < 1 || reps < 1 then invalid_arg "Sparse_recovery.make_params";
+  {
+    cell = One_sparse.make_params rng ~universe;
+    hashes = Array.init reps (fun _ -> Stdx.Hashing.sample rng ~universe ~buckets);
+    buckets;
+  }
+
+let universe params = One_sparse.universe params.cell
+
+type t = { params : params; cells : One_sparse.t array array (* reps x buckets *) }
+
+let create params =
+  {
+    params;
+    cells =
+      Array.init (Array.length params.hashes) (fun _ ->
+          Array.init params.buckets (fun _ -> One_sparse.create params.cell));
+  }
+
+let zero_like sketch = create sketch.params
+
+let update sketch i w =
+  Array.iteri
+    (fun rep row -> One_sparse.update row.(Stdx.Hashing.apply sketch.params.hashes.(rep) i) i w)
+    sketch.cells
+
+let combine a b =
+  if a.params != b.params && a.params <> b.params then
+    invalid_arg "Sparse_recovery.combine: params mismatch";
+  {
+    params = a.params;
+    cells = Array.map2 (fun ra rb -> Array.map2 One_sparse.combine ra rb) a.cells b.cells;
+  }
+
+let decode sketch =
+  let params = sketch.params in
+  let work = Array.map (Array.map One_sparse.copy) sketch.cells in
+  let recovered = Hashtbl.create 16 in
+  let subtract i w =
+    Array.iteri
+      (fun rep row -> One_sparse.update row.(Stdx.Hashing.apply params.hashes.(rep) i) i (-w))
+      work
+  in
+  (* A false singleton (fingerprint collision) could in principle make
+     peeling oscillate; cap the number of passes to rule that out. *)
+  let passes = ref 0 in
+  let max_passes = 4 + (4 * Array.length params.hashes * params.buckets) in
+  let progress = ref true in
+  while !progress && !passes < max_passes do
+    incr passes;
+    progress := false;
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun cell ->
+            match One_sparse.decode cell with
+            | Singleton (i, w) when w <> 0 ->
+                let prev = Option.value ~default:0 (Hashtbl.find_opt recovered i) in
+                Hashtbl.replace recovered i (prev + w);
+                subtract i w;
+                progress := true
+            | Zero | Singleton _ | Collision -> ())
+          row)
+      work
+  done;
+  let clean =
+    Array.for_all (fun row -> Array.for_all (fun cell -> One_sparse.decode cell = Zero) row) work
+  in
+  if not clean then None
+  else
+    Some
+      (Hashtbl.fold (fun i w acc -> if w <> 0 then (i, w) :: acc else acc) recovered []
+      |> List.sort compare)
+
+let write sketch w =
+  Array.iter (fun row -> Array.iter (fun cell -> One_sparse.write cell w) row) sketch.cells
+
+let read params r =
+  {
+    params;
+    cells =
+      Array.init (Array.length params.hashes) (fun _ ->
+          Array.init params.buckets (fun _ -> One_sparse.read params.cell r));
+  }

@@ -1,0 +1,32 @@
+(** Exact s-sparse recovery by hashing into 1-sparse cells and peeling.
+
+    [reps] independent pairwise-independent hash functions each spread the
+    coordinates over [buckets] cells. Decoding peels: any cell that decodes
+    to a singleton reveals one coordinate, which is subtracted from every
+    repetition, possibly turning collisions into new singletons. Decoding
+    succeeds iff the whole residual reaches zero, which happens with
+    constant probability per repetition when the vector is at most
+    [buckets/2]-sparse, amplified by [reps]. *)
+
+type params
+
+val make_params : Stdx.Prng.t -> universe:int -> buckets:int -> reps:int -> params
+val universe : params -> int
+
+type t
+
+val create : params -> t
+
+val zero_like : t -> t
+(** A fresh zero sketch with the same parameters. *)
+
+val update : t -> int -> int -> unit
+val combine : t -> t -> t
+
+val decode : t -> (int * int) list option
+(** [Some assoc] with the exact nonzero coordinates (sorted by index) if
+    peeling terminates at zero; [None] when the vector is too dense to
+    recover. The input sketch is not modified. *)
+
+val write : t -> Stdx.Bitbuf.Writer.t -> unit
+val read : params -> Stdx.Bitbuf.Reader.t -> t

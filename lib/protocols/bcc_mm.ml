@@ -1,0 +1,101 @@
+module Bcc = Sketchmodel.Bcc
+module Model = Sketchmodel.Model
+module Public_coins = Sketchmodel.Public_coins
+module Graph = Dgraph.Graph
+module W = Stdx.Bitbuf.Writer
+module R = Stdx.Bitbuf.Reader
+
+let rounds_for n =
+  let rec bits v acc = if v <= 1 then acc else bits ((v + 1) / 2) (acc + 1) in
+  (3 * max 1 (bits n 0)) + 8
+
+(* Public per-round edge priority: everyone derives the same salt from the
+   coins, so the round resolution below is a pure function of history. *)
+let salt coins round = Stdx.Prng.int (Public_coins.keyed coins "bcc-mm" round) (1 lsl 60)
+
+let priority ~n ~salt (u, v) =
+  Stdx.Hashing.mix64 (salt lxor (((min u v * n) + max u v) * 2654435761))
+
+(* Resolve one round: given everyone's proposals and the matched set so
+   far, add the greedy matching over proposal edges in priority order. *)
+let resolve ~n ~round_salt ~matched proposals =
+  let edges = ref [] in
+  Array.iteri
+    (fun v proposal ->
+      match proposal with
+      | Some u
+        when u >= 0 && u < n && u <> v
+             && (not (Stdx.Bitset.mem matched v))
+             && not (Stdx.Bitset.mem matched u) ->
+          edges := Graph.normalize_edge v u :: !edges
+      | Some _ | None -> ())
+    proposals;
+  let unique = List.sort_uniq compare !edges in
+  let ordered =
+    List.sort
+      (fun a b -> compare (priority ~n ~salt:round_salt a) (priority ~n ~salt:round_salt b))
+      unique
+  in
+  let added = ref [] in
+  List.iter
+    (fun (u, v) ->
+      if (not (Stdx.Bitset.mem matched u)) && not (Stdx.Bitset.mem matched v) then begin
+        Stdx.Bitset.add matched u;
+        Stdx.Bitset.add matched v;
+        added := (u, v) :: !added
+      end)
+    ordered;
+  List.rev !added
+
+(* Replay the resolved state from the public history (everyone computes
+   this identically). *)
+let replay ~n coins (history : Bcc.history) =
+  let matched = Stdx.Bitset.create n in
+  let matching = ref [] in
+  List.iteri
+    (fun idx round_msgs ->
+      let proposals =
+        Array.map
+          (fun r ->
+            let code = R.uvarint r in
+            if code = 0 then None else Some (code - 1))
+          round_msgs
+      in
+      let added = resolve ~n ~round_salt:(salt coins (idx + 1)) ~matched proposals in
+      matching := !matching @ added)
+    history;
+  (matched, !matching)
+
+let propose ~n coins ~round ~matched (view : Model.view) =
+  if Stdx.Bitset.mem matched view.Model.vertex then None
+  else begin
+    let round_salt = salt coins round in
+    let best = ref None in
+    Array.iter
+      (fun u ->
+        if not (Stdx.Bitset.mem matched u) then begin
+          let p = priority ~n ~salt:round_salt (view.Model.vertex, u) in
+          match !best with
+          | Some (_, bp) when bp <= p -> ()
+          | Some _ | None -> best := Some (u, p)
+        end)
+      view.Model.neighbors;
+    Option.map fst !best
+  end
+
+let protocol ~n =
+  {
+    Bcc.name = "bcc-logn-mm";
+    rounds = rounds_for n;
+    broadcast =
+      (fun ~round view history coins ->
+        let matched, _ = replay ~n coins history in
+        let w = W.create () in
+        (match propose ~n coins ~round ~matched view with
+        | Some u -> W.uvarint w (u + 1)
+        | None -> W.uvarint w 0);
+        w);
+    output = (fun ~n history coins -> snd (replay ~n coins history));
+  }
+
+let run g coins = Bcc.run (protocol ~n:(Graph.n g)) g coins

@@ -1,0 +1,68 @@
+module Model = Sketchmodel.Model
+module Public_coins = Sketchmodel.Public_coins
+module Graph = Dgraph.Graph
+module Writer = Stdx.Bitbuf.Writer
+module Reader = Stdx.Bitbuf.Reader
+
+type strategy = Uniform | Prefix | Random_prefix
+
+let strategy_name = function
+  | Uniform -> "uniform"
+  | Prefix -> "prefix"
+  | Random_prefix -> "random-prefix"
+
+let all_strategies = [ Uniform; Prefix; Random_prefix ]
+
+let varint_bits v =
+  let rec go v acc = if v < 128 then acc + 8 else go (v lsr 7) (acc + 8) in
+  go (max 0 v) 0
+
+(* Choose the order in which this player would like to report neighbours,
+   then emit complete varints while they fit in the budget. *)
+let player ~budget_bits ~strategy (view : Model.view) coins =
+  let deg = Array.length view.Model.neighbors in
+  let order =
+    match strategy with
+    | Prefix -> Array.init deg (fun i -> i)
+    | Uniform ->
+        let rng = Public_coins.keyed coins "sampled-mm" view.Model.vertex in
+        Stdx.Prng.permutation rng deg
+    | Random_prefix ->
+        let rng = Public_coins.keyed coins "sampled-mm-rot" view.Model.vertex in
+        let shift = if deg = 0 then 0 else Stdx.Prng.int rng deg in
+        Array.init deg (fun i -> (i + shift) mod deg)
+  in
+  let w = Writer.create () in
+  (try
+     Array.iter
+       (fun idx ->
+         let u = view.Model.neighbors.(idx) in
+         if Writer.length_bits w + varint_bits u > budget_bits then raise Exit;
+         Writer.uvarint w u)
+       order
+   with Exit -> ());
+  w
+
+let reported_edges ~n ~sketches =
+  let out = ref [] in
+  Array.iteri
+    (fun v r ->
+      while Reader.remaining_bits r >= 8 do
+        let u = Reader.uvarint r in
+        if u <> v && u >= 0 && u < n then out := Graph.normalize_edge v u :: !out
+      done)
+    sketches;
+  List.rev !out
+
+let protocol ~budget_bits ~strategy =
+  {
+    Model.name = Printf.sprintf "sampled-mm-%s-b%d" (strategy_name strategy) budget_bits;
+    player = (fun view coins -> player ~budget_bits ~strategy view coins);
+    referee =
+      (fun ~n ~sketches _coins ->
+        let reported = reported_edges ~n ~sketches in
+        (* Greedy over the union of reports; maximal in the reported
+           subgraph. *)
+        let dummy = Graph.empty n in
+        Dgraph.Matching.greedy_on_reported dummy reported);
+  }

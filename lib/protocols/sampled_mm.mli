@@ -1,0 +1,31 @@
+(** Budget-limited one-round matching protocols — the protocol family the
+    F4 experiment sweeps against Theorem 1's threshold.
+
+    Every player gets a hard per-message budget of [b] bits and reports as
+    many of its incident edges as fit; the referee outputs a greedy
+    matching over the union of reports (maximal {e in the reported
+    subgraph}, which is all a one-round referee can certify). Against the
+    hard distribution [D_MM], the hidden-matching edges are an
+    [O(1/r)]-fraction of each unique vertex's edges, so uniform sampling
+    recovers them only when [b = Ω(r log n)] — the lower bound's shape.
+
+    Strategies (the ablation DESIGN.md §7 calls out):
+    - [Uniform]: a uniformly random subset of incident edges (public
+      coins), the natural strategy;
+    - [Prefix]: the lexicographically first edges — a deterministic
+      "compression" strategy;
+    - [Random_prefix]: first edges of a public-coin random rotation, a
+      middle ground breaking adversarial orderings. *)
+
+type strategy = Uniform | Prefix | Random_prefix
+
+val strategy_name : strategy -> string
+val all_strategies : strategy list
+
+val protocol :
+  budget_bits:int -> strategy:strategy -> Dgraph.Matching.t Sketchmodel.Model.protocol
+
+val reported_edges :
+  n:int -> sketches:Stdx.Bitbuf.Reader.t array -> Dgraph.Graph.edge list
+(** The referee front half: decode every player's edge report (attributed
+    pairs, normalised, duplicates kept). *)

@@ -1,0 +1,133 @@
+let is_ap_free elements =
+  let arr = Array.of_list (List.sort_uniq compare elements) in
+  let set = Hashtbl.create (Array.length arr) in
+  Array.iter (fun x -> Hashtbl.replace set x ()) arr;
+  let ok = ref true in
+  let len = Array.length arr in
+  for i = 0 to len - 1 do
+    for j = i + 1 to len - 1 do
+      let a = arr.(i) and c = arr.(j) in
+      if (a + c) mod 2 = 0 then begin
+        let b = (a + c) / 2 in
+        if b <> a && b <> c && Hashtbl.mem set b then ok := false
+      end
+    done
+  done;
+  !ok
+
+(* Adding x creates an AP iff x is an endpoint (exists b in S with 2b - x in
+   S, b strictly between) or x is the midpoint (exists a in S with 2x - a in
+   S, a <> x). *)
+let creates_ap members x =
+  let cap = Stdx.Bitset.capacity members in
+  let mem v = v >= 0 && v < cap && Stdx.Bitset.mem members v in
+  let found = ref false in
+  Stdx.Bitset.iter
+    (fun b ->
+      if not !found then begin
+        (* x as endpoint of (x, b, 2b - x) or (2b - x, b, x) *)
+        let far = (2 * b) - x in
+        if b <> x && far <> b && mem far then found := true;
+        (* x as midpoint of (b, x, 2x - b) *)
+        let other = (2 * x) - b in
+        if b <> x && other <> x && mem other then found := true
+      end)
+    members;
+  !found
+
+let greedy m =
+  let members = Stdx.Bitset.create (m + 1) in
+  let out = ref [] in
+  for x = 1 to m do
+    if not (creates_ap members x) then begin
+      Stdx.Bitset.add members x;
+      out := x :: !out
+    end
+  done;
+  List.rev !out
+
+(* Behrend's sphere construction for a fixed digit dimension [d]:
+   digits in [0, q), value sum_i digit_i * (2q - 1)^i; vectors on the most
+   popular squared-norm shell.  A 3-AP in values forces a digitwise identity
+   x + z = 2 y (no carries since digits stay below (2q-1)/2 after doubling
+   ... more precisely each digit of x+z is < 2q - 1), and the parallelogram
+   law on a sphere forces x = z. *)
+let behrend_dim m d =
+  if d < 2 then []
+  else begin
+    (* Largest q with (2q - 1)^d <= m, so every value fits in [0, m]. *)
+    let fits q =
+      let base = (2 * q) - 1 in
+      let rec pow acc i = if i = 0 then acc <= m else if acc > m then false else pow (acc * base) (i - 1) in
+      pow 1 d
+    in
+    let q = ref 1 in
+    while fits (!q + 1) do
+      incr q
+    done;
+    let q = !q in
+    if q < 2 then []
+    else begin
+      let base = (2 * q) - 1 in
+      (* Enumerate all q^d digit vectors, bucketing values by squared norm. *)
+      let shells = Hashtbl.create 97 in
+      let digits = Array.make d 0 in
+      let rec enumerate pos value norm =
+        if pos = d then begin
+          let cur = Option.value ~default:[] (Hashtbl.find_opt shells norm) in
+          Hashtbl.replace shells norm (value :: cur)
+        end
+        else
+          for digit = 0 to q - 1 do
+            digits.(pos) <- digit;
+            enumerate (pos + 1) ((value * base) + digit) (norm + (digit * digit))
+          done
+      in
+      let total_vectors =
+        let rec pow acc i = if i = 0 then acc else pow (acc * q) (i - 1) in
+        pow 1 d
+      in
+      if total_vectors > 4_000_000 then []
+      else begin
+        enumerate 0 0 0;
+        let best = ref [] in
+        Hashtbl.iter (fun _ values -> if List.length values > List.length !best then best := values) shells;
+        (* Shift by 1 so elements live in [1, m]. *)
+        List.sort compare (List.map (fun v -> v + 1) !best)
+      end
+    end
+  end
+
+let behrend m =
+  let candidates = List.init 7 (fun i -> behrend_dim m (i + 2)) in
+  List.fold_left (fun acc c -> if List.length c > List.length acc then c else acc) [] candidates
+
+let maximum m =
+  if m > 34 then invalid_arg "Behrend.maximum: m too large for exact search";
+  (* Branch and bound over elements in decreasing order. *)
+  let best = ref [] in
+  let members = Stdx.Bitset.create (m + 1) in
+  let rec search x size current =
+    if size + x < List.length !best then ()
+    else if x = 0 then begin
+      if size > List.length !best then best := current
+    end
+    else begin
+      (* Branch 1: include x if legal. *)
+      if not (creates_ap members x) then begin
+        Stdx.Bitset.add members x;
+        search (x - 1) (size + 1) (x :: current);
+        Stdx.Bitset.remove members x
+      end;
+      (* Branch 2: skip x. *)
+      search (x - 1) size current
+    end
+  in
+  search m 0 [];
+  List.sort compare !best
+
+let best m =
+  let g = greedy m and b = behrend m in
+  if List.length b > List.length g then b else g
+
+let shift c a = List.map (fun x -> x + c) a

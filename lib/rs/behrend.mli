@@ -1,0 +1,37 @@
+(** Sets of integers with no 3-term arithmetic progression.
+
+    Proposition 2.1 rests on Behrend's 1946 theorem: [\[1, m\]] contains a
+    3-AP-free subset of size [m / e^{Θ(√log m)}]. We provide
+
+    - {!behrend}: the original sphere construction (digit vectors on a
+      fixed-norm shell), the asymptotically large one;
+    - {!greedy}: the Erdős–Turán greedy sequence, better at small [m];
+    - {!maximum}: exact optimum by branch and bound, for tiny [m] (test
+      oracle);
+    - {!best}: the larger of the first two, which the RS construction uses.
+
+    All constructions return strictly increasing elements of [\[1, m\]] and
+    are re-checked by {!is_ap_free} in tests. *)
+
+val is_ap_free : int list -> bool
+(** No three distinct elements [a < b < c] with [a + c = 2b]. *)
+
+val creates_ap : Stdx.Bitset.t -> int -> bool
+(** [creates_ap members x]: would adding [x] to the set create a 3-term AP?
+    [members] indexes by integer value. *)
+
+val greedy : int -> int list
+(** Greedy scan of [1, 2, ..., m]. *)
+
+val behrend : int -> int list
+(** Behrend's construction, maximised over the digit dimension. *)
+
+val maximum : int -> int list
+(** Exact maximum-size AP-free subset of [\[1, m\]]; exponential time, keep
+    [m <= 30] or so. *)
+
+val best : int -> int list
+(** The larger of {!greedy} and {!behrend}. *)
+
+val shift : int -> int list -> int list
+(** [shift c a] adds [c] to every element; AP-freeness is preserved. *)

@@ -1,0 +1,22 @@
+(** Closure operations on RS graphs.
+
+    The RS property is preserved by several natural operations; these give
+    the accounting and test suites a cheap way to build bespoke instances
+    with prescribed [(r, t)] from verified building blocks. Everything
+    returned here re-validates through {!Rs_graph.of_matchings}. *)
+
+val disjoint_union : Rs_graph.t -> Rs_graph.t -> Rs_graph.t
+(** [(r, t₁)] ⊎ [(r, t₂)] = [(r, t₁ + t₂)]: matchings of the second graph
+    are shifted past the first. Requires equal [r]. *)
+
+val widen : Rs_graph.t -> Rs_graph.t -> Rs_graph.t
+(** Pair matchings side by side: [(r₁, t)] ⊎ [(r₂, t)] = [(r₁ + r₂, t)]
+    (matching [j] of the result is [M_j ⊎ M'_j] on disjoint vertex sets).
+    Requires equal [t]. *)
+
+val take_matchings : Rs_graph.t -> int -> Rs_graph.t
+(** The sub-RS graph on the first [t'] matchings: [(r, t')]. Unused
+    vertices are kept (the vertex set is unchanged). *)
+
+val shrink_matchings : Rs_graph.t -> int -> Rs_graph.t
+(** Keep only the first [r'] edges of every matching: [(r', t)]. *)

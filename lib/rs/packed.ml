@@ -1,0 +1,61 @@
+module Graph = Dgraph.Graph
+
+(* A candidate matching is compatible iff (a) none of its edges exists
+   already, (b) it adds no edge between endpoints of an existing matching,
+   and (c) no existing edge lies between the candidate's endpoints. All
+   three are exactly "every matching stays induced in the union". *)
+let compatible ~edges_so_far ~endpoint_sets candidate =
+  let cand_endpoints = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace cand_endpoints u ();
+      Hashtbl.replace cand_endpoints v ())
+    candidate;
+  List.for_all (fun e -> not (Hashtbl.mem edges_so_far e)) candidate
+  && List.for_all
+       (fun endpoints ->
+         (* No candidate edge inside an existing matching's endpoint set. *)
+         List.for_all
+           (fun (u, v) -> not (Hashtbl.mem endpoints u && Hashtbl.mem endpoints v))
+           candidate)
+       endpoint_sets
+  && Hashtbl.fold
+       (fun e () acc ->
+         (* No existing edge inside the candidate's endpoint set. *)
+         acc
+         &&
+         let u, v = e in
+         not (Hashtbl.mem cand_endpoints u && Hashtbl.mem cand_endpoints v))
+       edges_so_far true
+
+let pack rng ~big_n ~r ~tries =
+  if r < 1 || 2 * r > big_n then invalid_arg "Packed.pack: 2r must fit in N";
+  let edges_so_far = Hashtbl.create 256 in
+  let endpoint_sets = ref [] in
+  let matchings = ref [] in
+  for _ = 1 to tries do
+    let vertices = Stdx.Prng.sample_distinct rng (2 * r) big_n in
+    Stdx.Prng.shuffle rng vertices;
+    let candidate =
+      List.init r (fun i -> Graph.normalize_edge vertices.(2 * i) vertices.((2 * i) + 1))
+    in
+    if compatible ~edges_so_far ~endpoint_sets:!endpoint_sets candidate then begin
+      List.iter (fun e -> Hashtbl.replace edges_so_far e ()) candidate;
+      let endpoints = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v) ->
+          Hashtbl.replace endpoints u ();
+          Hashtbl.replace endpoints v ())
+        candidate;
+      endpoint_sets := endpoints :: !endpoint_sets;
+      matchings := Array.of_list candidate :: !matchings
+    end
+  done;
+  match !matchings with
+  | [] -> None
+  | ms -> Some (Rs_graph.of_matchings ~n:big_n (Array.of_list (List.rev ms)))
+
+let achieved_t rng ~big_n ~r ~tries =
+  match pack rng ~big_n ~r ~tries with
+  | None -> 0
+  | Some rs -> rs.Rs_graph.t_count

@@ -1,0 +1,19 @@
+(** Randomized induced-matching packing: an alternative RS-graph family.
+
+    The literature has several incomparable RS constructions (the paper
+    cites [5, 32, 34, 36] besides the Behrend-based one); this module
+    explores the trade-off curve empirically. Starting from an empty graph
+    on [N] vertices, repeatedly draw a random perfect-ish matching on a
+    random [2r]-subset and add it if the result keeps every previously
+    added matching induced. The achieved [t] for a given [(N, r)] is the
+    packing number this greedy process reaches — compared against the
+    Behrend-based construction in experiment T2b. *)
+
+val pack : Stdx.Prng.t -> big_n:int -> r:int -> tries:int -> Rs_graph.t option
+(** [pack rng ~big_n ~r ~tries] attempts [tries] random matchings and
+    keeps the compatible ones; returns [None] if not even one matching
+    was placed (impossible for [2r <= big_n]). The result is validated by
+    {!Rs_graph.of_matchings}, so it is a genuine RS graph. *)
+
+val achieved_t : Stdx.Prng.t -> big_n:int -> r:int -> tries:int -> int
+(** Just the number of matchings placed. *)

@@ -1,0 +1,65 @@
+type rs_row = {
+  m : int;
+  big_n : int;
+  r : int;
+  t : int;
+  edges : int;
+  density : float;
+  r_over_n : float;
+}
+
+let rs_row m =
+  let rs = Rs_graph.bipartite m in
+  let big_n = Rs_graph.n rs in
+  let edges = Dgraph.Graph.m rs.Rs_graph.graph in
+  {
+    m;
+    big_n;
+    r = rs.Rs_graph.r;
+    t = rs.Rs_graph.t_count;
+    edges;
+    density = float_of_int edges /. (float_of_int (big_n * (big_n - 1)) /. 2.);
+    r_over_n = float_of_int rs.Rs_graph.r /. float_of_int big_n;
+  }
+
+type bound = {
+  n_vertices : int;
+  k : int;
+  info_needed : float;
+  public_players : int;
+  unique_players : int;
+  bits_lower_bound : float;
+  trivial_upper_bound : float;
+  two_round_upper_bound : float;
+}
+
+let log2 x = log x /. log 2.
+
+let bound ~big_n ~r ~t ~k =
+  if k < 1 || t < 1 || r < 1 || big_n <= 2 * r then invalid_arg "Params.bound";
+  let n_vertices = big_n - (2 * r) + (2 * r * k) in
+  let info_needed = float_of_int (k * r) /. 6. in
+  let public_players = big_n - (2 * r) in
+  let unique_players = k * big_n in
+  let budget_coefficient =
+    (* kr/6 <= |P| b + (k N / t) b, so b >= (kr/6) / (|P| + kN/t). *)
+    float_of_int public_players +. (float_of_int (k * big_n) /. float_of_int t)
+  in
+  let nf = float_of_int n_vertices in
+  {
+    n_vertices;
+    k;
+    info_needed;
+    public_players;
+    unique_players;
+    bits_lower_bound = info_needed /. budget_coefficient;
+    trivial_upper_bound = nf *. log2 nf;
+    two_round_upper_bound = sqrt nf *. log2 nf;
+  }
+
+let bound_of_rs rs ~k =
+  bound ~big_n:(Rs_graph.n rs) ~r:rs.Rs_graph.r ~t:rs.Rs_graph.t_count ~k
+
+let behrend_rate m =
+  let size = List.length (Behrend.best m) in
+  if size = 0 then nan else log (float_of_int m /. float_of_int size) /. sqrt (log (float_of_int m))

@@ -1,0 +1,40 @@
+(** Parameter arithmetic for Proposition 2.1 and Theorem 1.
+
+    Everything in the lower-bound proof is parametric in the RS parameters
+    [(N, r, t)] and the number of copies [k]; this module centralises the
+    arithmetic so the experiment harness, CLI and benches all report the
+    same numbers. *)
+
+type rs_row = {
+  m : int;  (** construction parameter *)
+  big_n : int;  (** vertices [N = 5m] *)
+  r : int;  (** induced-matching size [|A|] *)
+  t : int;  (** number of matchings [= m] *)
+  edges : int;  (** [r * t] *)
+  density : float;  (** [edges / (N choose 2)] *)
+  r_over_n : float;  (** the [e^{-Θ(√log N)}] decay the table exhibits *)
+}
+
+val rs_row : int -> rs_row
+(** Builds (and validates) the RS graph for parameter [m] and measures it. *)
+
+type bound = {
+  n_vertices : int;  (** [n = N - 2r + 2rk] of [D_MM] *)
+  k : int;
+  info_needed : float;  (** Lemma 3.3: [k·r / 6] bits *)
+  public_players : int;  (** [N - 2r] *)
+  unique_players : int;  (** [k · N] *)
+  bits_lower_bound : float;
+      (** Theorem 1's final arithmetic:
+          [b >= (k·r/6) / (|P| + k·N/t)] — with [k = t] this is the paper's
+          [b >= r/36] up to the constants of our construction. *)
+  trivial_upper_bound : float;  (** [Θ(n log n)]: full neighbourhood *)
+  two_round_upper_bound : float;  (** [Θ(√n · log n)]: the adaptive sketches *)
+}
+
+val bound : big_n:int -> r:int -> t:int -> k:int -> bound
+val bound_of_rs : Rs_graph.t -> k:int -> bound
+
+val behrend_rate : int -> float
+(** [ln (m / |best m|) / √(ln m)]: should stay bounded as [m] grows —
+    the [Θ(√log)] exponent constant of Behrend's theorem, measured. *)

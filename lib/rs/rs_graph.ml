@@ -1,0 +1,102 @@
+module Graph = Dgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  matchings : Graph.edge array array;
+  r : int;
+  t_count : int;
+}
+
+let n rs = Graph.n rs.graph
+
+let validate n matchings =
+  let size =
+    match Array.length matchings with
+    | 0 -> invalid_arg "Rs_graph: no matchings"
+    | _ -> Array.length matchings.(0)
+  in
+  if size = 0 then invalid_arg "Rs_graph: empty matchings";
+  Array.iter
+    (fun m -> if Array.length m <> size then invalid_arg "Rs_graph: unequal matching sizes")
+    matchings;
+  (* Pairwise vertex-disjointness inside each matching. *)
+  Array.iter
+    (fun m ->
+      let seen = Stdx.Bitset.create n in
+      Array.iter
+        (fun (u, v) ->
+          if u = v || Stdx.Bitset.mem seen u || Stdx.Bitset.mem seen v then
+            invalid_arg "Rs_graph: class is not a matching";
+          Stdx.Bitset.add seen u;
+          Stdx.Bitset.add seen v)
+        m)
+    matchings;
+  (* Edge-disjointness across matchings. *)
+  let owner = Hashtbl.create 256 in
+  Array.iteri
+    (fun j m ->
+      Array.iter
+        (fun (u, v) ->
+          let e = Graph.normalize_edge u v in
+          if Hashtbl.mem owner e then invalid_arg "Rs_graph: edge in two matchings";
+          Hashtbl.replace owner e j)
+        m)
+    matchings;
+  let graph = Graph.create n (Hashtbl.fold (fun e _ acc -> e :: acc) owner []) in
+  (* Induced property: any graph edge between endpoints of M_j lies in M_j. *)
+  Array.iteri
+    (fun j m ->
+      let endpoints = Stdx.Bitset.create n in
+      Array.iter
+        (fun (u, v) ->
+          Stdx.Bitset.add endpoints u;
+          Stdx.Bitset.add endpoints v)
+        m;
+      Graph.iter_edges
+        (fun u v ->
+          if Stdx.Bitset.mem endpoints u && Stdx.Bitset.mem endpoints v then
+            if Hashtbl.find owner (Graph.normalize_edge u v) <> j then
+              invalid_arg "Rs_graph: matching is not induced")
+        graph)
+    matchings;
+  (graph, size)
+
+let of_matchings ~n matchings =
+  let graph, size = validate n matchings in
+  { graph; matchings = Array.map Array.copy matchings; r = size; t_count = Array.length matchings }
+
+let bipartite m =
+  if m < 2 then invalid_arg "Rs_graph.bipartite: m >= 2 required";
+  let a = Array.of_list (Behrend.best m) in
+  if Array.length a = 0 then invalid_arg "Rs_graph.bipartite: empty AP-free set";
+  let nn = 5 * m in
+  (* x in [1, m], a in A subset [1, m]; left endpoint x+a in [2, 2m] maps to
+     vertex x+a-1, right endpoint x+2a in [3, 3m] maps to 2m + x + 2a - 1. *)
+  let matchings =
+    Array.init m (fun xi ->
+        let x = xi + 1 in
+        Array.map (fun av -> (x + av - 1, (2 * m) + x + (2 * av) - 1)) a)
+  in
+  of_matchings ~n:nn matchings
+
+let trivial ~r ~t =
+  if r < 1 || t < 1 then invalid_arg "Rs_graph.trivial";
+  let matchings =
+    Array.init t (fun j -> Array.init r (fun i ->
+        let base = (2 * r * j) + (2 * i) in
+        (base, base + 1)))
+  in
+  of_matchings ~n:(2 * r * t) matchings
+
+let matching_vertices rs j =
+  if j < 0 || j >= rs.t_count then invalid_arg "Rs_graph.matching_vertices";
+  Array.fold_left (fun acc (u, v) -> u :: v :: acc) [] rs.matchings.(j)
+  |> List.sort_uniq compare
+
+let matching_index_of_edge rs (u, v) =
+  let e = Graph.normalize_edge u v in
+  let found = ref None in
+  Array.iteri
+    (fun j m -> if Array.exists (fun (a, b) -> Graph.normalize_edge a b = e) m then found := Some j)
+    rs.matchings;
+  !found

@@ -1,0 +1,41 @@
+(** Ruzsa–Szemerédi graphs: graphs whose edge set partitions into [t]
+    {e induced} matchings of size [r] each (Section 2.2 of the paper).
+
+    The workhorse is {!bipartite}, the Behrend-based construction of
+    Proposition 2.1 (our constants: [N = 5m], [t = m = N/5],
+    [r = |A|] for a 3-AP-free [A ⊆ [m]]; the paper's [t = N/3] differs only
+    in constants — see DESIGN.md §3 for the construction and proof). *)
+
+type t = {
+  graph : Dgraph.Graph.t;
+  matchings : Dgraph.Graph.edge array array;  (** [matchings.(j)] is [M_j]. *)
+  r : int;  (** size of every matching *)
+  t_count : int;  (** number of matchings, the paper's [t] *)
+}
+
+val n : t -> int
+(** Number of vertices [N]. *)
+
+val bipartite : int -> t
+(** [bipartite m] is the Behrend-based [(r, t)]-RS graph on [N = 5m]
+    vertices with [t = m] and [r = |Behrend.best m|]. Matching [M_x]
+    ([x ∈ [m]]) is [{(x+a, x+2a) : a ∈ A}] with left endpoints living on
+    vertices [0 .. 2m-1] and right endpoints on [2m .. 5m-1].
+    Requires [m >= 2]. *)
+
+val of_matchings : n:int -> Dgraph.Graph.edge array array -> t
+(** Builds an RS graph from explicit matchings. Validates that each given
+    class is a matching, that all classes have equal size, that classes are
+    edge-disjoint, and that each class is induced in the union graph;
+    raises [Invalid_argument] otherwise. *)
+
+val trivial : r:int -> t:int -> t
+(** [t] vertex-disjoint matchings of size [r]: the degenerate RS graph on
+    [N = 2rt] vertices used by the micro accounting instances. *)
+
+val matching_vertices : t -> int -> int list
+(** The [2r] vertices incident on matching [j] — the paper's [V*] when
+    [j = j*]. *)
+
+val matching_index_of_edge : t -> Dgraph.Graph.edge -> int option
+(** Which matching an edge belongs to ([None] for non-edges). *)

@@ -1,0 +1,75 @@
+module Graph = Dgraph.Graph
+
+type report = {
+  all_matchings : bool;
+  equal_sizes : bool;
+  edge_partition : bool;
+  all_induced : bool;
+}
+
+let check graph matchings =
+  let n = Graph.n graph in
+  let all_matchings =
+    Array.for_all
+      (fun m ->
+        let seen = Stdx.Bitset.create n in
+        Array.for_all
+          (fun (u, v) ->
+            if u = v || Stdx.Bitset.mem seen u || Stdx.Bitset.mem seen v then false
+            else begin
+              Stdx.Bitset.add seen u;
+              Stdx.Bitset.add seen v;
+              true
+            end)
+          m)
+      matchings
+  in
+  let equal_sizes =
+    Array.length matchings > 0
+    && Array.for_all (fun m -> Array.length m = Array.length matchings.(0)) matchings
+  in
+  let edge_partition =
+    let counted = Hashtbl.create 256 in
+    let no_dup =
+      Array.for_all
+        (fun m ->
+          Array.for_all
+            (fun (u, v) ->
+              let e = Graph.normalize_edge u v in
+              if Hashtbl.mem counted e then false
+              else begin
+                Hashtbl.replace counted e ();
+                true
+              end)
+            m)
+        matchings
+    in
+    no_dup
+    && Hashtbl.length counted = Graph.m graph
+    && Graph.fold_edges (fun u v acc -> acc && Hashtbl.mem counted (Graph.normalize_edge u v)) graph true
+  in
+  let all_induced =
+    Array.for_all
+      (fun m ->
+        let endpoints = Stdx.Bitset.create n in
+        Array.iter
+          (fun (u, v) ->
+            Stdx.Bitset.add endpoints u;
+            Stdx.Bitset.add endpoints v)
+          m;
+        let in_class e = Array.exists (fun (a, b) -> Graph.normalize_edge a b = e) m in
+        Graph.fold_edges
+          (fun u v acc ->
+            acc
+            &&
+            if Stdx.Bitset.mem endpoints u && Stdx.Bitset.mem endpoints v then
+              in_class (Graph.normalize_edge u v)
+            else true)
+          graph true)
+      matchings
+  in
+  { all_matchings; equal_sizes; edge_partition; all_induced }
+
+let is_valid_rs rs =
+  let report = check rs.Rs_graph.graph rs.Rs_graph.matchings in
+  report.all_matchings && report.equal_sizes && report.edge_partition && report.all_induced

@@ -1,0 +1,17 @@
+(** Independent verification of the RS graph properties.
+
+    {!Rs_graph.of_matchings} already validates on construction; this module
+    re-derives the properties from scratch on any [(graph, matchings)] pair
+    so tests do not have to trust the constructor. *)
+
+type report = {
+  all_matchings : bool;  (** each class is vertex-disjoint within itself *)
+  equal_sizes : bool;
+  edge_partition : bool;  (** classes are edge-disjoint and cover the graph *)
+  all_induced : bool;
+}
+
+val check : Dgraph.Graph.t -> Dgraph.Graph.edge array array -> report
+
+val is_valid_rs : Rs_graph.t -> bool
+(** All four report fields hold for the graph and matchings inside. *)

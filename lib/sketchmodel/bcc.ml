@@ -1,0 +1,63 @@
+type history = Stdx.Bitbuf.Reader.t array list
+
+type 'a protocol = {
+  name : string;
+  rounds : int;
+  broadcast :
+    round:int -> Model.view -> history -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  output : n:int -> history -> Public_coins.t -> 'a;
+}
+
+type stats = { max_bits_per_round : int; max_bits_total : int; rounds_used : int }
+
+let run protocol g coins =
+  if protocol.rounds < 1 then invalid_arg "Bcc.run: rounds";
+  let n = Dgraph.Graph.n g in
+  let views = Model.views g in
+  let stored : Stdx.Bitbuf.Writer.t array list ref = ref [] in
+  (* Fresh readers for every consumer: broadcast messages are public, but
+     each recipient parses its own copy. *)
+  let fresh_history () =
+    List.map (fun writers -> Array.map Stdx.Bitbuf.Reader.of_writer writers) !stored
+  in
+  let per_round_max = ref 0 in
+  let per_vertex_total = Array.make n 0 in
+  for round = 1 to protocol.rounds do
+    let writers =
+      Array.map (fun view -> protocol.broadcast ~round view (fresh_history ()) coins) views
+    in
+    let sizes = Array.map Stdx.Bitbuf.Writer.length_bits writers in
+    per_round_max := max !per_round_max (Array.fold_left max 0 sizes);
+    Array.iteri (fun v s -> per_vertex_total.(v) <- per_vertex_total.(v) + s) sizes;
+    stored := !stored @ [ writers ]
+  done;
+  let output = protocol.output ~n (fresh_history ()) coins in
+  ( output,
+    {
+      max_bits_per_round = !per_round_max;
+      max_bits_total = Array.fold_left max 0 per_vertex_total;
+      rounds_used = protocol.rounds;
+    } )
+
+let of_sketch (p : 'a Model.protocol) =
+  {
+    name = p.Model.name ^ "@bcc";
+    rounds = 1;
+    broadcast = (fun ~round view history coins ->
+        ignore round;
+        ignore history;
+        p.Model.player view coins);
+    output =
+      (fun ~n history coins ->
+        match history with
+        | [ sketches ] -> p.Model.referee ~n ~sketches coins
+        | _ -> invalid_arg "Bcc.of_sketch: expected exactly one round of history");
+  }
+
+let to_sketch (p : 'a protocol) =
+  if p.rounds <> 1 then invalid_arg "Bcc.to_sketch: protocol uses more than one round";
+  {
+    Model.name = p.name ^ "@sketch";
+    player = (fun view coins -> p.broadcast ~round:1 view [] coins);
+    referee = (fun ~n ~sketches coins -> p.output ~n [ sketches ] coins);
+  }

@@ -1,0 +1,49 @@
+(** The broadcast congested clique (BCC), and its equivalence with
+    distributed sketching when restricted to one round — the observation
+    the paper uses to interpret Result 1 as a BCC lower bound
+    (Section 1.1, citing [30, 39]).
+
+    In the BCC, computation proceeds in synchronous rounds: every vertex
+    broadcasts one message per round which {e all} vertices (and the
+    referee) receive; a vertex's state after round [i] is its input plus
+    every message of rounds [1..i]. The equivalence:
+
+    - a one-round sketching protocol {e is} a one-round BCC protocol whose
+      output is computed by the referee from the round-1 broadcasts;
+    - conversely, a one-round BCC protocol yields a sketching protocol with
+      identical per-player cost ({!of_sketch} / {!to_sketch} below are
+      cost-preserving by construction, and the tests check it).
+
+    Multi-round BCC protocols are strictly stronger; {!run} supports any
+    number of rounds so upper bounds like the [Õ(√n)] two-round protocols
+    can also be phrased here. *)
+
+type history = Stdx.Bitbuf.Reader.t array list
+(** Messages of the previous rounds, oldest first; element [r] is one
+    reader per vertex. Readers are fresh per consumer. *)
+
+type 'a protocol = {
+  name : string;
+  rounds : int;
+  broadcast :
+    round:int -> Model.view -> history -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+      (** The message vertex [view.vertex] broadcasts in [round]
+          (1-based), given everything broadcast before. *)
+  output : n:int -> history -> Public_coins.t -> 'a;
+      (** The referee's output from the full history. *)
+}
+
+type stats = {
+  max_bits_per_round : int;  (** the BCC bandwidth measure *)
+  max_bits_total : int;  (** worst-case total bits broadcast by one vertex *)
+  rounds_used : int;
+}
+
+val run : 'a protocol -> Dgraph.Graph.t -> Public_coins.t -> 'a * stats
+
+val of_sketch : 'a Model.protocol -> 'a protocol
+(** A sketching protocol as a one-round BCC protocol (same messages). *)
+
+val to_sketch : 'a protocol -> 'a Model.protocol
+(** A {e one-round} BCC protocol as a sketching protocol; raises
+    [Invalid_argument] if [rounds <> 1]. *)

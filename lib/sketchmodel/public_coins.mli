@@ -1,0 +1,28 @@
+(** Public coins: the shared random string of the model (Section 2.1).
+
+    Players and the referee hold the same seed and re-derive any part of the
+    shared randomness by key, so "sharing randomness" costs zero
+    communication — exactly the public-coin assumption of the paper. Keys
+    are strings (a protocol-chosen label) plus an optional integer (vertex
+    id, round number, repetition index, ...). *)
+
+type t
+
+val create : int -> t
+(** From a master seed. *)
+
+val seed : t -> int
+
+val global : t -> string -> Stdx.Prng.t
+(** A stream every participant can derive, keyed by label. Repeated calls
+    with the same label restart the same stream. *)
+
+val keyed : t -> string -> int -> Stdx.Prng.t
+(** [keyed coins label i]: an independent stream per (label, index) — e.g.
+    per-vertex coins, per-repetition hash functions. *)
+
+val derive : t -> string -> int -> t
+(** A whole derived coin space (not just one stream), keyed by
+    (label, index); used when a protocol stacks several independent
+    instances of a sub-protocol (e.g. [k] forest sketches). Every
+    participant derives the same sub-coins for free. *)

@@ -1,0 +1,44 @@
+type ('b, 'a) protocol = {
+  name : string;
+  round1 : Model.view -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  decide : n:int -> sketches:Stdx.Bitbuf.Reader.t array -> Public_coins.t -> 'b;
+  encode_broadcast : 'b -> Stdx.Bitbuf.Writer.t;
+  round2 : Model.view -> 'b -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  finish :
+    n:int -> broadcast:'b -> sketches:Stdx.Bitbuf.Reader.t array -> Public_coins.t -> 'a;
+}
+
+type stats = {
+  max_bits : int;
+  round1_max : int;
+  round2_max : int;
+  broadcast_bits : int;
+  total_bits : int;
+}
+
+let run protocol g coins =
+  let n = Dgraph.Graph.n g in
+  let player_views = Model.views g in
+  let writers1 = Array.map (fun view -> protocol.round1 view coins) player_views in
+  let sizes1 = Array.map Stdx.Bitbuf.Writer.length_bits writers1 in
+  let sketches1 = Array.map Stdx.Bitbuf.Reader.of_writer writers1 in
+  let broadcast = protocol.decide ~n ~sketches:sketches1 coins in
+  let broadcast_bits = Stdx.Bitbuf.Writer.length_bits (protocol.encode_broadcast broadcast) in
+  let writers2 = Array.map (fun view -> protocol.round2 view broadcast coins) player_views in
+  let sizes2 = Array.map Stdx.Bitbuf.Writer.length_bits writers2 in
+  let sketches2 = Array.map Stdx.Bitbuf.Reader.of_writer writers2 in
+  let output = protocol.finish ~n ~broadcast ~sketches:sketches2 coins in
+  let max2 a = Array.fold_left max 0 a in
+  let per_player = Array.init n (fun v -> sizes1.(v) + sizes2.(v)) in
+  ( output,
+    {
+      max_bits = max2 per_player;
+      round1_max = max2 sizes1;
+      round2_max = max2 sizes2;
+      broadcast_bits;
+      total_bits = Array.fold_left ( + ) 0 per_player;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf "max=%d bits (r1=%d, r2=%d) broadcast=%d bits total=%d bits" s.max_bits
+    s.round1_max s.round2_max s.broadcast_bits s.total_bits

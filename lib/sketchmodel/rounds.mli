@@ -1,0 +1,36 @@
+(** The two-round adaptive extension of the model (Section 1.1's
+    [O(√n)] upper-bound discussion).
+
+    After the first simultaneous round the referee may broadcast one message
+    to all players, who then send a second sketch. The broadcast must be
+    serialisable — its bit size is accounted separately — and players only
+    see the {e decoded} broadcast, never the referee's state.
+
+    The per-player cost of a two-round protocol is the worst case of
+    (round-1 bits + round-2 bits) over players; the broadcast size is
+    reported on the side, matching how the congested-clique literature
+    charges the referee. *)
+
+type ('b, 'a) protocol = {
+  name : string;
+  round1 : Model.view -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  decide :
+    n:int -> sketches:Stdx.Bitbuf.Reader.t array -> Public_coins.t -> 'b;
+      (** Referee state after round 1, to be broadcast. *)
+  encode_broadcast : 'b -> Stdx.Bitbuf.Writer.t;
+      (** How the broadcast would be serialised; only its length is used. *)
+  round2 : Model.view -> 'b -> Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  finish :
+    n:int -> broadcast:'b -> sketches:Stdx.Bitbuf.Reader.t array -> Public_coins.t -> 'a;
+}
+
+type stats = {
+  max_bits : int;  (** worst-case per-player total over both rounds *)
+  round1_max : int;
+  round2_max : int;
+  broadcast_bits : int;
+  total_bits : int;
+}
+
+val run : ('b, 'a) protocol -> Dgraph.Graph.t -> Public_coins.t -> 'a * stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,85 @@
+module Writer = struct
+  type t = { mutable data : Bytes.t; mutable len_bits : int }
+
+  let create () = { data = Bytes.make 16 '\000'; len_bits = 0 }
+
+  let length_bits w = w.len_bits
+
+  let ensure w extra_bits =
+    let needed_bytes = (w.len_bits + extra_bits + 7) / 8 in
+    if needed_bytes > Bytes.length w.data then begin
+      let cap = max needed_bytes (2 * Bytes.length w.data) in
+      let fresh = Bytes.make cap '\000' in
+      Bytes.blit w.data 0 fresh 0 (Bytes.length w.data);
+      w.data <- fresh
+    end
+
+  let bit w b =
+    ensure w 1;
+    if b then begin
+      let byte = w.len_bits / 8 and off = w.len_bits mod 8 in
+      let cur = Char.code (Bytes.get w.data byte) in
+      Bytes.set w.data byte (Char.chr (cur lor (1 lsl (7 - off))))
+    end;
+    w.len_bits <- w.len_bits + 1
+
+  let bits w v ~width =
+    if width < 0 || width > 62 then invalid_arg "Bitbuf.Writer.bits: width";
+    if v < 0 || (width < 62 && v lsr width <> 0) then
+      invalid_arg "Bitbuf.Writer.bits: value does not fit width";
+    for i = width - 1 downto 0 do
+      bit w ((v lsr i) land 1 = 1)
+    done
+
+  let rec uvarint w v =
+    if v < 0 then invalid_arg "Bitbuf.Writer.uvarint: negative";
+    if v < 128 then bits w v ~width:8
+    else begin
+      bits w (128 lor (v land 127)) ~width:8;
+      uvarint w (v lsr 7)
+    end
+
+  let int_list w l =
+    uvarint w (List.length l);
+    List.iter (uvarint w) l
+
+  let contents w = (Bytes.sub w.data 0 ((w.len_bits + 7) / 8), w.len_bits)
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; len_bits : int; mutable pos : int }
+
+  exception Underflow
+
+  let of_writer w =
+    let data, len_bits = Writer.contents w in
+    { data; len_bits; pos = 0 }
+
+  let remaining_bits r = r.len_bits - r.pos
+
+  let bit r =
+    if r.pos >= r.len_bits then raise Underflow;
+    let byte = r.pos / 8 and off = r.pos mod 8 in
+    r.pos <- r.pos + 1;
+    Char.code (Bytes.get r.data byte) land (1 lsl (7 - off)) <> 0
+
+  let bits r ~width =
+    if width < 0 || width > 62 then invalid_arg "Bitbuf.Reader.bits: width";
+    let v = ref 0 in
+    for _ = 1 to width do
+      v := (!v lsl 1) lor (if bit r then 1 else 0)
+    done;
+    !v
+
+  let uvarint r =
+    let rec go shift acc =
+      let group = bits r ~width:8 in
+      let acc = acc lor ((group land 127) lsl shift) in
+      if group land 128 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int_list r =
+    let n = uvarint r in
+    List.init n (fun _ -> uvarint r)
+end

@@ -1,0 +1,49 @@
+(** Bit-exact message buffers.
+
+    Sketch sizes in the paper are measured in {e bits}, so protocol messages
+    are built with a bit-level writer and consumed with a bit-level reader.
+    The writer records the exact number of bits appended; the model layer
+    ([Sketchmodel]) charges that number as communication cost. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val length_bits : t -> int
+  (** Exact number of bits written so far. *)
+
+  val bit : t -> bool -> unit
+
+  val bits : t -> int -> width:int -> unit
+  (** [bits w v ~width] appends the low [width] bits of [v], most significant
+      first. Requires [0 <= width <= 62] and [v] representable in [width]
+      bits. *)
+
+  val uvarint : t -> int -> unit
+  (** LEB128-style variable-length encoding of a non-negative integer:
+      7 payload bits + 1 continuation bit per group. *)
+
+  val int_list : t -> int list -> unit
+  (** Length-prefixed list of non-negative integers, each as a [uvarint]. *)
+
+  val contents : t -> Bytes.t * int
+  (** Raw bytes plus the exact bit length (the final byte may be partial). *)
+end
+
+module Reader : sig
+  type t
+
+  val of_writer : Writer.t -> t
+  (** A reader positioned at the first bit of a finished message. *)
+
+  val bit : t -> bool
+  val bits : t -> width:int -> int
+  val uvarint : t -> int
+  val int_list : t -> int list
+
+  val remaining_bits : t -> int
+
+  exception Underflow
+  (** Raised when reading past the end of the message. *)
+end

@@ -1,0 +1,67 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = 62
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; n }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let copy s = { words = Array.copy s.words; n = s.n }
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n l =
+  let s = create n in
+  List.iter (add s) l;
+  s
+
+let union_into dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_cardinal a b =
+  if a.n <> b.n then invalid_arg "Bitset.inter_cardinal: capacity mismatch";
+  let total = ref 0 in
+  Array.iteri (fun i w -> total := !total + popcount (w land b.words.(i))) a.words;
+  !total
+
+let equal a b = a.n = b.n && Array.for_all2 ( = ) a.words b.words

@@ -1,0 +1,32 @@
+(** Compact fixed-capacity sets of small integers. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Visits members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every member of [src] to [dst]. The two sets
+    must have the same capacity. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection, without materialising it. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,22 @@
+type t = { a : int; b : int; p : int; m : int }
+
+let sample g ~universe ~buckets =
+  if universe <= 0 || universe >= 1 lsl 31 then invalid_arg "Hashing.sample: universe";
+  if buckets <= 0 then invalid_arg "Hashing.sample: buckets";
+  let p = Prime.next_prime_above (max universe buckets) in
+  let a = 1 + Prng.int g (p - 1) in
+  let b = Prng.int g p in
+  { a; b; p; m = buckets }
+
+let apply h x =
+  if x < 0 || x >= h.p then invalid_arg "Hashing.apply: out of universe";
+  ((h.a * x) + h.b) mod h.p mod h.m
+
+let buckets h = h.m
+
+let mix64 x =
+  let open Int64 in
+  let z = add (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)

@@ -1,0 +1,21 @@
+(** Pairwise-independent hash families.
+
+    The AGM sparse-recovery stack needs hash functions drawn from a
+    pairwise-independent family: [h(x) = ((a*x + b) mod p) mod m] with [p]
+    prime above the universe and [a <> 0]. Pairwise independence is exactly
+    the property the collision analysis of s-sparse recovery uses. *)
+
+type t
+(** One sampled function from the family. *)
+
+val sample : Prng.t -> universe:int -> buckets:int -> t
+(** [sample g ~universe ~buckets] draws a function [\[0, universe) ->
+    \[0, buckets)]. Requires [universe < 2^31] (field-size constraint). *)
+
+val apply : t -> int -> int
+
+val buckets : t -> int
+
+val mix64 : int -> int
+(** A fixed SplitMix64-style bijective mixer on 62-bit integers; handy for
+    cheap value fingerprints in tests. *)

@@ -1,0 +1,46 @@
+(* Deterministic Miller-Rabin.  For n < 3,215,031,751 the witness set
+   {2, 3, 5, 7} is exact, which covers the full [0, 2^31) range we allow. *)
+
+let powmod base exp m =
+  let rec go base exp acc =
+    if exp = 0 then acc
+    else
+      let acc = if exp land 1 = 1 then acc * base mod m else acc in
+      go (base * base mod m) (exp lsr 1) acc
+  in
+  go (base mod m) exp 1
+
+let is_prime n =
+  if n < 0 || n >= 1 lsl 31 then invalid_arg "Prime.is_prime: out of range";
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let s = ref 0 and d = ref (n - 1) in
+    while !d land 1 = 0 do
+      incr s;
+      d := !d lsr 1
+    done;
+    let witnesses = [ 2; 3; 5; 7 ] in
+    let composite_for a =
+      let x = powmod a !d n in
+      if x = 1 || x = n - 1 then false
+      else
+        let rec squares i x =
+          if i >= !s - 1 then true
+          else
+            let x = x * x mod n in
+            if x = n - 1 then false else squares (i + 1) x
+        in
+        squares 0 x
+    in
+    not (List.exists (fun a -> a mod n <> 0 && composite_for a) witnesses)
+  end
+
+let next_prime_above n =
+  let rec go c =
+    if c >= 1 lsl 31 then invalid_arg "Prime.next_prime_above: exceeds 2^31";
+    if is_prime c then c else go (c + 1)
+  in
+  go (max 2 (n + 1))

@@ -1,0 +1,12 @@
+(** Primality testing and prime search for field moduli.
+
+    The linear-sketching layer needs primes [p] with the universe size
+    [< p < 2^31] for fingerprinting; the bound keeps every product of two
+    residues inside OCaml's 63-bit native integers. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, valid for all [0 <= n < 2^31]. *)
+
+val next_prime_above : int -> int
+(** Smallest prime strictly greater than the argument.
+    Requires the result to stay below [2^31]. *)

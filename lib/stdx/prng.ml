@@ -1,0 +1,110 @@
+(* xoshiro256** seeded through SplitMix64.  All state is explicit so that
+   public coins can be re-derived by (seed, key) without communication. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64; seed : int }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; seed }
+
+(* Mix the original seed with the key through SplitMix64 so that derived
+   streams for distinct keys are unrelated. *)
+let split g key =
+  let state = ref (Int64.of_int g.seed) in
+  let a = splitmix64_next state in
+  let mixed =
+    Int64.to_int (Int64.logxor a (Int64.mul (Int64.of_int key) 0x9E3779B97F4A7C15L))
+    land max_int
+  in
+  create mixed
+
+let copy g = { g with s0 = g.s0 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+(* 62 uniform non-negative bits as a native int. *)
+let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask_bound = bound - 1 in
+  if bound land mask_bound = 0 then bits g land mask_bound
+  else
+    (* [bits] is uniform on [0, 2^62); accept below the largest multiple of
+       [bound] representable there (computed via max_int = 2^62 - 1 to avoid
+       overflowing the native int). *)
+    let limit = max_int / bound * bound in
+    let rec draw () =
+      let v = bits g in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g = Stdlib.float_of_int (Int64.to_int (Int64.shift_right_logical (bits64 g) 11)) *. 0x1p-53
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = float g < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+(* Floyd's algorithm: k distinct samples in O(k) expected time. *)
+let sample_distinct g k n =
+  if k > n then invalid_arg "Prng.sample_distinct: k > n";
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let pos = ref 0 in
+  for j = n - k to n - 1 do
+    let v = int g (j + 1) in
+    let v = if Hashtbl.mem seen v then j else v in
+    Hashtbl.replace seen v ();
+    out.(!pos) <- v;
+    incr pos
+  done;
+  out
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let subset_mask g n ~p = Array.init n (fun _ -> bernoulli g p)

@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generation.
+
+    The library deliberately does not use [Stdlib.Random]: distributed
+    sketching protocols need {e public coins} — randomness that is shared
+    between every player and the referee, and that can be re-derived by key
+    (e.g. "the coins of vertex 17 in round 2") without any communication.
+    Everything here is a pure function of the seed, so a protocol run is
+    reproducible bit-for-bit.
+
+    The generator is xoshiro256** seeded through SplitMix64, the standard
+    combination recommended by the xoshiro authors. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val split : t -> int -> t
+(** [split g key] derives an independent generator from [g]'s seed and an
+    integer [key], without advancing [g]. Two distinct keys give streams that
+    are independent for all practical purposes. This is how public coins are
+    distributed: every player calls [split coins vertex_id]. *)
+
+val copy : t -> t
+(** [copy g] duplicates the state; the copy evolves independently. *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val sample_distinct : t -> int -> int -> int array
+(** [sample_distinct g k n] draws [k] distinct values from [\[0, n)]
+    uniformly (Floyd's algorithm). Requires [k <= n]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val subset_mask : t -> int -> p:float -> bool array
+(** [subset_mask g n ~p] keeps each of [n] items independently with
+    probability [p]; used for the half-edge-dropping step of [D_MM]. *)

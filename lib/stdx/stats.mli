@@ -1,0 +1,38 @@
+(** Summary statistics for experiment outputs. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+}
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; [0.] for fewer than two points. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0, 1\]], linear interpolation between order
+    statistics. Requires a non-empty array. *)
+
+val summarize : float array -> summary
+val of_ints : int array -> float array
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score confidence interval for a binomial proportion. *)
+
+val binomial_tail_ge : n:int -> p:float -> k:int -> float
+(** [binomial_tail_ge ~n ~p ~k] = Pr[Bin(n, p) >= k], computed exactly by
+    summing the mass function in log-space. Used to check the Chernoff step
+    of Claim 3.1 against exact tail values on small instances. *)
+
+val chernoff_lower_tail : n:int -> p:float -> delta:float -> float
+(** The multiplicative Chernoff upper bound
+    [exp (-delta^2 * n * p / 2)] on [Pr\[Bin(n,p) <= (1-delta) n p\]]. *)

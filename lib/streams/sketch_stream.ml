@@ -1,0 +1,49 @@
+module SF = Agm.Spanning_forest
+module L0 = Linear_sketch.L0_sampler
+module Graph = Dgraph.Graph
+
+type t = {
+  n : int;
+  per_vertex : L0.t array array;  (** [per_vertex.(v).(round)] *)
+}
+
+let create ?(config = SF.default_config) ~n coins =
+  { n; per_vertex = Array.init n (fun _ -> SF.empty_stack config ~n coins) }
+
+let apply t (u, v) ~weight =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n then invalid_arg "Sketch_stream: vertex out of range";
+  (* Both endpoints' vectors change, with opposite signs on the shared
+     coordinate — exactly what the two players would have done. *)
+  SF.stack_update ~n:t.n t.per_vertex.(u) u v ~weight;
+  SF.stack_update ~n:t.n t.per_vertex.(v) v u ~weight
+
+let feed t event =
+  match event with
+  | Stream.Insert e -> apply t e ~weight:1
+  | Stream.Delete e -> apply t e ~weight:(-1)
+
+let feed_all t stream =
+  if stream.Stream.n <> t.n then invalid_arg "Sketch_stream.feed_all: size mismatch";
+  List.iter (feed t) stream.Stream.events
+
+let space_bits t =
+  Array.fold_left
+    (fun acc stack -> acc + Stdx.Bitbuf.Writer.length_bits (SF.write_stack stack))
+    0 t.per_vertex
+
+let spanning_forest t = SF.decode_forest ~n:t.n ~per_vertex:t.per_vertex
+
+let messages_equal_distributed t g =
+  Graph.n g = t.n
+  &&
+  (* The one-round players' messages are rebuilt through the exact same
+     stack primitives from the final graph (a pure-insertion pass), then
+     compared bit for bit: linearity makes the interleaving irrelevant. *)
+  let reference = { n = t.n; per_vertex = Array.map (Array.map L0.zero_like) t.per_vertex } in
+  let () = feed_all reference (Stream.of_graph g) in
+  let equal_stack sa sb =
+    let bytes_a, bits_a = Stdx.Bitbuf.Writer.contents (SF.write_stack sa) in
+    let bytes_b, bits_b = Stdx.Bitbuf.Writer.contents (SF.write_stack sb) in
+    bits_a = bits_b && Bytes.equal bytes_a bytes_b
+  in
+  Array.for_all2 equal_stack t.per_vertex reference.per_vertex

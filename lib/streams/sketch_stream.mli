@@ -1,0 +1,31 @@
+(** Linear sketches under dynamic streams.
+
+    AGM sketches are linear transforms of the edge-incidence vectors, so a
+    streaming processor can maintain them under arbitrary interleavings of
+    insertions and deletions: an insert applies the edge's updates, a
+    delete applies their negation. When the stream ends, the stored
+    sketches are {e bit-identical} to the ones the one-round distributed
+    protocol would have produced on the final graph — the equivalence the
+    paper's related-work discussion (dynamic streams vs sketching) rests
+    on, here checkable by the byte. *)
+
+type t
+
+val create :
+  ?config:Agm.Spanning_forest.config -> n:int -> Sketchmodel.Public_coins.t -> t
+(** A streaming processor holding one AGM sampler stack per vertex. *)
+
+val feed : t -> Stream.event -> unit
+val feed_all : t -> Stream.t -> unit
+
+val space_bits : t -> int
+(** Exact serialised size of the whole state (all vertex sketches). *)
+
+val spanning_forest : t -> Dgraph.Graph.edge list
+(** Decode a spanning forest of the current graph from the maintained
+    sketches (same referee as the distributed protocol). *)
+
+val messages_equal_distributed : t -> Dgraph.Graph.t -> bool
+(** Serialise the streamed per-vertex sketches and compare them, bit for
+    bit, with the messages of the one-round protocol run on the given
+    graph under the same coins. *)

@@ -1,0 +1,65 @@
+module Graph = Dgraph.Graph
+
+type event = Insert of Graph.edge | Delete of Graph.edge
+
+type t = { n : int; events : event list }
+
+let of_graph g = { n = Graph.n g; events = List.map (fun e -> Insert e) (Graph.edges g) }
+
+let shuffled rng g =
+  let edges = Array.of_list (Graph.edges g) in
+  Stdx.Prng.shuffle rng edges;
+  { n = Graph.n g; events = Array.to_list (Array.map (fun e -> Insert e) edges) }
+
+let with_decoys rng g ~decoys =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Stream.with_decoys: need at least two vertices";
+  (* Pick decoy edges absent from the final graph. *)
+  let decoy_edges = ref [] and found = ref 0 and attempts = ref 0 in
+  while !found < decoys && !attempts < 100 * (decoys + 1) do
+    incr attempts;
+    let u = Stdx.Prng.int rng n and v = Stdx.Prng.int rng n in
+    if u <> v then begin
+      let e = Graph.normalize_edge u v in
+      if (not (Graph.mem_edge g u v)) && not (List.mem e !decoy_edges) then begin
+        decoy_edges := e :: !decoy_edges;
+        incr found
+      end
+    end
+  done;
+  (* Each decoy contributes an Insert..Delete bracket; shuffle everything
+     respecting bracket order by assigning random (open, close) positions. *)
+  let real = List.map (fun e -> (Stdx.Prng.float rng, Insert e)) (Graph.edges g) in
+  let brackets =
+    List.concat_map
+      (fun e ->
+        let a = Stdx.Prng.float rng and b = Stdx.Prng.float rng in
+        let open_pos = min a b and close_pos = max a b in
+        [ (open_pos, Insert e); (close_pos, Delete e) ])
+      !decoy_edges
+  in
+  let events =
+    List.sort (fun (a, _) (b, _) -> compare a b) (real @ brackets) |> List.map snd
+  in
+  { n; events }
+
+let final_graph stream =
+  let present = Hashtbl.create 256 in
+  List.iter
+    (fun event ->
+      match event with
+      | Insert (u, v) ->
+          let e = Graph.normalize_edge u v in
+          if Hashtbl.mem present e then invalid_arg "Stream.final_graph: double insert";
+          Hashtbl.replace present e ()
+      | Delete (u, v) ->
+          let e = Graph.normalize_edge u v in
+          if not (Hashtbl.mem present e) then invalid_arg "Stream.final_graph: deleting absent edge";
+          Hashtbl.remove present e)
+    stream.events;
+  Graph.create stream.n (Hashtbl.fold (fun e _ acc -> e :: acc) present [])
+
+let length stream = List.length stream.events
+
+let is_insertion_only stream =
+  List.for_all (function Insert _ -> true | Delete _ -> false) stream.events

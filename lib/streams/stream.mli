@@ -1,0 +1,30 @@
+(** Dynamic graph streams: sequences of edge insertions and deletions.
+
+    The paper's Section 1.1 relates distributed sketching to dynamic
+    streams: {e linear} sketches (such as AGM's) are exactly the ones that
+    survive deletions, and the known MM/MIS streaming lower bounds
+    ([AKLY16], [CDK19]) only constrain that linear subclass. This module
+    supplies the stream substrate those comparisons run on. *)
+
+type event = Insert of Dgraph.Graph.edge | Delete of Dgraph.Graph.edge
+
+type t = { n : int; events : event list }
+
+val of_graph : Dgraph.Graph.t -> t
+(** Pure insertion stream in lexicographic edge order. *)
+
+val shuffled : Stdx.Prng.t -> Dgraph.Graph.t -> t
+(** Pure insertion stream in uniformly random order. *)
+
+val with_decoys : Stdx.Prng.t -> Dgraph.Graph.t -> decoys:int -> t
+(** A dynamic stream whose final graph is the given one: besides the real
+    insertions, [decoys] random non-final edges are inserted and later
+    deleted, at random positions (every deletion follows its insertion). *)
+
+val final_graph : t -> Dgraph.Graph.t
+(** Replays the stream; raises [Invalid_argument] on inconsistent events
+    (inserting a present edge / deleting an absent one). *)
+
+val length : t -> int
+
+val is_insertion_only : t -> bool

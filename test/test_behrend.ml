@@ -1,0 +1,129 @@
+(* Tests for Rsgraph.Behrend: 3-AP-free set constructions. *)
+
+module B = Rsgraph.Behrend
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_is_ap_free_positive () =
+  List.iter
+    (fun s -> checkb (String.concat "," (List.map string_of_int s)) true (B.is_ap_free s))
+    [ []; [ 5 ]; [ 1; 2 ]; [ 1; 2; 4; 5 ]; [ 10; 11; 13; 14 ]; [ 1; 10; 100 ] ]
+
+let test_is_ap_free_negative () =
+  List.iter
+    (fun s -> checkb (String.concat "," (List.map string_of_int s)) false (B.is_ap_free s))
+    [ [ 1; 2; 3 ]; [ 2; 4; 6 ]; [ 1; 5; 9 ]; [ 1; 2; 4; 6 ]; [ 7; 1; 4 ] (* unsorted AP *) ]
+
+let test_greedy_is_stanley () =
+  (* Greedy from 1 gives 1,2,4,5,10,11,13,14,28,... (the Stanley sequence:
+     n-1 has no digit 2 in base 3). *)
+  Alcotest.(check (list int)) "stanley prefix" [ 1; 2; 4; 5; 10; 11; 13; 14; 28; 29 ]
+    (B.greedy 29)
+
+let test_greedy_ap_free () =
+  List.iter
+    (fun m ->
+      let s = B.greedy m in
+      checkb "ap free" true (B.is_ap_free s);
+      checkb "in range" true (List.for_all (fun x -> x >= 1 && x <= m) s);
+      checkb "sorted" true (List.sort compare s = s))
+    [ 1; 2; 10; 100; 500 ]
+
+let test_behrend_ap_free () =
+  List.iter
+    (fun m ->
+      let s = B.behrend m in
+      checkb "ap free" true (B.is_ap_free s);
+      checkb "in range" true (List.for_all (fun x -> x >= 1 && x <= m) s);
+      checkb "distinct" true (List.length (List.sort_uniq compare s) = List.length s))
+    [ 10; 50; 200; 1000; 5000 ]
+
+let test_maximum_small () =
+  (* Known optimum sizes of AP-free subsets of [1, m] (OEIS A003002 r3(m)):
+     m:      1 2 3 4 5 6 7 8 9 10 ...
+     size:   1 2 2 3 4 4 4 4 5  5 *)
+  List.iter
+    (fun (m, size) -> checki (Printf.sprintf "r3(%d)" m) size (List.length (B.maximum m)))
+    [ (1, 1); (2, 2); (3, 2); (4, 3); (5, 4); (6, 4); (8, 4); (9, 5); (10, 5); (13, 7); (14, 8) ]
+
+let test_maximum_is_ap_free () =
+  for m = 1 to 15 do
+    checkb (string_of_int m) true (B.is_ap_free (B.maximum m))
+  done
+
+let test_best_dominates () =
+  List.iter
+    (fun m ->
+      let best = List.length (B.best m) in
+      checkb "best >= greedy" true (best >= List.length (B.greedy m));
+      checkb "best >= behrend" true (best >= List.length (B.behrend m)))
+    [ 10; 100; 1000 ]
+
+let test_best_close_to_optimal_small () =
+  (* Greedy is actually optimal-ish at tiny sizes; require >= 80% of exact. *)
+  List.iter
+    (fun m ->
+      let best = List.length (B.best m) in
+      let opt = List.length (B.maximum m) in
+      checkb (Printf.sprintf "m=%d best=%d opt=%d" m best opt) true (best * 5 >= opt * 4))
+    [ 5; 10; 15; 20; 25 ]
+
+let test_shift () =
+  let s = B.greedy 50 in
+  checkb "shift preserves ap-freeness" true (B.is_ap_free (B.shift 1000 s));
+  Alcotest.(check (list int)) "shift adds" [ 11; 12; 14 ] (B.shift 10 [ 1; 2; 4 ])
+
+let test_creates_ap_consistency () =
+  (* creates_ap must agree with is_ap_free of the extended set. *)
+  let cap = 40 in
+  let sets = [ [ 1; 2 ]; [ 1; 2; 4; 5 ]; [ 3; 7 ]; [] ] in
+  List.iter
+    (fun s ->
+      let members = Stdx.Bitset.of_list cap s in
+      for x = 1 to cap - 1 do
+        if not (List.mem x s) then
+          checkb
+            (Printf.sprintf "x=%d into [%s]" x (String.concat ";" (List.map string_of_int s)))
+            (not (B.is_ap_free (x :: s)))
+            (B.creates_ap members x)
+      done)
+    sets
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"creates_ap matches is_ap_free" ~count:300
+         QCheck.(pair (list_of_size Gen.(int_range 0 8) (int_range 1 30)) (int_range 1 30))
+         (fun (raw, x) ->
+           let s = List.sort_uniq compare raw in
+           if (not (B.is_ap_free s)) || List.mem x s then true
+           else begin
+             let members = Stdx.Bitset.of_list 31 s in
+             B.creates_ap members x = not (B.is_ap_free (x :: s))
+           end));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy monotone in m" ~count:50 (QCheck.int_range 2 300)
+         (fun m ->
+           List.length (B.greedy m) >= List.length (B.greedy (m - 1))));
+  ]
+
+let () =
+  Alcotest.run "behrend"
+    [
+      ( "behrend",
+        [
+          Alcotest.test_case "ap-free positive" `Quick test_is_ap_free_positive;
+          Alcotest.test_case "ap-free negative" `Quick test_is_ap_free_negative;
+          Alcotest.test_case "greedy = stanley" `Quick test_greedy_is_stanley;
+          Alcotest.test_case "greedy ap-free" `Quick test_greedy_ap_free;
+          Alcotest.test_case "behrend ap-free" `Quick test_behrend_ap_free;
+          Alcotest.test_case "maximum matches known values" `Quick test_maximum_small;
+          Alcotest.test_case "maximum ap-free" `Quick test_maximum_is_ap_free;
+          Alcotest.test_case "best dominates" `Quick test_best_dominates;
+          Alcotest.test_case "best near optimal (small)" `Quick test_best_close_to_optimal_small;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "creates_ap consistency" `Quick test_creates_ap_consistency;
+        ] );
+      ("behrend-properties", qcheck_tests);
+    ]

@@ -1,0 +1,120 @@
+(* Tests for Stdx.Bitset, checked against Stdlib int sets as the oracle. *)
+
+module B = Stdx.Bitset
+module IS = Set.Make (Int)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_basic () =
+  let s = B.create 100 in
+  checkb "initially empty" true (B.is_empty s);
+  checki "capacity" 100 (B.capacity s);
+  B.add s 0;
+  B.add s 63;
+  B.add s 99;
+  checkb "mem 0" true (B.mem s 0);
+  checkb "mem 63" true (B.mem s 63);
+  checkb "mem 99" true (B.mem s 99);
+  checkb "not mem 50" false (B.mem s 50);
+  checki "cardinal" 3 (B.cardinal s);
+  B.remove s 63;
+  checkb "removed" false (B.mem s 63);
+  checki "cardinal after remove" 2 (B.cardinal s)
+
+let test_bounds () =
+  let s = B.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (B.mem s (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range") (fun () ->
+      B.add s 10)
+
+let test_iter_order () =
+  let s = B.of_list 50 [ 30; 5; 17; 42; 0 ] in
+  let seen = ref [] in
+  B.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "increasing order" [ 0; 5; 17; 30; 42 ] (List.rev !seen)
+
+let test_to_from_list () =
+  let l = [ 1; 3; 5; 7 ] in
+  Alcotest.(check (list int)) "roundtrip" l (B.to_list (B.of_list 8 l))
+
+let test_union_inter () =
+  let a = B.of_list 20 [ 1; 2; 3; 10 ] in
+  let b = B.of_list 20 [ 2; 3; 4; 11 ] in
+  checki "intersection size" 2 (B.inter_cardinal a b);
+  B.union_into a b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 10; 11 ] (B.to_list a)
+
+let test_capacity_mismatch () =
+  let a = B.create 10 and b = B.create 20 in
+  Alcotest.check_raises "union mismatch" (Invalid_argument "Bitset.union_into: capacity mismatch")
+    (fun () -> B.union_into a b)
+
+let test_copy_clear_equal () =
+  let a = B.of_list 30 [ 4; 9; 25 ] in
+  let c = B.copy a in
+  checkb "copies equal" true (B.equal a c);
+  B.add c 5;
+  checkb "copies independent" false (B.equal a c);
+  B.clear c;
+  checkb "cleared" true (B.is_empty c)
+
+let test_word_boundaries () =
+  (* Exercise indices around the 62-bit word boundary. *)
+  let s = B.create 200 in
+  List.iter (B.add s) [ 61; 62; 63; 123; 124; 185; 186 ];
+  List.iter (fun i -> checkb (string_of_int i) true (B.mem s i)) [ 61; 62; 63; 123; 124; 185; 186 ];
+  List.iter (fun i -> checkb (string_of_int i) false (B.mem s i)) [ 60; 64; 122; 125 ];
+  checki "cardinal" 7 (B.cardinal s)
+
+let oracle_gen =
+  QCheck.(pair (int_range 1 300) (list (pair bool (int_bound 1000))))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"matches Set oracle" ~count:300 oracle_gen (fun (n, ops) ->
+           let s = B.create n in
+           let reference = ref IS.empty in
+           List.iter
+             (fun (add, raw) ->
+               let i = raw mod n in
+               if add then begin
+                 B.add s i;
+                 reference := IS.add i !reference
+               end
+               else begin
+                 B.remove s i;
+                 reference := IS.remove i !reference
+               end)
+             ops;
+           B.cardinal s = IS.cardinal !reference
+           && B.to_list s = IS.elements !reference
+           && List.for_all (fun i -> B.mem s i = IS.mem i !reference) (List.init n (fun i -> i))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"inter_cardinal matches oracle" ~count:300
+         QCheck.(triple (int_range 1 200) (list (int_bound 1000)) (list (int_bound 1000)))
+         (fun (n, la, lb) ->
+           let la = List.map (fun x -> x mod n) la and lb = List.map (fun x -> x mod n) lb in
+           let a = B.of_list n la and b = B.of_list n lb in
+           B.inter_cardinal a b
+           = IS.cardinal (IS.inter (IS.of_list la) (IS.of_list lb))));
+  ]
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "iter order" `Quick test_iter_order;
+          Alcotest.test_case "to/from list" `Quick test_to_from_list;
+          Alcotest.test_case "union/inter" `Quick test_union_inter;
+          Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+          Alcotest.test_case "copy/clear/equal" `Quick test_copy_clear_equal;
+          Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+        ] );
+      ("bitset-properties", qcheck_tests);
+    ]

@@ -1,0 +1,112 @@
+(* Tests for Core.Claims: the executable Claim 3.1. *)
+
+module HD = Core.Hard_dist
+module C = Core.Claims
+module Rs = Rsgraph.Rs_graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sample ?(m = 10) seed = HD.sample (Rs.bipartite m) (Stdx.Prng.create seed)
+
+let test_thresholds () =
+  let dmm = sample 1 in
+  let stats = C.check dmm () in
+  let kr = float_of_int (stats.C.k * stats.C.r) in
+  checkb "chernoff kr/3" true (abs_float (stats.C.chernoff_threshold -. (kr /. 3.)) < 1e-9);
+  checkb "claim kr/4" true (abs_float (stats.C.claim_threshold -. (kr /. 4.)) < 1e-9);
+  checkb "failure bound" true (abs_float (stats.C.failure_bound -. (2. ** (-.kr /. 10.))) < 1e-9)
+
+let test_union_matches_survivors () =
+  let dmm = sample 2 in
+  let stats = C.check dmm () in
+  checki "union = |surviving_special|" (List.length (HD.surviving_special dmm))
+    stats.C.union_special
+
+let test_matchings_are_maximal () =
+  let dmm = sample 3 in
+  List.iter
+    (fun order ->
+      let m = C.maximal_matching_under dmm order in
+      checkb (C.order_name order) true (Dgraph.Matching.is_maximal dmm.HD.graph m))
+    [ C.Lexicographic; C.Random 5; C.Random 99; C.Public_first ]
+
+let test_public_first_prioritises () =
+  (* Under Public_first, a unique-unique edge is only matched if no public
+     edge could have blocked it: verify the order property by checking the
+     produced matching leaves no public-touching edge addable before any
+     retained unique-unique edge... operationally: the matching is maximal
+     and contains at most as many unique-unique edges as lexicographic
+     rarely more.  We check the weaker sanity: output differs from the
+     empty set and is maximal. *)
+  let dmm = sample 4 in
+  let m = C.maximal_matching_under dmm C.Public_first in
+  checkb "nonempty" true (m <> []);
+  checkb "maximal" true (Dgraph.Matching.is_maximal dmm.HD.graph m)
+
+let test_claim_holds_at_moderate_size () =
+  (* At kr = 25*8 = 200 the failure bound is 2^-20: violations should not
+     occur across a handful of samples. *)
+  let rng = Stdx.Prng.create 7 in
+  let rs = Rs.bipartite 25 in
+  for _ = 1 to 5 do
+    let dmm = HD.sample rs rng in
+    let stats = C.check dmm () in
+    checkb "claim holds" true (C.holds stats)
+  done
+
+let test_per_order_coverage () =
+  let dmm = sample 5 in
+  let stats = C.check dmm ~orders:[ C.Lexicographic; C.Public_first ] () in
+  checki "one row per order" 2 (List.length stats.C.per_order);
+  List.iter
+    (fun (_, uu, maximal) ->
+      checkb "maximal" true maximal;
+      checkb "uu bounded by union" true (uu <= stats.C.union_special))
+    stats.C.per_order
+
+let test_unique_unique_upper_bound () =
+  (* No maximal matching can contain more unique-unique special edges than
+     survive; but it can match unique-unique pairs only along surviving
+     special edges (unique vertices' only unique neighbours are their
+     special partners). *)
+  let dmm = sample 6 in
+  let stats = C.check dmm () in
+  List.iter
+    (fun (_, uu, _) -> checkb "uu <= survivors" true (uu <= stats.C.union_special))
+    stats.C.per_order
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"claim holds for m=25 (failure bound 2^-20)" ~count:10
+         QCheck.(int_range 0 10000)
+         (fun seed ->
+           let dmm = HD.sample (Rs.bipartite 25) (Stdx.Prng.create seed) in
+           C.holds (C.check dmm ~orders:[ C.Lexicographic; C.Public_first ] ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"uu edges are surviving special edges" ~count:10
+         QCheck.(int_range 0 10000)
+         (fun seed ->
+           let dmm = HD.sample (Rs.bipartite 10) (Stdx.Prng.create seed) in
+           let m = C.maximal_matching_under dmm (C.Random seed) in
+           let uu = HD.unique_unique_edges dmm m in
+           let survivors = List.map snd (HD.surviving_special dmm) in
+           List.for_all (fun e -> List.mem e survivors) uu));
+  ]
+
+let () =
+  Alcotest.run "claims"
+    [
+      ( "claim-3.1",
+        [
+          Alcotest.test_case "thresholds" `Quick test_thresholds;
+          Alcotest.test_case "union matches survivors" `Quick test_union_matches_survivors;
+          Alcotest.test_case "matchings maximal" `Quick test_matchings_are_maximal;
+          Alcotest.test_case "public-first sane" `Quick test_public_first_prioritises;
+          Alcotest.test_case "holds at moderate size" `Quick test_claim_holds_at_moderate_size;
+          Alcotest.test_case "per-order coverage" `Quick test_per_order_coverage;
+          Alcotest.test_case "uu upper bound" `Quick test_unique_unique_upper_bound;
+        ] );
+      ("claims-properties", qcheck_tests);
+    ]

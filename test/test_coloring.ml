@@ -1,0 +1,112 @@
+(* Tests for Coloring.Palette: the (Delta+1)-coloring sketch. *)
+
+module P = Coloring.Palette
+module G = Dgraph.Graph
+module PC = Sketchmodel.Public_coins
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let proper_outcome g coins =
+  let outcome, stats = P.run g coins in
+  match outcome.P.coloring with
+  | Some colors -> (colors, stats, outcome.P.conflict_edges)
+  | None -> Alcotest.fail "coloring failed"
+
+let test_shapes () =
+  let coins = PC.create 44 in
+  List.iter
+    (fun g ->
+      let colors, _, _ = proper_outcome g coins in
+      checkb "proper" true (P.is_proper g colors);
+      checkb "within palette" true (P.max_color colors <= G.max_degree g))
+    [
+      Dgraph.Gen.complete 12;
+      Dgraph.Gen.cycle 9;
+      Dgraph.Gen.star 15;
+      Dgraph.Gen.path 10;
+      Dgraph.Gen.complete_bipartite 6 6;
+    ]
+
+let test_random_many_seeds () =
+  let failures = ref 0 in
+  for seed = 1 to 20 do
+    let rng = Stdx.Prng.create seed in
+    let g = Dgraph.Gen.gnp rng 60 0.3 in
+    let outcome, _ = P.run g (PC.create (seed * 5)) in
+    match outcome.P.coloring with
+    | Some colors -> if not (P.is_proper g colors) then incr failures
+    | None -> incr failures
+  done;
+  checki "no failures over 20 seeds" 0 !failures
+
+let test_empty_graph () =
+  let g = G.empty 5 in
+  let colors, stats, conflicts = proper_outcome g (PC.create 1) in
+  checkb "proper trivially" true (P.is_proper g colors);
+  checki "no conflicts" 0 conflicts;
+  checki "tiny messages" 0 (stats.Sketchmodel.Model.max_bits - stats.Sketchmodel.Model.max_bits);
+  checkb "cost counted" true (stats.Sketchmodel.Model.max_bits >= 8)
+
+let test_complete_graph_needs_all_colors () =
+  (* K_n requires exactly Delta+1 = n colors; with full-size lists the
+     sketch must still find a proper coloring. *)
+  let g = Dgraph.Gen.complete 8 in
+  let outcome, _ = P.run g ~list_size:8 (PC.create 2) in
+  match outcome.P.coloring with
+  | Some colors ->
+      checkb "proper" true (P.is_proper g colors);
+      let distinct = List.sort_uniq compare (Array.to_list colors) in
+      checki "all 8 colors used" 8 (List.length distinct)
+  | None -> Alcotest.fail "K8 coloring failed"
+
+let test_conflict_edges_counted_once () =
+  (* In a complete graph with full lists every edge conflicts. *)
+  let g = Dgraph.Gen.complete 6 in
+  let outcome, _ = P.run g ~list_size:6 (PC.create 3) in
+  checki "conflicts = edges" (G.m g) outcome.P.conflict_edges
+
+let test_is_proper_rejects () =
+  let g = Dgraph.Gen.path 3 in
+  checkb "monochrome edge" false (P.is_proper g [| 0; 0; 1 |]);
+  checkb "wrong length" false (P.is_proper g [| 0; 1 |]);
+  checkb "unset color" false (P.is_proper g [| 0; -1; 0 |]);
+  checkb "valid" true (P.is_proper g [| 0; 1; 0 |])
+
+let test_determinism () =
+  let rng = Stdx.Prng.create 4 in
+  let g = Dgraph.Gen.gnp rng 40 0.3 in
+  let o1, s1 = P.run g (PC.create 9) in
+  let o2, s2 = P.run g (PC.create 9) in
+  checkb "same coloring" true (o1.P.coloring = o2.P.coloring);
+  checki "same cost" s1.Sketchmodel.Model.max_bits s2.Sketchmodel.Model.max_bits
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"palette coloring proper on random graphs" ~count:40
+         QCheck.(pair (int_range 2 40) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.4 in
+           let outcome, _ = P.run g (PC.create (seed + 1)) in
+           match outcome.P.coloring with
+           | Some colors -> P.is_proper g colors && P.max_color colors <= G.max_degree g
+           | None -> false));
+  ]
+
+let () =
+  Alcotest.run "coloring"
+    [
+      ( "palette",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "random many seeds" `Quick test_random_many_seeds;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph_needs_all_colors;
+          Alcotest.test_case "conflict edges counted once" `Quick test_conflict_edges_counted_once;
+          Alcotest.test_case "is_proper rejects" `Quick test_is_proper_rejects;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ("coloring-properties", qcheck_tests);
+    ]

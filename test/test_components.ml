@@ -1,0 +1,129 @@
+(* Tests for Dgraph.Components and Dgraph.Unionfind. *)
+
+module G = Dgraph.Graph
+module C = Dgraph.Components
+module UF = Dgraph.Unionfind
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_unionfind_basic () =
+  let uf = UF.create 6 in
+  checki "initial classes" 6 (UF.count uf);
+  checkb "union works" true (UF.union uf 0 1);
+  checkb "repeat union no-op" false (UF.union uf 0 1);
+  checkb "same" true (UF.same uf 0 1);
+  checkb "not same" false (UF.same uf 0 2);
+  ignore (UF.union uf 1 2);
+  checkb "transitive" true (UF.same uf 0 2);
+  checki "classes after merges" 4 (UF.count uf)
+
+let test_unionfind_members () =
+  let uf = UF.create 5 in
+  ignore (UF.union uf 0 3);
+  ignore (UF.union uf 1 4);
+  let members = UF.class_members uf in
+  let sizes = Array.to_list members |> List.map List.length |> List.filter (fun s -> s > 0) in
+  Alcotest.(check (list int)) "class sizes" [ 2; 2; 1 ] (List.sort (fun a b -> compare b a) sizes);
+  (* Every vertex appears exactly once across classes. *)
+  let all = List.concat (Array.to_list members) |> List.sort compare in
+  Alcotest.(check (list int)) "partition" [ 0; 1; 2; 3; 4 ] all
+
+let test_components_shapes () =
+  let _, c1 = C.components (Dgraph.Gen.path 7) in
+  checki "path connected" 1 c1;
+  let _, c2 = C.components (G.empty 5) in
+  checki "empty graph all isolated" 5 c2;
+  let g = G.disjoint_union (Dgraph.Gen.cycle 4) (Dgraph.Gen.path 3) in
+  let label, c3 = C.components g in
+  checki "two components" 2 c3;
+  checkb "same side" true (label.(0) = label.(2));
+  checkb "different sides" true (label.(0) <> label.(5))
+
+let test_same_component () =
+  let g = G.create 4 [ (0, 1); (2, 3) ] in
+  checkb "same" true (C.same_component g 0 1);
+  checkb "different" false (C.same_component g 1 2)
+
+let test_spanning_forest () =
+  let rng = Stdx.Prng.create 9 in
+  List.iter
+    (fun g ->
+      let f = C.spanning_forest g in
+      checkb "valid forest" true (C.is_spanning_forest g f);
+      let _, c = C.components g in
+      checki "edge count" (G.n g - c) (List.length f))
+    [
+      Dgraph.Gen.path 8;
+      Dgraph.Gen.cycle 8;
+      Dgraph.Gen.complete 6;
+      G.empty 4;
+      Dgraph.Gen.gnp rng 40 0.1;
+      G.disjoint_union (Dgraph.Gen.cycle 5) (Dgraph.Gen.complete 4);
+    ]
+
+let test_is_spanning_forest_rejects () =
+  let g = Dgraph.Gen.cycle 4 in
+  (* A cycle of edges is not a forest. *)
+  checkb "cycle rejected" false (C.is_spanning_forest g (G.edges g));
+  (* Too few edges: does not span. *)
+  checkb "not spanning" false (C.is_spanning_forest g [ (0, 1) ]);
+  (* An edge not in the graph. *)
+  checkb "foreign edge" false (C.is_spanning_forest g [ (0, 2); (1, 3); (0, 1) ]);
+  (* A correct spanning tree passes. *)
+  checkb "valid tree" true (C.is_spanning_forest g [ (0, 1); (1, 2); (2, 3) ])
+
+let test_structured_workloads () =
+  let rng = Stdx.Prng.create 12 in
+  let degrees = Dgraph.Gen.power_law_degrees rng ~n:80 ~exponent:2.3 ~dmax:12 in
+  List.iter
+    (fun (name, g) ->
+      checkb name true (C.is_spanning_forest g (C.spanning_forest g)))
+    [
+      ("grid", Dgraph.Gen.grid 7 8);
+      ("power-law", Dgraph.Gen.configuration_model rng ~degrees);
+      ("regular-ish", Dgraph.Gen.random_regular_ish rng 50 4);
+    ]
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"BFS forest always valid" ~count:300
+         QCheck.(pair (int_range 1 40) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.1 in
+           C.is_spanning_forest g (C.spanning_forest g)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"components consistent with union-find over edges" ~count:300
+         QCheck.(pair (int_range 1 30) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.15 in
+           let uf = UF.create n in
+           G.iter_edges (fun u v -> ignore (UF.union uf u v)) g;
+           let label, count = C.components g in
+           count = UF.count uf
+           && List.for_all
+                (fun (u, v) -> (label.(u) = label.(v)) = UF.same uf u v)
+                (List.concat_map (fun u -> List.init n (fun v -> (u, v))) (List.init n (fun u -> u)))));
+  ]
+
+let () =
+  Alcotest.run "components"
+    [
+      ( "unionfind",
+        [
+          Alcotest.test_case "basic" `Quick test_unionfind_basic;
+          Alcotest.test_case "members" `Quick test_unionfind_members;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "shapes" `Quick test_components_shapes;
+          Alcotest.test_case "same component" `Quick test_same_component;
+          Alcotest.test_case "spanning forest" `Quick test_spanning_forest;
+          Alcotest.test_case "rejects bad forests" `Quick test_is_spanning_forest_rejects;
+          Alcotest.test_case "structured workloads" `Quick test_structured_workloads;
+        ] );
+      ("components-properties", qcheck_tests);
+    ]

@@ -1,0 +1,232 @@
+(* Tests for Dgraph.Graph and Dgraph.Gen. *)
+
+module G = Dgraph.Graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_create_dedup () =
+  let g = G.create 4 [ (0, 1); (1, 0); (2, 3); (0, 1) ] in
+  checki "n" 4 (G.n g);
+  checki "m dedups" 2 (G.m g);
+  checkb "edge" true (G.mem_edge g 0 1);
+  checkb "reverse" true (G.mem_edge g 1 0);
+  checkb "absent" false (G.mem_edge g 0 2)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.normalize_edge: self-loop")
+    (fun () -> ignore (G.create 3 [ (1, 1) ]))
+
+let test_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Graph.create: vertex out of range") (fun () ->
+      ignore (G.create 3 [ (0, 3) ]))
+
+let test_neighbors_sorted () =
+  let g = G.create 5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (G.neighbors g 2);
+  checki "degree" 4 (G.degree g 2);
+  checki "max degree" 4 (G.max_degree g)
+
+let test_edges_normalized () =
+  let g = G.create 4 [ (3, 1); (2, 0) ] in
+  Alcotest.(check (list (pair int int))) "normalized sorted" [ (0, 2); (1, 3) ] (G.edges g)
+
+let test_union () =
+  let a = G.create 4 [ (0, 1) ] and b = G.create 4 [ (1, 2); (0, 1) ] in
+  let u = G.union a b in
+  checki "union size" 2 (G.m u);
+  checkb "has both" true (G.mem_edge u 0 1 && G.mem_edge u 1 2)
+
+let test_union_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Graph.union: vertex count mismatch")
+    (fun () -> ignore (G.union (G.empty 3) (G.empty 4)))
+
+let test_relabel () =
+  let g = G.create 3 [ (0, 1); (1, 2) ] in
+  let g' = G.relabel g [| 2; 0; 1 |] in
+  checkb "edge (2,0)" true (G.mem_edge g' 2 0);
+  checkb "edge (0,1)" true (G.mem_edge g' 0 1);
+  checkb "edge (1,2) gone" false (G.mem_edge g' 1 2)
+
+let test_relabel_invalid () =
+  let g = G.create 3 [ (0, 1) ] in
+  Alcotest.check_raises "not permutation" (Invalid_argument "Graph.relabel: not a permutation")
+    (fun () -> ignore (G.relabel g [| 0; 0; 1 |]))
+
+let test_induced () =
+  let g = G.create 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let sub, back = G.induced g [ 1; 2; 3 ] in
+  checki "sub n" 3 (G.n sub);
+  checki "sub m" 2 (G.m sub);
+  Alcotest.(check (array int)) "back map" [| 1; 2; 3 |] back
+
+let test_disjoint_union () =
+  let a = G.create 2 [ (0, 1) ] and b = G.create 3 [ (0, 2) ] in
+  let u = G.disjoint_union a b in
+  checki "n" 5 (G.n u);
+  checkb "first copy" true (G.mem_edge u 0 1);
+  checkb "second copy shifted" true (G.mem_edge u 2 4)
+
+let test_fold_iter_consistency () =
+  let g = G.create 6 [ (0, 5); (2, 3); (1, 4) ] in
+  let count = G.fold_edges (fun _ _ acc -> acc + 1) g 0 in
+  checki "fold counts edges" (G.m g) count;
+  let seen = ref [] in
+  G.iter_edges (fun u v -> seen := (u, v) :: !seen) g;
+  checki "iter counts edges" (G.m g) (List.length !seen);
+  List.iter (fun (u, v) -> checkb "normalized" true (u < v)) !seen
+
+(* Generators *)
+
+let test_gen_path_cycle () =
+  let p = Dgraph.Gen.path 5 in
+  checki "path edges" 4 (G.m p);
+  let c = Dgraph.Gen.cycle 5 in
+  checki "cycle edges" 5 (G.m c);
+  for v = 0 to 4 do
+    checki "cycle degree" 2 (G.degree c v)
+  done
+
+let test_gen_complete () =
+  let g = Dgraph.Gen.complete 6 in
+  checki "K6 edges" 15 (G.m g);
+  let kb = Dgraph.Gen.complete_bipartite 3 4 in
+  checki "K34 edges" 12 (G.m kb);
+  let s = Dgraph.Gen.star 5 in
+  checki "star edges" 4 (G.m s);
+  checki "centre degree" 4 (G.degree s 0)
+
+let test_gen_matchings () =
+  let pm = Dgraph.Gen.perfect_matching 4 in
+  checki "pm edges" 4 (G.m pm);
+  checki "pm n" 8 (G.n pm);
+  let dm = Dgraph.Gen.disjoint_matchings ~sizes:[ 2; 3 ] in
+  checki "dm n" 10 (G.n dm);
+  checki "dm edges" 5 (G.m dm);
+  checki "max degree 1" 1 (G.max_degree dm)
+
+let test_gen_gnp_extremes () =
+  let rng = Stdx.Prng.create 1 in
+  checki "p=0 empty" 0 (G.m (Dgraph.Gen.gnp rng 10 0.));
+  checki "p=1 complete" 45 (G.m (Dgraph.Gen.gnp rng 10 1.))
+
+let test_gen_bipartite () =
+  let rng = Stdx.Prng.create 2 in
+  let g = Dgraph.Gen.random_bipartite rng ~left:5 ~right:7 ~p:1.0 in
+  checki "complete bipartite" 35 (G.m g);
+  G.iter_edges (fun u v -> checkb "crosses" true (u < 5 && v >= 5)) g
+
+let test_gen_grid () =
+  let g = Dgraph.Gen.grid 3 4 in
+  checki "n" 12 (G.n g);
+  (* edges: 3*3 horizontal + 2*4 vertical = 17 *)
+  checki "m" 17 (G.m g);
+  checki "corner degree" 2 (G.degree g 0);
+  checki "interior degree" 4 (G.degree g 5);
+  let _, comps = Dgraph.Components.components g in
+  checki "connected" 1 comps
+
+let test_gen_configuration_model () =
+  let rng = Stdx.Prng.create 4 in
+  let degrees = [| 3; 3; 2; 2; 1; 1 |] in
+  let g = Dgraph.Gen.configuration_model rng ~degrees in
+  checki "n" 6 (G.n g);
+  (* Self-loops/multi-edges are dropped, so realised <= requested. *)
+  Array.iteri (fun v d -> checkb "degree bounded" true (G.degree g v <= d)) degrees;
+  Alcotest.check_raises "odd sum rejected"
+    (Invalid_argument "Gen.configuration_model: odd degree sum") (fun () ->
+      ignore (Dgraph.Gen.configuration_model rng ~degrees:[| 1; 1; 1 |]))
+
+let test_gen_power_law () =
+  let rng = Stdx.Prng.create 5 in
+  let degrees = Dgraph.Gen.power_law_degrees rng ~n:200 ~exponent:2.5 ~dmax:20 in
+  checki "length" 200 (Array.length degrees);
+  checkb "even sum" true (Array.fold_left ( + ) 0 degrees mod 2 = 0);
+  Array.iter (fun d -> checkb "in range" true (d >= 1 && d <= 20)) degrees;
+  (* Heavy tail: degree-1 vertices should dominate degree-10+ ones. *)
+  let count p = Array.fold_left (fun acc d -> if p d then acc + 1 else acc) 0 degrees in
+  checkb "tail shape" true (count (fun d -> d = 1) > count (fun d -> d >= 10));
+  (* And the whole pipeline builds a graph. *)
+  let g = Dgraph.Gen.configuration_model rng ~degrees in
+  checki "graph size" 200 (G.n g)
+
+let test_gen_bridge () =
+  let rng = Stdx.Prng.create 3 in
+  let g, (u, v) = Dgraph.Gen.bridge_of_clouds rng ~half:20 ~p:0.4 in
+  checki "n" 40 (G.n g);
+  checkb "bridge exists" true (G.mem_edge g u v);
+  checkb "bridge crosses" true (u < 20 && v >= 20)
+
+let small_graph_gen =
+  QCheck.make
+    ~print:(fun (n, edges) -> Printf.sprintf "n=%d edges=%d" n (List.length edges))
+    QCheck.Gen.(
+      int_range 1 20 >>= fun n ->
+      list_size (int_range 0 40)
+        (pair (int_range 0 (max 0 (n - 1))) (int_range 0 (max 0 (n - 1))))
+      >>= fun pairs ->
+      let edges = List.filter (fun (u, v) -> u <> v) pairs in
+      return (n, edges))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"m counts edges" ~count:300 small_graph_gen (fun (n, edges) ->
+           let g = G.create n edges in
+           G.m g = List.length (G.edges g)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mem_edge agrees with edges" ~count:200 small_graph_gen
+         (fun (n, edges) ->
+           let g = G.create n edges in
+           List.for_all (fun (u, v) -> G.mem_edge g u v && G.mem_edge g v u) (G.edges g)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"relabel by inverse is identity" ~count:200
+         QCheck.(pair small_graph_gen (int_range 0 1000))
+         (fun ((n, edges), seed) ->
+           let g = G.create n edges in
+           let sigma = Stdx.Prng.permutation (Stdx.Prng.create seed) n in
+           let inverse = Array.make n 0 in
+           Array.iteri (fun i x -> inverse.(x) <- i) sigma;
+           G.equal g (G.relabel (G.relabel g sigma) inverse)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"degree sum is 2m" ~count:300 small_graph_gen (fun (n, edges) ->
+           let g = G.create n edges in
+           let total = ref 0 in
+           for v = 0 to n - 1 do
+             total := !total + G.degree g v
+           done;
+           !total = 2 * G.m g));
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create dedup" `Quick test_create_dedup;
+          Alcotest.test_case "self loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "edges normalized" `Quick test_edges_normalized;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "union mismatch" `Quick test_union_mismatch;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "relabel invalid" `Quick test_relabel_invalid;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "fold/iter consistency" `Quick test_fold_iter_consistency;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "path/cycle" `Quick test_gen_path_cycle;
+          Alcotest.test_case "complete" `Quick test_gen_complete;
+          Alcotest.test_case "matchings" `Quick test_gen_matchings;
+          Alcotest.test_case "gnp extremes" `Quick test_gen_gnp_extremes;
+          Alcotest.test_case "bipartite" `Quick test_gen_bipartite;
+          Alcotest.test_case "grid" `Quick test_gen_grid;
+          Alcotest.test_case "configuration model" `Quick test_gen_configuration_model;
+          Alcotest.test_case "power law" `Quick test_gen_power_law;
+          Alcotest.test_case "bridge" `Quick test_gen_bridge;
+        ] );
+      ("graph-properties", qcheck_tests);
+    ]

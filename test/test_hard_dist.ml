@@ -1,0 +1,293 @@
+(* Tests for Core.Hard_dist: the structure of D_MM samples. *)
+
+module HD = Core.Hard_dist
+module Rs = Rsgraph.Rs_graph
+module G = Dgraph.Graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sample ?(m = 5) ?k seed =
+  let rs = Rs.bipartite m in
+  HD.sample rs ?k (Stdx.Prng.create seed)
+
+let test_vertex_count_formula () =
+  List.iter
+    (fun (m, k) ->
+      let rs = Rs.bipartite m in
+      let dmm = HD.sample rs ~k (Stdx.Prng.create 1) in
+      checki "n = N - 2r + 2rk" (Rs.n rs - (2 * rs.Rs.r) + (2 * rs.Rs.r * k)) dmm.HD.n;
+      checki "graph size matches" dmm.HD.n (G.n dmm.HD.graph))
+    [ (3, 1); (5, 2); (5, 5); (10, 10) ]
+
+let test_default_k_is_t () =
+  let dmm = sample 2 in
+  checki "k = t" (HD.t_count dmm) dmm.HD.k
+
+let test_label_partition () =
+  let dmm = sample 3 in
+  let all =
+    Array.to_list dmm.HD.public_labels
+    @ List.concat_map Array.to_list (Array.to_list dmm.HD.unique_labels)
+  in
+  checki "labels cover [0, n)" dmm.HD.n (List.length all);
+  Alcotest.(check (list int)) "exactly a permutation" (List.init dmm.HD.n (fun i -> i))
+    (List.sort compare all)
+
+let test_public_unique_predicates () =
+  let dmm = sample 4 in
+  Array.iter (fun l -> checkb "public" true (HD.is_public dmm l)) dmm.HD.public_labels;
+  Array.iter
+    (fun row -> Array.iter (fun l -> checkb "unique" true (HD.is_unique dmm l)) row)
+    dmm.HD.unique_labels
+
+let test_copy_map_consistency () =
+  let dmm = sample 5 in
+  let nn = HD.big_n dmm in
+  (* Each copy's map is injective; public rows are shared across copies,
+     unique rows differ. *)
+  for i = 0 to dmm.HD.k - 1 do
+    let seen = Hashtbl.create nn in
+    Array.iter
+      (fun l ->
+        checkb "injective" false (Hashtbl.mem seen l);
+        Hashtbl.replace seen l ())
+      dmm.HD.copy_map.(i)
+  done;
+  let star = Rs.matching_vertices dmm.HD.rs dmm.HD.j_star in
+  for v = 0 to nn - 1 do
+    let is_star = List.mem v star in
+    for i = 1 to dmm.HD.k - 1 do
+      if is_star then
+        checkb "star vertices get fresh labels" false
+          (dmm.HD.copy_map.(i).(v) = dmm.HD.copy_map.(0).(v))
+      else checki "public labels shared" dmm.HD.copy_map.(0).(v) dmm.HD.copy_map.(i).(v)
+    done
+  done
+
+let test_graph_is_union_of_kept_copies () =
+  let dmm = sample 6 in
+  (* Every graph edge must be a kept copy of an RS edge, and vice versa. *)
+  let expected = Hashtbl.create 256 in
+  for i = 0 to dmm.HD.k - 1 do
+    Array.iteri
+      (fun e (u, v) ->
+        if dmm.HD.kept.(i).(e) then
+          Hashtbl.replace expected
+            (G.normalize_edge dmm.HD.copy_map.(i).(u) dmm.HD.copy_map.(i).(v))
+            ())
+      dmm.HD.rs_edges
+  done;
+  checki "edge count" (Hashtbl.length expected) (G.m dmm.HD.graph);
+  G.iter_edges
+    (fun u v -> checkb "edge expected" true (Hashtbl.mem expected (G.normalize_edge u v)))
+    dmm.HD.graph
+
+let test_special_pairs () =
+  let dmm = sample 7 in
+  let pairs = HD.special_pairs dmm in
+  checki "k * r pairs" (dmm.HD.k * HD.r dmm) (List.length pairs);
+  List.iter
+    (fun (_, (u, v)) ->
+      checkb "unique endpoints" true (HD.is_unique dmm u && HD.is_unique dmm v))
+    pairs;
+  (* Vertex-disjoint: each unique label appears at most once. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (_, (u, v)) ->
+      checkb "disjoint" false (Hashtbl.mem seen u || Hashtbl.mem seen v);
+      Hashtbl.replace seen u ();
+      Hashtbl.replace seen v ())
+    pairs
+
+let test_surviving_subset_and_edges () =
+  let dmm = sample 8 in
+  let surviving = HD.surviving_special dmm in
+  let all = HD.special_pairs dmm in
+  checkb "subset" true (List.for_all (fun p -> List.mem p all) surviving);
+  List.iter
+    (fun (_, (u, v)) -> checkb "survivors are edges" true (G.mem_edge dmm.HD.graph u v))
+    surviving;
+  (* Non-survivors are not edges (special pairs are unique-unique, so they
+     cannot reappear via another copy). *)
+  List.iter
+    (fun ((_, (u, v)) as p) ->
+      if not (List.mem p surviving) then
+        checkb "dropped pairs absent" false (G.mem_edge dmm.HD.graph u v))
+    all
+
+let test_kept_vector_matches () =
+  let dmm = sample 9 in
+  let total = ref 0 in
+  for i = 0 to dmm.HD.k - 1 do
+    let v = HD.kept_vector dmm ~copy:i ~j:dmm.HD.j_star in
+    checki "length r" (HD.r dmm) (Array.length v);
+    Array.iter (fun b -> if b then incr total) v
+  done;
+  checki "sum = survivors" (List.length (HD.surviving_special dmm)) !total
+
+let test_unique_unique_filter () =
+  let dmm = sample 10 in
+  let m = Core.Claims.maximal_matching_under dmm Core.Claims.Lexicographic in
+  let uu = HD.unique_unique_edges dmm m in
+  List.iter
+    (fun (u, v) -> checkb "both unique" true (HD.is_unique dmm u && HD.is_unique dmm v))
+    uu;
+  checkb "subset of matching" true (List.for_all (fun e -> List.mem e m) uu)
+
+let test_augmented_views_counts () =
+  let dmm = sample 11 in
+  let views = HD.augmented_views dmm in
+  checki "player count" (HD.public_player_count dmm + HD.unique_player_count dmm)
+    (Array.length views);
+  checki "public count" (HD.big_n dmm - (2 * HD.r dmm)) (HD.public_player_count dmm);
+  checki "unique count" (dmm.HD.k * HD.big_n dmm) (HD.unique_player_count dmm)
+
+let test_augmented_public_views_match_graph () =
+  let dmm = sample 12 in
+  let views = HD.augmented_views dmm in
+  Array.iteri
+    (fun l label ->
+      let view = views.(l) in
+      checki "vertex is label" label view.Sketchmodel.Model.vertex;
+      Alcotest.(check (array int)) "full neighborhood"
+        (G.neighbors dmm.HD.graph label)
+        view.Sketchmodel.Model.neighbors)
+    dmm.HD.public_labels
+
+let test_augmented_unique_views_partition_copies () =
+  let dmm = sample 13 in
+  let views = HD.augmented_views dmm in
+  let p = HD.public_player_count dmm in
+  let nn = HD.big_n dmm in
+  (* The unique players of copy i collectively see exactly the kept edges
+     of copy i (each edge twice). *)
+  for i = 0 to dmm.HD.k - 1 do
+    let seen = Hashtbl.create 64 in
+    for v = 0 to nn - 1 do
+      let view = views.(p + (i * nn) + v) in
+      Array.iter
+        (fun u ->
+          let e = G.normalize_edge view.Sketchmodel.Model.vertex u in
+          Hashtbl.replace seen e
+            (1 + Option.value ~default:0 (Hashtbl.find_opt seen e)))
+        view.Sketchmodel.Model.neighbors
+    done;
+    let kept_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dmm.HD.kept.(i) in
+    checki "each copy edge seen twice" (2 * kept_count)
+      (Hashtbl.fold (fun _ c acc -> acc + c) seen 0);
+    checki "distinct edges = kept" kept_count (Hashtbl.length seen)
+  done
+
+let test_dmm_is_bipartite () =
+  (* The RS construction is bipartite and gluing respects sides, so every
+     D_MM instance is bipartite — handy and worth pinning down. *)
+  for seed = 1 to 5 do
+    let dmm = sample ~m:(4 + seed) seed in
+    checkb "bipartite" true (Agm.Connectivity.is_bipartite_exact dmm.HD.graph)
+  done
+
+let test_unique_vertex_degree_bound () =
+  (* A unique vertex lives in one copy only; its degree is at most its RS
+     vertex's degree there. Public vertices can accumulate degree across
+     all k copies. *)
+  let dmm = sample ~m:8 3 in
+  let rs_max = Dgraph.Graph.max_degree dmm.HD.rs.Rsgraph.Rs_graph.graph in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun label ->
+          checkb "unique degree bounded by RS degree" true
+            (Dgraph.Graph.degree dmm.HD.graph label <= rs_max))
+        row)
+    dmm.HD.unique_labels
+
+let test_make_deterministic () =
+  let rs = Rs.bipartite 4 in
+  let rng = Stdx.Prng.create 99 in
+  let dmm = HD.sample rs rng in
+  let again =
+    HD.make rs ~k:dmm.HD.k ~j_star:dmm.HD.j_star ~sigma:dmm.HD.sigma ~kept:dmm.HD.kept
+  in
+  checkb "same graph" true (G.equal dmm.HD.graph again.HD.graph);
+  checkb "same labels" true (dmm.HD.public_labels = again.HD.public_labels)
+
+let test_make_guards () =
+  let rs = Rs.bipartite 3 in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  checkb "bad j_star" true
+    (raises (fun () ->
+         ignore
+           (HD.make rs ~k:1 ~j_star:99
+              ~sigma:(Array.init (Rs.n rs) (fun i -> i))
+              ~kept:[| Array.make (G.m rs.Rs.graph) true |])));
+  checkb "bad sigma" true
+    (raises (fun () ->
+         ignore
+           (HD.make rs ~k:1 ~j_star:0 ~sigma:[| 0 |]
+              ~kept:[| Array.make (G.m rs.Rs.graph) true |])));
+  checkb "bad kept shape" true
+    (raises (fun () ->
+         ignore
+           (HD.make rs ~k:2 ~j_star:0
+              ~sigma:(Array.init (Rs.n rs + (2 * rs.Rs.r)) (fun i -> i))
+              ~kept:[| Array.make (G.m rs.Rs.graph) true |])))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"survivors ~ half of special pairs" ~count:20
+         QCheck.(int_range 0 1000)
+         (fun seed ->
+           let dmm = sample ~m:10 seed in
+           let total = dmm.HD.k * HD.r dmm in
+           let survivors = List.length (HD.surviving_special dmm) in
+           (* Bin(50, 1/2): allow a generous window. *)
+           survivors > total / 5 && survivors < total * 4 / 5));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"graph structure valid for random seeds" ~count:20
+         QCheck.(pair (int_range 2 8) (int_range 0 1000))
+         (fun (m, seed) ->
+           let dmm = sample ~m seed in
+           G.n dmm.HD.graph = dmm.HD.n
+           && List.for_all
+                (fun (u, v) -> u >= 0 && v < dmm.HD.n && u <> v)
+                (G.edges dmm.HD.graph)));
+  ]
+
+let () =
+  Alcotest.run "hard_dist"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "vertex count formula" `Quick test_vertex_count_formula;
+          Alcotest.test_case "default k = t" `Quick test_default_k_is_t;
+          Alcotest.test_case "label partition" `Quick test_label_partition;
+          Alcotest.test_case "public/unique predicates" `Quick test_public_unique_predicates;
+          Alcotest.test_case "copy map consistency" `Quick test_copy_map_consistency;
+          Alcotest.test_case "graph is union of kept copies" `Quick
+            test_graph_is_union_of_kept_copies;
+        ] );
+      ( "special-matching",
+        [
+          Alcotest.test_case "special pairs" `Quick test_special_pairs;
+          Alcotest.test_case "surviving subset" `Quick test_surviving_subset_and_edges;
+          Alcotest.test_case "kept vector" `Quick test_kept_vector_matches;
+          Alcotest.test_case "unique-unique filter" `Quick test_unique_unique_filter;
+        ] );
+      ( "augmented-players",
+        [
+          Alcotest.test_case "counts" `Quick test_augmented_views_counts;
+          Alcotest.test_case "public views" `Quick test_augmented_public_views_match_graph;
+          Alcotest.test_case "unique views partition copies" `Quick
+            test_augmented_unique_views_partition_copies;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "D_MM is bipartite" `Quick test_dmm_is_bipartite;
+          Alcotest.test_case "unique degree bound" `Quick test_unique_vertex_degree_bound;
+          Alcotest.test_case "make deterministic" `Quick test_make_deterministic;
+          Alcotest.test_case "make guards" `Quick test_make_guards;
+        ] );
+      ("hard-dist-properties", qcheck_tests);
+    ]

@@ -1,0 +1,259 @@
+(* Tests for Linear_sketch: 1-sparse recovery, s-sparse recovery, and the
+   L0 sampler — correctness, linearity, and serialization. *)
+
+module One = Linear_sketch.One_sparse
+module Sr = Linear_sketch.Sparse_recovery
+module L0 = Linear_sketch.L0_sampler
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let one_params seed = One.make_params (Stdx.Prng.create seed) ~universe:10000
+
+let test_one_sparse_zero () =
+  let c = One.create (one_params 1) in
+  checkb "fresh is zero" true (One.decode c = One.Zero);
+  One.update c 5 3;
+  One.update c 5 (-3);
+  checkb "cancelled is zero" true (One.decode c = One.Zero)
+
+let test_one_sparse_singleton () =
+  let c = One.create (one_params 2) in
+  One.update c 137 1;
+  checkb "singleton" true (One.decode c = One.Singleton (137, 1));
+  One.update c 137 4;
+  checkb "accumulated weight" true (One.decode c = One.Singleton (137, 5));
+  let neg = One.create (one_params 2) in
+  One.update neg 9999 (-7);
+  checkb "negative weight" true (One.decode neg = One.Singleton (9999, -7))
+
+let test_one_sparse_collision () =
+  let c = One.create (one_params 3) in
+  One.update c 10 1;
+  One.update c 20 1;
+  checkb "two items collide" true (One.decode c = One.Collision);
+  (* A +1/-1 pair has s0 = 0 but nonzero fingerprint. *)
+  let c2 = One.create (one_params 3) in
+  One.update c2 10 1;
+  One.update c2 20 (-1);
+  checkb "cancelling pair detected" true (One.decode c2 = One.Collision)
+
+let test_one_sparse_combine_scale () =
+  let params = one_params 4 in
+  let a = One.create params and b = One.create params in
+  One.update a 42 2;
+  One.update b 42 (-2);
+  One.update b 77 5;
+  let sum = One.combine a b in
+  checkb "combine cancels" true (One.decode sum = One.Singleton (77, 5));
+  let scaled = One.scale sum 3 in
+  checkb "scale" true (One.decode scaled = One.Singleton (77, 15))
+
+let test_one_sparse_params_mismatch () =
+  let a = One.create (one_params 5) and b = One.create (one_params 6) in
+  Alcotest.check_raises "params mismatch"
+    (Invalid_argument "One_sparse.combine: params mismatch") (fun () ->
+      ignore (One.combine a b))
+
+let test_one_sparse_serialization () =
+  let params = one_params 7 in
+  let c = One.create params in
+  One.update c 123 (-4);
+  let w = Stdx.Bitbuf.Writer.create () in
+  One.write c w;
+  let c' = One.read params (Stdx.Bitbuf.Reader.of_writer w) in
+  checkb "roundtrip decode" true (One.decode c' = One.Singleton (123, -4))
+
+let sr_params seed = Sr.make_params (Stdx.Prng.create seed) ~universe:5000 ~buckets:8 ~reps:3
+
+let test_sparse_recovery_exact () =
+  let s = Sr.create (sr_params 1) in
+  let items = [ (17, 1); (1000, -2); (4999, 7) ] in
+  List.iter (fun (i, w) -> Sr.update s i w) items;
+  (match Sr.decode s with
+  | Some got -> Alcotest.(check (list (pair int int))) "exact recovery" items got
+  | None -> Alcotest.fail "decode failed on 3-sparse input");
+  checkb "empty" true (Sr.decode (Sr.create (sr_params 1)) = Some [])
+
+let test_sparse_recovery_cancellation () =
+  let params = sr_params 2 in
+  let a = Sr.create params and b = Sr.create params in
+  List.iter (fun i -> Sr.update a i 1) [ 1; 2; 3; 4 ];
+  List.iter (fun i -> Sr.update b i (-1)) [ 2; 3 ];
+  (match Sr.decode (Sr.combine a b) with
+  | Some got -> Alcotest.(check (list (pair int int))) "residual" [ (1, 1); (4, 1) ] got
+  | None -> Alcotest.fail "decode failed after cancellation")
+
+let test_sparse_recovery_soundness () =
+  (* Whatever decode returns (when it succeeds), it must equal the true
+     vector: run over random inputs. *)
+  let rng = Stdx.Prng.create 11 in
+  for trial = 1 to 100 do
+    let params = Sr.make_params (Stdx.Prng.create trial) ~universe:2000 ~buckets:8 ~reps:3 in
+    let s = Sr.create params in
+    let count = Stdx.Prng.int rng 12 in
+    let truth = Hashtbl.create 8 in
+    for _ = 1 to count do
+      let i = Stdx.Prng.int rng 2000 in
+      let w = 1 + Stdx.Prng.int rng 5 in
+      Sr.update s i w;
+      Hashtbl.replace truth i (w + Option.value ~default:0 (Hashtbl.find_opt truth i))
+    done;
+    match Sr.decode s with
+    | None -> () (* allowed: too dense *)
+    | Some got ->
+        let expected =
+          Hashtbl.fold (fun i w acc -> if w <> 0 then (i, w) :: acc else acc) truth []
+          |> List.sort compare
+        in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "sound (trial %d)" trial)
+          expected got
+  done
+
+let test_sparse_recovery_success_rate () =
+  (* <= buckets/2 items should almost always decode. *)
+  let successes = ref 0 in
+  for trial = 1 to 100 do
+    let params = Sr.make_params (Stdx.Prng.create (trial * 7)) ~universe:3000 ~buckets:8 ~reps:3 in
+    let s = Sr.create params in
+    let rng = Stdx.Prng.create (trial + 5000) in
+    let items = Stdx.Prng.sample_distinct rng 4 3000 in
+    Array.iter (fun i -> Sr.update s i 1) items;
+    match Sr.decode s with Some l when List.length l = 4 -> incr successes | Some _ | None -> ()
+  done;
+  checkb (Printf.sprintf "4-sparse decodes >= 95%% (%d)" !successes) true (!successes >= 95)
+
+let l0_params seed = L0.make_params (Stdx.Prng.create seed) ~universe:4096 ()
+
+let test_l0_zero () =
+  let s = L0.create (l0_params 1) in
+  checkb "zero vector" true (L0.decode s = None);
+  L0.update s 100 1;
+  L0.update s 100 (-1);
+  checkb "cancelled vector" true (L0.decode s = None)
+
+let test_l0_single () =
+  let s = L0.create (l0_params 2) in
+  L0.update s 3000 (-2);
+  checkb "finds the only coordinate" true (L0.decode s = Some (3000, -2))
+
+let test_l0_returns_true_nonzero () =
+  let rng = Stdx.Prng.create 13 in
+  for trial = 1 to 50 do
+    let s = L0.create (l0_params (trial + 100)) in
+    let truth = Hashtbl.create 32 in
+    let count = 1 + Stdx.Prng.int rng 200 in
+    for _ = 1 to count do
+      let i = Stdx.Prng.int rng 4096 in
+      Hashtbl.replace truth i (1 + Option.value ~default:0 (Hashtbl.find_opt truth i));
+      L0.update s i 1
+    done;
+    match L0.decode s with
+    | None -> Alcotest.fail (Printf.sprintf "decode failed with %d nonzeros" count)
+    | Some (i, w) ->
+        checki (Printf.sprintf "weight right (trial %d)" trial)
+          (Option.value ~default:0 (Hashtbl.find_opt truth i))
+          w
+  done
+
+let test_l0_linearity () =
+  let params = l0_params 3 in
+  let a = L0.create params and b = L0.create params in
+  List.iter (fun i -> L0.update a i 1) [ 5; 6; 7 ];
+  List.iter (fun i -> L0.update b i (-1)) [ 5; 6 ];
+  checkb "combined leaves the difference" true (L0.decode (L0.combine a b) = Some (7, 1))
+
+let test_l0_serialization () =
+  let params = l0_params 4 in
+  let s = L0.create params in
+  L0.update s 1234 5;
+  let w = Stdx.Bitbuf.Writer.create () in
+  L0.write s w;
+  checki "size_bits matches writer" (Stdx.Bitbuf.Writer.length_bits w) (L0.size_bits s);
+  let s' = L0.read params (Stdx.Bitbuf.Reader.of_writer w) in
+  checkb "roundtrip decode" true (L0.decode s' = Some (1234, 5))
+
+let test_l0_support_hint () =
+  let s = L0.create (l0_params 5) in
+  List.iter (fun i -> L0.update s i 2) [ 10; 20 ];
+  let hint = L0.support_hint s in
+  checkb "hint nonempty" true (hint <> []);
+  checkb "hint sound" true (List.for_all (fun (i, w) -> (i = 10 || i = 20) && w = 2) hint)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"one-sparse decode on random singleton" ~count:300
+         QCheck.(triple (int_range 0 1000) (int_range 0 9999) (int_range 1 100))
+         (fun (seed, i, w) ->
+           let c = One.create (one_params seed) in
+           One.update c i w;
+           One.decode c = One.Singleton (i, w)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"one-sparse serialization roundtrip" ~count:200
+         QCheck.(pair (int_range 0 1000) (small_list (pair (int_range 0 9999) (int_range (-50) 50))))
+         (fun (seed, updates) ->
+           let params = one_params seed in
+           let c = One.create params in
+           List.iter (fun (i, w) -> One.update c i w) updates;
+           let w = Stdx.Bitbuf.Writer.create () in
+           One.write c w;
+           let c' = One.read params (Stdx.Bitbuf.Reader.of_writer w) in
+           One.decode c' = One.decode c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"combine = updates applied to one sketch" ~count:200
+         QCheck.(triple (int_range 0 1000)
+                   (small_list (pair (int_range 0 4999) (int_range (-9) 9)))
+                   (small_list (pair (int_range 0 4999) (int_range (-9) 9))))
+         (fun (seed, ua, ub) ->
+           let params = sr_params seed in
+           let a = Sr.create params and b = Sr.create params and whole = Sr.create params in
+           List.iter (fun (i, w) -> Sr.update a i w; Sr.update whole i w) ua;
+           List.iter (fun (i, w) -> Sr.update b i w; Sr.update whole i w) ub;
+           Sr.decode (Sr.combine a b) = Sr.decode whole));
+  ]
+
+let scale_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"one-sparse scale is linear" ~count:200
+       QCheck.(triple (int_range 0 1000) (int_range 0 9999) (pair (int_range 1 20) (int_range (-5) 5)))
+       (fun (seed, i, (w, c)) ->
+         let params = one_params seed in
+         let a = One.create params in
+         One.update a i w;
+         let scaled = One.scale a c in
+         let direct = One.create params in
+         One.update direct i (w * c);
+         One.decode scaled = One.decode direct))
+
+let () =
+  Alcotest.run "linear_sketch"
+    [
+      ( "one-sparse",
+        [
+          Alcotest.test_case "zero" `Quick test_one_sparse_zero;
+          Alcotest.test_case "singleton" `Quick test_one_sparse_singleton;
+          Alcotest.test_case "collision" `Quick test_one_sparse_collision;
+          Alcotest.test_case "combine/scale" `Quick test_one_sparse_combine_scale;
+          Alcotest.test_case "params mismatch" `Quick test_one_sparse_params_mismatch;
+          Alcotest.test_case "serialization" `Quick test_one_sparse_serialization;
+        ] );
+      ( "sparse-recovery",
+        [
+          Alcotest.test_case "exact" `Quick test_sparse_recovery_exact;
+          Alcotest.test_case "cancellation" `Quick test_sparse_recovery_cancellation;
+          Alcotest.test_case "soundness" `Quick test_sparse_recovery_soundness;
+          Alcotest.test_case "success rate" `Quick test_sparse_recovery_success_rate;
+        ] );
+      ( "l0-sampler",
+        [
+          Alcotest.test_case "zero" `Quick test_l0_zero;
+          Alcotest.test_case "single" `Quick test_l0_single;
+          Alcotest.test_case "true nonzero" `Quick test_l0_returns_true_nonzero;
+          Alcotest.test_case "linearity" `Quick test_l0_linearity;
+          Alcotest.test_case "serialization" `Quick test_l0_serialization;
+          Alcotest.test_case "support hint" `Quick test_l0_support_hint;
+        ] );
+      ("linear-sketch-properties", scale_qcheck :: qcheck_tests);
+    ]

@@ -1,0 +1,165 @@
+(* Tests for Dgraph.Matching, with a brute-force maximum matching as the
+   oracle for Hopcroft–Karp. *)
+
+module G = Dgraph.Graph
+module M = Dgraph.Matching
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Brute-force maximum matching size by recursion over the edge list. *)
+let brute_max_matching g =
+  let edges = Array.of_list (G.edges g) in
+  let used = Stdx.Bitset.create (G.n g) in
+  let rec go i =
+    if i >= Array.length edges then 0
+    else begin
+      let u, v = edges.(i) in
+      let skip = go (i + 1) in
+      if Stdx.Bitset.mem used u || Stdx.Bitset.mem used v then skip
+      else begin
+        Stdx.Bitset.add used u;
+        Stdx.Bitset.add used v;
+        let take = 1 + go (i + 1) in
+        Stdx.Bitset.remove used u;
+        Stdx.Bitset.remove used v;
+        max skip take
+      end
+    end
+  in
+  go 0
+
+let test_greedy_path () =
+  let g = Dgraph.Gen.path 5 in
+  let m = M.greedy g () in
+  checkb "maximal" true (M.is_maximal g m);
+  checki "path P5 greedy lexicographic" 2 (M.size m)
+
+let test_greedy_maximal_various () =
+  let rng = Stdx.Prng.create 5 in
+  List.iter
+    (fun g ->
+      let m = M.greedy g () in
+      checkb "matching" true (M.is_matching g m);
+      checkb "maximal" true (M.is_maximal g m))
+    [
+      Dgraph.Gen.complete 7;
+      Dgraph.Gen.cycle 9;
+      Dgraph.Gen.star 8;
+      Dgraph.Gen.gnp rng 30 0.2;
+      Dgraph.Gen.gnp rng 30 0.02;
+      G.empty 5;
+    ]
+
+let test_verify_fields () =
+  let g = G.create 5 [ (0, 1); (1, 2); (2, 3) ] in
+  let v_ok = M.verify g [ (0, 1); (2, 3) ] in
+  checkb "ok edges" true v_ok.M.edges_exist;
+  checkb "ok disjoint" true v_ok.M.disjoint;
+  checkb "ok maximal" true v_ok.M.maximal;
+  let v_bad_edge = M.verify g [ (0, 4) ] in
+  checkb "nonexistent edge" false v_bad_edge.M.edges_exist;
+  let v_overlap = M.verify g [ (0, 1); (1, 2) ] in
+  checkb "overlap detected" false v_overlap.M.disjoint;
+  let v_not_max = M.verify g [ (0, 1) ] in
+  checkb "not maximal" false v_not_max.M.maximal;
+  checkb "but valid" true (v_not_max.M.edges_exist && v_not_max.M.disjoint)
+
+let test_empty_matching_of_empty_graph () =
+  let g = G.empty 4 in
+  checkb "empty matching maximal in empty graph" true (M.is_maximal g [])
+
+let test_greedy_on_reported () =
+  let g = G.empty 6 in
+  let reported = [ (0, 1); (1, 2); (3, 4); (4, 5); (0, 1) ] in
+  let m = M.greedy_on_reported g reported in
+  Alcotest.(check (list (pair int int))) "greedy picks disjoint prefix" [ (0, 1); (3, 4) ] m
+
+let test_augment_to_maximal () =
+  let g = Dgraph.Gen.path 6 in
+  (* Partial matching with an invalid edge: it must be dropped, then the
+     result extended to maximality. *)
+  let m = M.augment_to_maximal g [ (1, 2); (0, 5) ] in
+  checkb "maximal" true (M.is_maximal g m);
+  checkb "contains kept seed" true (List.mem (1, 2) m)
+
+let test_hopcroft_karp_basic () =
+  let g = Dgraph.Gen.complete_bipartite 3 3 in
+  let left = Stdx.Bitset.of_list 6 [ 0; 1; 2 ] in
+  let m = M.maximum_bipartite g ~left in
+  checki "perfect" 3 (M.size m);
+  checkb "valid" true (M.is_matching g m)
+
+let test_hopcroft_karp_star () =
+  let g = Dgraph.Gen.star 6 in
+  let left = Stdx.Bitset.of_list 6 [ 0 ] in
+  checki "star max matching" 1 (M.size (M.maximum_bipartite g ~left))
+
+let test_hopcroft_karp_rejects_non_bipartite () =
+  let g = G.create 4 [ (0, 1); (1, 2) ] in
+  let left = Stdx.Bitset.of_list 4 [ 0; 1 ] in
+  Alcotest.check_raises "edge inside side"
+    (Invalid_argument "Matching.maximum_bipartite: edge inside one side") (fun () ->
+      ignore (M.maximum_bipartite g ~left))
+
+let bipartite_gen =
+  QCheck.make
+    ~print:(fun (l, r, edges) -> Printf.sprintf "l=%d r=%d e=%d" l r (List.length edges))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun l ->
+      int_range 1 6 >>= fun r ->
+      list_size (int_range 0 14) (pair (int_range 0 (l - 1)) (int_range 0 (r - 1)))
+      >>= fun pairs -> return (l, r, List.map (fun (a, b) -> (a, l + b)) pairs))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hopcroft-karp matches brute force" ~count:300 bipartite_gen
+         (fun (l, r, edges) ->
+           let g = G.create (l + r) edges in
+           let left = Stdx.Bitset.of_list (l + r) (List.init l (fun i -> i)) in
+           let hk = M.maximum_bipartite g ~left in
+           M.is_matching g hk && M.size hk = brute_max_matching g));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy always maximal" ~count:300
+         QCheck.(pair (int_range 1 25) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.25 in
+           M.is_maximal g (M.greedy g ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"maximal matching at least half of maximum" ~count:100
+         QCheck.(pair (int_range 2 10) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.4 in
+           2 * M.size (M.greedy g ()) >= brute_max_matching g));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy under random order still maximal" ~count:200
+         QCheck.(pair (int_range 1 20) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           let order = Array.of_list (G.edges g) in
+           Stdx.Prng.shuffle rng order;
+           M.is_maximal g (M.greedy g ~order ())));
+  ]
+
+let () =
+  Alcotest.run "matching"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "greedy path" `Quick test_greedy_path;
+          Alcotest.test_case "greedy maximal various" `Quick test_greedy_maximal_various;
+          Alcotest.test_case "verify fields" `Quick test_verify_fields;
+          Alcotest.test_case "empty graph" `Quick test_empty_matching_of_empty_graph;
+          Alcotest.test_case "greedy on reported" `Quick test_greedy_on_reported;
+          Alcotest.test_case "augment to maximal" `Quick test_augment_to_maximal;
+          Alcotest.test_case "hopcroft-karp basic" `Quick test_hopcroft_karp_basic;
+          Alcotest.test_case "hopcroft-karp star" `Quick test_hopcroft_karp_star;
+          Alcotest.test_case "hopcroft-karp bipartite guard" `Quick
+            test_hopcroft_karp_rejects_non_bipartite;
+        ] );
+      ("matching-properties", qcheck_tests);
+    ]

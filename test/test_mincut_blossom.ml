@@ -1,0 +1,141 @@
+(* Tests for Dgraph.Mincut (Stoer-Wagner) and Dgraph.Blossom, both against
+   brute-force oracles on small graphs. *)
+
+module G = Dgraph.Graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Brute-force min cut: try all vertex bipartitions. *)
+let brute_min_cut g =
+  let n = G.n g in
+  if n < 2 then max_int
+  else begin
+    let best = ref max_int in
+    for mask = 1 to (1 lsl n) - 2 do
+      let cut = ref 0 in
+      G.iter_edges
+        (fun u v -> if (mask lsr u) land 1 <> (mask lsr v) land 1 then incr cut)
+        g;
+      if !cut < !best then best := !cut
+    done;
+    !best
+  end
+
+let brute_max_matching g =
+  let edges = Array.of_list (G.edges g) in
+  let used = Stdx.Bitset.create (G.n g) in
+  let rec go i =
+    if i >= Array.length edges then 0
+    else begin
+      let u, v = edges.(i) in
+      let skip = go (i + 1) in
+      if Stdx.Bitset.mem used u || Stdx.Bitset.mem used v then skip
+      else begin
+        Stdx.Bitset.add used u;
+        Stdx.Bitset.add used v;
+        let take = 1 + go (i + 1) in
+        Stdx.Bitset.remove used u;
+        Stdx.Bitset.remove used v;
+        max skip take
+      end
+    end
+  in
+  go 0
+
+let test_mincut_shapes () =
+  checki "cycle" 2 (Dgraph.Mincut.min_cut (Dgraph.Gen.cycle 8));
+  checki "path" 1 (Dgraph.Mincut.min_cut (Dgraph.Gen.path 6));
+  checki "K7" 6 (Dgraph.Mincut.min_cut (Dgraph.Gen.complete 7));
+  checki "star" 1 (Dgraph.Mincut.min_cut (Dgraph.Gen.star 9));
+  checki "disconnected" 0 (Dgraph.Mincut.min_cut (G.create 4 [ (0, 1); (2, 3) ]));
+  checki "single vertex" max_int (Dgraph.Mincut.min_cut (G.empty 1));
+  checki "two isolated" 0 (Dgraph.Mincut.min_cut (G.empty 2));
+  checki "complete bipartite" 3 (Dgraph.Mincut.min_cut (Dgraph.Gen.complete_bipartite 3 5))
+
+let test_mincut_vs_brute () =
+  let rng = Stdx.Prng.create 6 in
+  for _ = 1 to 60 do
+    let n = 3 + Stdx.Prng.int rng 8 in
+    let g = Dgraph.Gen.gnp rng n 0.45 in
+    checki (Printf.sprintf "n=%d m=%d" n (G.m g)) (brute_min_cut g) (Dgraph.Mincut.min_cut g)
+  done
+
+let test_k_edge_connected () =
+  checkb "cycle 2-connected" true (Dgraph.Mincut.is_k_edge_connected (Dgraph.Gen.cycle 6) 2);
+  checkb "cycle not 3" false (Dgraph.Mincut.is_k_edge_connected (Dgraph.Gen.cycle 6) 3);
+  checkb "k=0 trivial" true (Dgraph.Mincut.is_k_edge_connected (G.empty 3) 0);
+  checkb "K5 is 4-connected" true (Dgraph.Mincut.is_k_edge_connected (Dgraph.Gen.complete 5) 4)
+
+let test_blossom_shapes () =
+  checki "path P5" 2 (Dgraph.Blossom.maximum_matching_size (Dgraph.Gen.path 5));
+  checki "even cycle" 4 (Dgraph.Blossom.maximum_matching_size (Dgraph.Gen.cycle 8));
+  checki "odd cycle" 4 (Dgraph.Blossom.maximum_matching_size (Dgraph.Gen.cycle 9));
+  checki "K6 perfect" 3 (Dgraph.Blossom.maximum_matching_size (Dgraph.Gen.complete 6));
+  checki "star" 1 (Dgraph.Blossom.maximum_matching_size (Dgraph.Gen.star 7));
+  checki "empty" 0 (Dgraph.Blossom.maximum_matching_size (G.empty 4))
+
+let test_blossom_triangle_pendant () =
+  (* A triangle with a pendant: the blossom case bipartite algorithms
+     miss. 0-1-2 triangle, 3 hangs off 0: perfect matching (0,3),(1,2). *)
+  let g = G.create 4 [ (0, 1); (1, 2); (0, 2); (0, 3) ] in
+  checki "blossom finds perfect" 2 (Dgraph.Blossom.maximum_matching_size g)
+
+let test_blossom_flowers () =
+  (* Two triangles joined by a path: classic blossom stress. *)
+  let g =
+    G.create 8 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (5, 7) ]
+  in
+  checki "matches brute" (brute_max_matching g) (Dgraph.Blossom.maximum_matching_size g)
+
+let test_blossom_output_is_matching () =
+  let rng = Stdx.Prng.create 8 in
+  for _ = 1 to 30 do
+    let n = 4 + Stdx.Prng.int rng 20 in
+    let g = Dgraph.Gen.gnp rng n 0.3 in
+    let m = Dgraph.Blossom.maximum_matching g in
+    checkb "valid matching" true (Dgraph.Matching.is_matching g m)
+  done
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"blossom = brute force" ~count:200
+         QCheck.(pair (int_range 2 11) (int_range 0 100000))
+         (fun (n, seed) ->
+           let g = Dgraph.Gen.gnp (Stdx.Prng.create seed) n 0.4 in
+           Dgraph.Blossom.maximum_matching_size g = brute_max_matching g));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mincut = brute force" ~count:100
+         QCheck.(pair (int_range 2 9) (int_range 0 100000))
+         (fun (n, seed) ->
+           let g = Dgraph.Gen.gnp (Stdx.Prng.create seed) n 0.5 in
+           Dgraph.Mincut.min_cut g = brute_min_cut g));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy <= blossom <= 2 greedy" ~count:100
+         QCheck.(pair (int_range 2 20) (int_range 0 100000))
+         (fun (n, seed) ->
+           let g = Dgraph.Gen.gnp (Stdx.Prng.create seed) n 0.3 in
+           let greedy = List.length (Dgraph.Matching.greedy g ()) in
+           let opt = Dgraph.Blossom.maximum_matching_size g in
+           greedy <= opt && opt <= 2 * greedy));
+  ]
+
+let () =
+  Alcotest.run "mincut_blossom"
+    [
+      ( "mincut",
+        [
+          Alcotest.test_case "shapes" `Quick test_mincut_shapes;
+          Alcotest.test_case "vs brute force" `Quick test_mincut_vs_brute;
+          Alcotest.test_case "k-edge-connected" `Quick test_k_edge_connected;
+        ] );
+      ( "blossom",
+        [
+          Alcotest.test_case "shapes" `Quick test_blossom_shapes;
+          Alcotest.test_case "triangle pendant" `Quick test_blossom_triangle_pendant;
+          Alcotest.test_case "flowers" `Quick test_blossom_flowers;
+          Alcotest.test_case "output valid" `Quick test_blossom_output_is_matching;
+        ] );
+      ("mincut-blossom-properties", qcheck_tests);
+    ]

@@ -1,0 +1,143 @@
+(* Tests for Dgraph.Mis. *)
+
+module G = Dgraph.Graph
+module Mis = Dgraph.Mis
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_greedy_path () =
+  let g = Dgraph.Gen.path 5 in
+  let s = Mis.greedy g () in
+  Alcotest.(check (list int)) "greedy order 0..n" [ 0; 2; 4 ] s;
+  checkb "maximal" true (Mis.is_maximal g s)
+
+let test_greedy_complete () =
+  let g = Dgraph.Gen.complete 8 in
+  checki "K8 MIS has one vertex" 1 (List.length (Mis.greedy g ()))
+
+let test_greedy_empty_graph () =
+  let g = G.empty 4 in
+  Alcotest.(check (list int)) "all vertices" [ 0; 1; 2; 3 ] (Mis.greedy g ())
+
+let test_verify () =
+  let g = Dgraph.Gen.path 4 in
+  (* 0-1-2-3 *)
+  let v = Mis.verify g [ 0; 2 ] in
+  checkb "independent" true v.Mis.independent;
+  checkb "maximal" true v.Mis.maximal;
+  let v2 = Mis.verify g [ 0; 1 ] in
+  checkb "not independent" false v2.Mis.independent;
+  let v3 = Mis.verify g [ 1 ] in
+  checkb "not maximal" false v3.Mis.maximal;
+  checkb "but independent" true v3.Mis.independent
+
+let test_greedy_prefix () =
+  let g = Dgraph.Gen.path 5 in
+  let order = [| 1; 3; 0; 2; 4 |] in
+  let partial, decided = Mis.greedy_prefix g ~order ~prefix:2 in
+  Alcotest.(check (list int)) "partial" [ 1; 3 ] partial;
+  (* 1 and 3 chosen; 0, 2, 4 dominated. *)
+  List.iter (fun v -> checkb (string_of_int v) true (Stdx.Bitset.mem decided v)) [ 0; 1; 2; 3; 4 ]
+
+let test_greedy_prefix_empty () =
+  let g = Dgraph.Gen.path 3 in
+  let partial, decided = Mis.greedy_prefix g ~order:[| 0; 1; 2 |] ~prefix:0 in
+  Alcotest.(check (list int)) "nothing chosen" [] partial;
+  checki "nothing decided" 0 (Stdx.Bitset.cardinal decided)
+
+let test_luby () =
+  let rng = Stdx.Prng.create 7 in
+  List.iter
+    (fun g ->
+      let s = Mis.luby g (Stdx.Prng.copy rng) in
+      checkb "luby independent" true (Mis.is_independent g s);
+      checkb "luby maximal" true (Mis.is_maximal g s))
+    [
+      Dgraph.Gen.complete 10;
+      Dgraph.Gen.cycle 11;
+      Dgraph.Gen.gnp rng 40 0.15;
+      Dgraph.Gen.gnp rng 40 0.6;
+      G.empty 6;
+    ]
+
+let test_residual_after () =
+  let g = Dgraph.Gen.path 6 in
+  (* choose 0: dominates 1; residual = {2,3,4,5} with path edges *)
+  let residual, back = Mis.residual_after g [ 0 ] in
+  checki "residual size" 4 (G.n residual);
+  Alcotest.(check (array int)) "back" [| 2; 3; 4; 5 |] back;
+  checki "residual edges" 3 (G.m residual)
+
+let test_out_of_range () =
+  let g = G.empty 3 in
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Mis: vertex out of range") (fun () ->
+      ignore (Mis.is_independent g [ 5 ]))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy always a maximal IS" ~count:300
+         QCheck.(pair (int_range 1 30) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           Mis.is_maximal g (Mis.greedy g ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"luby always a maximal IS" ~count:100
+         QCheck.(pair (int_range 1 25) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           Mis.is_maximal g (Mis.luby g rng)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"greedy under random order maximal" ~count:200
+         QCheck.(pair (int_range 1 25) (int_range 0 1000))
+         (fun (n, seed) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.25 in
+           let order = Stdx.Prng.permutation rng n in
+           Mis.is_maximal g (Mis.greedy g ~order ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"prefix + completion = maximal IS" ~count:200
+         QCheck.(triple (int_range 2 25) (int_range 0 1000) (int_range 0 10))
+         (fun (n, seed, prefix_raw) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           let order = Stdx.Prng.permutation rng n in
+           let prefix = min n prefix_raw in
+           let partial, decided = Mis.greedy_prefix g ~order ~prefix in
+           (* Finish greedily over undecided vertices. *)
+           let completion = ref (List.rev partial) in
+           let chosen = Stdx.Bitset.create n in
+           List.iter (Stdx.Bitset.add chosen) partial;
+           for v = 0 to n - 1 do
+             if
+               (not (Stdx.Bitset.mem decided v))
+               && not
+                    (Array.exists (fun u -> Stdx.Bitset.mem chosen u) (Dgraph.Graph.neighbors g v))
+             then begin
+               Stdx.Bitset.add chosen v;
+               completion := v :: !completion
+             end
+           done;
+           Mis.is_maximal g (List.rev !completion)));
+  ]
+
+let () =
+  Alcotest.run "mis"
+    [
+      ( "mis",
+        [
+          Alcotest.test_case "greedy path" `Quick test_greedy_path;
+          Alcotest.test_case "greedy complete" `Quick test_greedy_complete;
+          Alcotest.test_case "greedy empty graph" `Quick test_greedy_empty_graph;
+          Alcotest.test_case "verify" `Quick test_verify;
+          Alcotest.test_case "greedy prefix" `Quick test_greedy_prefix;
+          Alcotest.test_case "greedy prefix empty" `Quick test_greedy_prefix_empty;
+          Alcotest.test_case "luby" `Quick test_luby;
+          Alcotest.test_case "residual after" `Quick test_residual_after;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+        ] );
+      ("mis-properties", qcheck_tests);
+    ]

@@ -1,0 +1,171 @@
+(* Tests for Stdx.Prime, Stdx.Hashing and Stdx.Stats. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let trial_division n =
+  if n < 2 then false
+  else begin
+    let ok = ref true in
+    let d = ref 2 in
+    while !d * !d <= n do
+      if n mod !d = 0 then ok := false;
+      incr d
+    done;
+    !ok
+  end
+
+let test_small_primes () =
+  for n = 0 to 2000 do
+    checkb (Printf.sprintf "is_prime %d" n) (trial_division n) (Stdx.Prime.is_prime n)
+  done
+
+let test_known_primes () =
+  List.iter
+    (fun p -> checkb (string_of_int p) true (Stdx.Prime.is_prime p))
+    [ 1048583; 2147483629; 999999937 ];
+  List.iter
+    (fun c -> checkb (string_of_int c) false (Stdx.Prime.is_prime c))
+    [ 1048581; 2147483630; 1000000000 ]
+
+let test_next_prime () =
+  checki "above 10" 11 (Stdx.Prime.next_prime_above 10);
+  checki "above 13" 17 (Stdx.Prime.next_prime_above 13);
+  checki "above 1" 2 (Stdx.Prime.next_prime_above 1);
+  checki "above 2^20" 1048583 (Stdx.Prime.next_prime_above (1 lsl 20));
+  checkb "result prime" true (Stdx.Prime.is_prime (Stdx.Prime.next_prime_above 500000))
+
+let test_prime_range_guard () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Prime.is_prime: out of range")
+    (fun () -> ignore (Stdx.Prime.is_prime (1 lsl 31)))
+
+let test_hashing_range () =
+  let g = Stdx.Prng.create 5 in
+  let h = Stdx.Hashing.sample g ~universe:1000 ~buckets:17 in
+  checki "buckets" 17 (Stdx.Hashing.buckets h);
+  for x = 0 to 999 do
+    let v = Stdx.Hashing.apply h x in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_hashing_deterministic () =
+  let g = Stdx.Prng.create 5 in
+  let h = Stdx.Hashing.sample g ~universe:1000 ~buckets:8 in
+  checki "same input same output" (Stdx.Hashing.apply h 123) (Stdx.Hashing.apply h 123)
+
+let test_hashing_spread () =
+  (* Average over several sampled functions: collisions of a fixed pair
+     should be near 1/buckets. *)
+  let g = Stdx.Prng.create 6 in
+  let buckets = 16 in
+  let trials = 2000 in
+  let collisions = ref 0 in
+  for _ = 1 to trials do
+    let h = Stdx.Hashing.sample g ~universe:10000 ~buckets in
+    if Stdx.Hashing.apply h 17 = Stdx.Hashing.apply h 9342 then incr collisions
+  done;
+  let rate = float_of_int !collisions /. float_of_int trials in
+  checkb "pairwise collision near 1/m" true (abs_float (rate -. (1. /. float_of_int buckets)) < 0.03)
+
+let test_mix64_bijective_sample () =
+  let seen = Hashtbl.create 1000 in
+  for x = 0 to 9999 do
+    let v = Stdx.Hashing.mix64 x in
+    checkb "no collision in sample" false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done
+
+let test_stats_basics () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  checkf "mean" 3. (Stdx.Stats.mean xs);
+  checkf "variance" 2.5 (Stdx.Stats.variance xs);
+  checkf "median" 3. (Stdx.Stats.quantile xs 0.5);
+  checkf "min quantile" 1. (Stdx.Stats.quantile xs 0.);
+  checkf "max quantile" 5. (Stdx.Stats.quantile xs 1.);
+  let s = Stdx.Stats.summarize xs in
+  checki "count" 5 s.Stdx.Stats.count;
+  checkf "p90" 4.6 s.Stdx.Stats.p90
+
+let test_stats_degenerate () =
+  checkf "empty mean" 0. (Stdx.Stats.mean [||]);
+  checkf "single variance" 0. (Stdx.Stats.variance [| 42. |]);
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Stats.quantile: empty") (fun () ->
+      ignore (Stdx.Stats.quantile [||] 0.5))
+
+let test_wilson () =
+  let lo, hi = Stdx.Stats.wilson_interval ~successes:50 ~trials:100 ~z:1.96 in
+  checkb "contains phat" true (lo < 0.5 && hi > 0.5);
+  checkb "ordered" true (lo <= hi);
+  let lo0, hi0 = Stdx.Stats.wilson_interval ~successes:0 ~trials:0 ~z:1.96 in
+  checkf "no data lo" 0. lo0;
+  checkf "no data hi" 1. hi0;
+  let lo1, _ = Stdx.Stats.wilson_interval ~successes:100 ~trials:100 ~z:1.96 in
+  checkb "all successes high lower bound" true (lo1 > 0.9)
+
+let test_binomial_tail () =
+  (* Bin(3, 1/2): P[X >= 2] = 4/8 = 0.5 *)
+  Alcotest.(check (float 1e-9)) "bin(3,.5)>=2" 0.5 (Stdx.Stats.binomial_tail_ge ~n:3 ~p:0.5 ~k:2);
+  Alcotest.(check (float 1e-9)) "bin(3,.5)>=0" 1.0 (Stdx.Stats.binomial_tail_ge ~n:3 ~p:0.5 ~k:0);
+  Alcotest.(check (float 1e-9)) "bin(3,.5)>=4" 0.0 (Stdx.Stats.binomial_tail_ge ~n:3 ~p:0.5 ~k:4);
+  Alcotest.(check (float 1e-9)) "p=0" 0.0 (Stdx.Stats.binomial_tail_ge ~n:10 ~p:0. ~k:1);
+  Alcotest.(check (float 1e-9)) "p=1" 1.0 (Stdx.Stats.binomial_tail_ge ~n:10 ~p:1. ~k:10)
+
+let test_chernoff_dominates () =
+  (* The Chernoff bound must upper-bound the exact lower-tail probability:
+     P[Bin(n,p) <= (1-d) n p] <= exp(-d^2 n p / 2). *)
+  List.iter
+    (fun (n, p, delta) ->
+      let np = float_of_int n *. p in
+      let cutoff = int_of_float (floor ((1. -. delta) *. np)) in
+      let exact = 1. -. Stdx.Stats.binomial_tail_ge ~n ~p ~k:(cutoff + 1) in
+      let bound = Stdx.Stats.chernoff_lower_tail ~n ~p ~delta in
+      checkb
+        (Printf.sprintf "chernoff n=%d p=%.2f d=%.2f" n p delta)
+        true
+        (exact <= bound +. 1e-9))
+    [ (50, 0.5, 0.3); (100, 0.5, 0.2); (200, 0.3, 0.25); (40, 0.7, 0.4) ]
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"quantile within range" ~count:300
+         QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.)) (float_bound_inclusive 1.))
+         (fun (l, q) ->
+           let xs = Array.of_list l in
+           let v = Stdx.Stats.quantile xs q in
+           let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
+           v >= lo -. 1e-9 && v <= hi +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"variance nonnegative" ~count:300
+         QCheck.(list (float_bound_exclusive 1000.))
+         (fun l -> Stdx.Stats.variance (Array.of_list l) >= 0.));
+  ]
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "prime",
+        [
+          Alcotest.test_case "small primes vs trial division" `Quick test_small_primes;
+          Alcotest.test_case "known primes" `Quick test_known_primes;
+          Alcotest.test_case "next prime" `Quick test_next_prime;
+          Alcotest.test_case "range guard" `Quick test_prime_range_guard;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "range" `Quick test_hashing_range;
+          Alcotest.test_case "deterministic" `Quick test_hashing_deterministic;
+          Alcotest.test_case "pairwise spread" `Quick test_hashing_spread;
+          Alcotest.test_case "mix64 injective sample" `Quick test_mix64_bijective_sample;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "degenerate" `Quick test_stats_degenerate;
+          Alcotest.test_case "wilson" `Quick test_wilson;
+          Alcotest.test_case "binomial tail" `Quick test_binomial_tail;
+          Alcotest.test_case "chernoff dominates exact" `Quick test_chernoff_dominates;
+        ] );
+      ("numeric-properties", qcheck_tests);
+    ]

@@ -1,0 +1,177 @@
+(* Tests for Stdx.Prng: determinism, bounds, and statistical sanity. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Stdx.Prng.create 42 and b = Stdx.Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Stdx.Prng.bits64 a) (Stdx.Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Stdx.Prng.create 1 and b = Stdx.Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Stdx.Prng.bits64 a = Stdx.Prng.bits64 b then incr same
+  done;
+  checkb "streams differ" true (!same < 4)
+
+let test_split_independent () =
+  let g = Stdx.Prng.create 7 in
+  let a = Stdx.Prng.split g 1 and b = Stdx.Prng.split g 2 in
+  let a' = Stdx.Prng.split g 1 in
+  check Alcotest.int64 "split deterministic" (Stdx.Prng.bits64 a) (Stdx.Prng.bits64 a');
+  checkb "split keys differ" true (Stdx.Prng.bits64 a <> Stdx.Prng.bits64 b)
+
+let test_split_does_not_advance () =
+  let g = Stdx.Prng.create 7 and h = Stdx.Prng.create 7 in
+  ignore (Stdx.Prng.split g 5);
+  check Alcotest.int64 "parent unchanged" (Stdx.Prng.bits64 h) (Stdx.Prng.bits64 g)
+
+let test_copy () =
+  let g = Stdx.Prng.create 9 in
+  ignore (Stdx.Prng.bits64 g);
+  let c = Stdx.Prng.copy g in
+  check Alcotest.int64 "copy continues identically" (Stdx.Prng.bits64 g) (Stdx.Prng.bits64 c)
+
+let test_int_bounds () =
+  let g = Stdx.Prng.create 3 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 200 do
+        let v = Stdx.Prng.int g bound in
+        checkb "in range" true (v >= 0 && v < bound)
+      done)
+    [ 1; 2; 3; 7; 8; 100; 1 lsl 20; (1 lsl 20) + 7 ]
+
+let test_int_invalid () =
+  let g = Stdx.Prng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Stdx.Prng.int g 0))
+
+let test_int_in () =
+  let g = Stdx.Prng.create 4 in
+  for _ = 1 to 100 do
+    let v = Stdx.Prng.int_in g 5 9 in
+    checkb "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_uniformity () =
+  let g = Stdx.Prng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let v = Stdx.Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      checkb (Printf.sprintf "bucket %d near uniform" i) true
+        (abs (c - (n / 10)) < n / 25))
+    buckets
+
+let test_float_range () =
+  let g = Stdx.Prng.create 12 in
+  for _ = 1 to 1000 do
+    let f = Stdx.Prng.float g in
+    checkb "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_bernoulli_rate () =
+  let g = Stdx.Prng.create 13 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Stdx.Prng.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  checkb "bernoulli(0.3) near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_permutation () =
+  let g = Stdx.Prng.create 14 in
+  let p = Stdx.Prng.permutation g 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_preserves () =
+  let g = Stdx.Prng.create 15 in
+  let a = Array.init 30 (fun i -> i * i) in
+  let b = Array.copy a in
+  Stdx.Prng.shuffle g b;
+  Array.sort compare b;
+  check Alcotest.(array int) "multiset preserved" a b
+
+let test_sample_distinct () =
+  let g = Stdx.Prng.create 16 in
+  for _ = 1 to 50 do
+    let s = Stdx.Prng.sample_distinct g 10 25 in
+    check Alcotest.int "right count" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 0 to 8 do
+      checkb "distinct" true (sorted.(i) < sorted.(i + 1))
+    done;
+    Array.iter (fun v -> checkb "in range" true (v >= 0 && v < 25)) s
+  done;
+  let full = Stdx.Prng.sample_distinct g 25 25 in
+  let sorted = Array.copy full in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "k = n gives everything" (Array.init 25 (fun i -> i)) sorted
+
+let test_subset_mask () =
+  let g = Stdx.Prng.create 17 in
+  let mask = Stdx.Prng.subset_mask g 10000 ~p:0.5 in
+  let kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  checkb "half kept" true (abs (kept - 5000) < 300)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int bound respected" ~count:500
+         QCheck.(pair (int_range 0 1000) (int_range 1 10000))
+         (fun (seed, bound) ->
+           let g = Stdx.Prng.create seed in
+           let v = Stdx.Prng.int g bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"permutation valid" ~count:100
+         QCheck.(pair (int_range 0 1000) (int_range 1 100))
+         (fun (seed, n) ->
+           let p = Stdx.Prng.permutation (Stdx.Prng.create seed) n in
+           let sorted = Array.copy p in
+           Array.sort compare sorted;
+           sorted = Array.init n (fun i -> i)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sample_distinct distinct and in range" ~count:200
+         QCheck.(triple (int_range 0 1000) (int_range 0 40) (int_range 40 200))
+         (fun (seed, k, n) ->
+           let s = Stdx.Prng.sample_distinct (Stdx.Prng.create seed) k n in
+           let l = Array.to_list s in
+           List.length (List.sort_uniq compare l) = k && List.for_all (fun v -> v >= 0 && v < n) l));
+  ]
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "split no advance" `Quick test_split_does_not_advance;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "shuffle preserves" `Quick test_shuffle_preserves;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "subset mask" `Quick test_subset_mask;
+        ] );
+      ("prng-properties", qcheck_tests);
+    ]

@@ -1,0 +1,228 @@
+(* Tests for Sketchmodel: public coins, the one-round model and the
+   two-round extension, with exact bit accounting. *)
+
+module PC = Sketchmodel.Public_coins
+module Model = Sketchmodel.Model
+module Rounds = Sketchmodel.Rounds
+module W = Stdx.Bitbuf.Writer
+module R = Stdx.Bitbuf.Reader
+module G = Dgraph.Graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_coins_deterministic () =
+  let a = PC.create 1 and b = PC.create 1 in
+  checki "seed stored" 1 (PC.seed a);
+  Alcotest.check Alcotest.int64 "global deterministic"
+    (Stdx.Prng.bits64 (PC.global a "x"))
+    (Stdx.Prng.bits64 (PC.global b "x"));
+  Alcotest.check Alcotest.int64 "keyed deterministic"
+    (Stdx.Prng.bits64 (PC.keyed a "y" 5))
+    (Stdx.Prng.bits64 (PC.keyed b "y" 5))
+
+let test_coins_keys_differ () =
+  let c = PC.create 2 in
+  checkb "labels differ" true
+    (Stdx.Prng.bits64 (PC.global c "a") <> Stdx.Prng.bits64 (PC.global c "b"));
+  checkb "indices differ" true
+    (Stdx.Prng.bits64 (PC.keyed c "a" 0) <> Stdx.Prng.bits64 (PC.keyed c "a" 1));
+  checkb "seeds differ" true
+    (Stdx.Prng.bits64 (PC.global (PC.create 3) "a")
+    <> Stdx.Prng.bits64 (PC.global (PC.create 4) "a"))
+
+let test_views () =
+  let g = G.create 4 [ (0, 1); (0, 2) ] in
+  let views = Model.views g in
+  checki "one per vertex" 4 (Array.length views);
+  checki "n propagated" 4 views.(0).Model.n;
+  Alcotest.(check (array int)) "neighbors of 0" [| 1; 2 |] views.(0).Model.neighbors;
+  Alcotest.(check (array int)) "neighbors of 3" [||] views.(3).Model.neighbors;
+  checki "vertex id" 2 views.(2).Model.vertex
+
+(* A protocol whose message sizes are fully predictable: vertex v sends
+   v+1 zero bits; referee returns total bits seen. *)
+let counting_protocol =
+  {
+    Model.name = "counting";
+    player =
+      (fun view _ ->
+        let w = W.create () in
+        for _ = 0 to view.Model.vertex do
+          W.bit w false
+        done;
+        w);
+    referee =
+      (fun ~n ~sketches _ ->
+        ignore n;
+        Array.fold_left (fun acc r -> acc + R.remaining_bits r) 0 sketches);
+  }
+
+let test_run_accounting () =
+  let g = G.empty 4 in
+  let total, stats = Model.run counting_protocol g (PC.create 0) in
+  checki "referee sees all bits" 10 total;
+  checki "max = biggest player" 4 stats.Model.max_bits;
+  checki "total" 10 stats.Model.total_bits;
+  checki "players" 4 stats.Model.players;
+  checkb "avg" true (abs_float (stats.Model.avg_bits -. 2.5) < 1e-9)
+
+let test_run_views_custom () =
+  (* The augmented-model entry point: more players than vertices. *)
+  let views =
+    Array.init 6 (fun i -> { Model.n = 3; vertex = i mod 3; neighbors = [||] })
+  in
+  let proto =
+    {
+      Model.name = "six-players";
+      player =
+        (fun _ _ ->
+          let w = W.create () in
+          W.bit w true;
+          w);
+      referee = (fun ~n ~sketches _ -> (n, Array.length sketches));
+    }
+  in
+  let (n, player_count), stats = Model.run_views proto ~n:3 views (PC.create 1) in
+  checki "n" 3 n;
+  checki "players" 6 player_count;
+  checki "total bits" 6 stats.Model.total_bits
+
+let test_success_rate () =
+  Alcotest.(check (float 1e-9)) "always true" 1.
+    (Model.success_rate ~trials:20 ~seed:5 (fun _ -> true));
+  Alcotest.(check (float 1e-9)) "always false" 0.
+    (Model.success_rate ~trials:20 ~seed:5 (fun _ -> false));
+  let p = Model.success_rate ~trials:400 ~seed:5 (fun coins ->
+      Stdx.Prng.bool (PC.global coins "flip")) in
+  checkb "fair coin near half" true (abs_float (p -. 0.5) < 0.1)
+
+let test_success_rate_fresh_coins () =
+  (* Different trials must see different coins. *)
+  let seen = Hashtbl.create 16 in
+  ignore
+    (Model.success_rate ~trials:10 ~seed:1 (fun coins ->
+         Hashtbl.replace seen (PC.seed coins) ();
+         true));
+  checki "10 distinct seeds" 10 (Hashtbl.length seen)
+
+(* Two-round protocol with predictable sizes: round1 sends 2 bits,
+   broadcast is 5 bits, round2 sends 3 bits for even vertices. *)
+let two_round_fixture =
+  {
+    Rounds.name = "fixture";
+    round1 =
+      (fun _ _ ->
+        let w = W.create () in
+        W.bits w 3 ~width:2;
+        w);
+    decide = (fun ~n ~sketches _ -> ignore sketches; n);
+    encode_broadcast =
+      (fun b ->
+        let w = W.create () in
+        W.bits w (b land 31) ~width:5;
+        w);
+    round2 =
+      (fun view _ _ ->
+        let w = W.create () in
+        if view.Model.vertex mod 2 = 0 then W.bits w 7 ~width:3;
+        w);
+    finish = (fun ~n ~broadcast ~sketches _ -> ignore sketches; n + broadcast);
+  }
+
+let test_two_round_accounting () =
+  let g = G.empty 5 in
+  let out, stats = Rounds.run two_round_fixture g (PC.create 7) in
+  checki "finish ran" 10 out;
+  checki "round1 max" 2 stats.Rounds.round1_max;
+  checki "round2 max" 3 stats.Rounds.round2_max;
+  checki "per player max = 5" 5 stats.Rounds.max_bits;
+  checki "broadcast" 5 stats.Rounds.broadcast_bits;
+  (* totals: 5 players * 2 bits + 3 even vertices * 3 bits *)
+  checki "total" (10 + 9) stats.Rounds.total_bits
+
+let test_run_deterministic () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 17) 20 0.3 in
+  let proto =
+    {
+      Model.name = "coin-echo";
+      player =
+        (fun view coins ->
+          let w = W.create () in
+          W.uvarint w (Stdx.Prng.int (PC.keyed coins "x" view.Model.vertex) 1000);
+          w);
+      referee =
+        (fun ~n ~sketches _ ->
+          ignore n;
+          Array.to_list sketches |> List.map R.uvarint);
+    }
+  in
+  let a, _ = Model.run proto g (PC.create 9) in
+  let b, _ = Model.run proto g (PC.create 9) in
+  checkb "identical runs under identical coins" true (a = b);
+  let c, _ = Model.run proto g (PC.create 10) in
+  checkb "different coins differ" true (a <> c)
+
+let test_zero_players () =
+  let proto =
+    {
+      Model.name = "nobody";
+      player = (fun _ _ -> W.create ());
+      referee = (fun ~n ~sketches _ -> (n, Array.length sketches));
+    }
+  in
+  let (n, players), stats = Model.run_views proto ~n:5 [||] (PC.create 1) in
+  checki "n still passed" 5 n;
+  checki "no players" 0 players;
+  checki "no bits" 0 stats.Model.total_bits;
+  checkb "avg is zero, not NaN" true (stats.Model.avg_bits = 0.)
+
+let test_player_isolation () =
+  (* A player only gets its own view: check the runner passes the right
+     view to the right player by echoing ids. *)
+  let g = G.create 3 [ (0, 1) ] in
+  let proto =
+    {
+      Model.name = "echo";
+      player =
+        (fun view _ ->
+          let w = W.create () in
+          W.uvarint w view.Model.vertex;
+          W.uvarint w (Array.length view.Model.neighbors);
+          w);
+      referee =
+        (fun ~n ~sketches _ ->
+          ignore n;
+          Array.to_list sketches
+          |> List.map (fun r ->
+                 let vertex = R.uvarint r in
+                 let deg = R.uvarint r in
+                 (vertex, deg)));
+    }
+  in
+  let echoed, _ = Model.run proto g (PC.create 3) in
+  Alcotest.(check (list (pair int int))) "views routed correctly"
+    [ (0, 1); (1, 1); (2, 0) ] echoed
+
+let () =
+  Alcotest.run "sketchmodel"
+    [
+      ( "public-coins",
+        [
+          Alcotest.test_case "deterministic" `Quick test_coins_deterministic;
+          Alcotest.test_case "keys differ" `Quick test_coins_keys_differ;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "views" `Quick test_views;
+          Alcotest.test_case "run accounting" `Quick test_run_accounting;
+          Alcotest.test_case "run_views custom players" `Quick test_run_views_custom;
+          Alcotest.test_case "success rate" `Quick test_success_rate;
+          Alcotest.test_case "success rate fresh coins" `Quick test_success_rate_fresh_coins;
+          Alcotest.test_case "player isolation" `Quick test_player_isolation;
+          Alcotest.test_case "run deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "zero players" `Quick test_zero_players;
+        ] );
+      ( "rounds",
+        [ Alcotest.test_case "two-round accounting" `Quick test_two_round_accounting ] );
+    ]
