@@ -1,0 +1,23 @@
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+# Tiny end-to-end run exercising the parallel trial engine (jobs > 1):
+# must print the same table as --jobs 1, per the determinism contract.
+smoke: build
+	dune exec bin/sketchlb.exe -- claim31 -m 5 --samples 3 --seed 1 --jobs 2
+	dune exec bin/sketchlb.exe -- claim31 -m 5 --samples 3 --seed 1 --jobs 1
+
+check: build test smoke
+
+bench: build
+	dune exec bench/main.exe -- tables
+
+clean:
+	dune clean

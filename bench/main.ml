@@ -9,11 +9,19 @@
 open Bechamel
 open Toolkit
 
-let tables () = Core.Experiments.run_all ()
+let tables ?jobs () = Core.Experiments.run_all ?jobs ()
 
-(* One Test.make per experiment: the kernel that generates that table. *)
+(* One Test.make per experiment: the kernel that generates that table.
+
+   [rng] is consumed only by this one-off setup below. Staged closures must
+   NOT share it: Bechamel calls each closure many times, and drawing from a
+   shared mutable generator would give every iteration a different input
+   (measuring a drifting workload instead of one kernel). Closures that
+   need randomness split a fresh generator per call, so every iteration
+   re-runs the identical instance. *)
 let micro_tests () =
   let rng = Stdx.Prng.create 99 in
+  let fresh key = Stdx.Prng.split (Stdx.Prng.create 99) key in
   let rs25 = Rsgraph.Rs_graph.bipartite 25 in
   let rs10 = Rsgraph.Rs_graph.bipartite 10 in
   let dmm25 = Core.Hard_dist.sample rs25 rng in
@@ -30,7 +38,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Rsgraph.Behrend.best 2000)));
     Test.make ~name:"T3:dmm-sample+claim(m=25)"
       (Staged.stage (fun () ->
-           let dmm = Core.Hard_dist.sample rs25 rng in
+           let dmm = Core.Hard_dist.sample rs25 (fresh 303) in
            ignore (Core.Claims.check dmm ())));
     Test.make ~name:"F4:budget-protocol(m=25,b=64)"
       (Staged.stage (fun () ->
@@ -67,6 +75,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Dgraph.Blossom.maximum_matching g128)));
     Test.make ~name:"T10:stream-feed+decode(n=64)"
       (Staged.stage (fun () ->
+           let rng = fresh 1010 in
            let g = Dgraph.Gen.gnp rng 64 0.1 in
            let stream = Streams.Stream.with_decoys rng g ~decoys:50 in
            let proc = Streams.Sketch_stream.create ~n:64 coins in
@@ -74,11 +83,11 @@ let micro_tests () =
            ignore (Streams.Sketch_stream.spanning_forest proc)));
     Test.make ~name:"T11:k-forests(n=48,k=3)"
       (Staged.stage (fun () ->
-           let g = Dgraph.Gen.gnp rng 48 0.2 in
+           let g = Dgraph.Gen.gnp (fresh 1111) 48 0.2 in
            ignore (Agm.Connectivity.k_forests g ~k:3 coins)));
     Test.make ~name:"T11:mincut-stoer-wagner(n=64)"
       (Staged.stage (fun () ->
-           let g = Dgraph.Gen.gnp rng 64 0.3 in
+           let g = Dgraph.Gen.gnp (fresh 1112) 64 0.3 in
            ignore (Dgraph.Mincut.min_cut g)));
     Test.make ~name:"T12:one-round-local-minima(n=1024)"
       (Staged.stage (fun () ->
@@ -128,11 +137,21 @@ let run_benchmarks () =
     rows
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* Usage: main.exe [tables|bench|all] [-j N]. [-j] shards the Monte-Carlo
+     tables over N domains; the printed tables are identical at any N. *)
+  let args = Array.to_list Sys.argv in
+  let rec parse mode jobs = function
+    | [] -> (mode, jobs)
+    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) rest
+    | ("tables" | "bench" | "all") as m :: rest -> parse m jobs rest
+    | _ :: rest -> parse mode jobs rest
+  in
+  let mode, jobs = parse "all" None (List.tl args) in
+  let jobs = match jobs with Some j when j > 0 -> Some j | Some _ | None -> None in
   (match mode with
-  | "tables" -> tables ()
+  | "tables" -> tables ?jobs ()
   | "bench" -> run_benchmarks ()
-  | "all" | _ ->
-      tables ();
+  | _ ->
+      tables ?jobs ();
       run_benchmarks ());
   print_endline "\nbench: done"

@@ -10,6 +10,18 @@ let int_arg ~doc ~default name = Arg.(value & opt int default & info [ name ] ~d
 
 let seed_arg = int_arg ~doc:"Random seed." ~default:7 "seed"
 
+(* Worker domains for the parallelized Monte-Carlo tables. Results are
+   bit-identical at every job count (see Stdx.Parallel). *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ]
+        ~doc:"Worker domains for trial sharding (0 = Domain.recommended_domain_count)."
+        ~docv:"INT")
+
+let jobs_opt j = if j <= 0 then None else Some j
+
 (* T1 *)
 let rs_table_cmd =
   let run ms =
@@ -30,8 +42,9 @@ let behrend_cmd =
 
 (* T3 *)
 let claim31_cmd =
-  let run ms samples seed =
-    Core.Experiments.print_claim31 (Core.Experiments.claim31 ~ms ~samples ~seed)
+  let run ms samples seed jobs =
+    Core.Experiments.print_claim31
+      (Core.Experiments.claim31 ?jobs:(jobs_opt jobs) ~ms ~samples ~seed ())
   in
   Cmd.v
     (Cmd.info "claim31" ~doc:"T3: Claim 3.1 — unique-unique edges in maximal matchings of D_MM.")
@@ -39,14 +52,14 @@ let claim31_cmd =
       const run
       $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50 ] "m"
       $ int_arg ~doc:"Samples per m." ~default:20 "samples"
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* F4 *)
 let sweep_cmd =
-  let run m k budgets trials seed =
+  let run m k budgets trials seed jobs =
     let k = if k <= 0 then None else Some k in
     Core.Experiments.print_budget_sweep
-      (Core.Experiments.budget_sweep ~m ?k ~budgets ~trials ~seed ())
+      (Core.Experiments.budget_sweep ?jobs:(jobs_opt jobs) ~m ?k ~budgets ~trials ~seed ())
   in
   Cmd.v
     (Cmd.info "budget-sweep" ~doc:"F4: success of budget-b protocols on D_MM vs b.")
@@ -57,7 +70,7 @@ let sweep_cmd =
       $ ints_arg ~doc:"Per-player budgets in bits."
           ~default:[ 8; 16; 32; 64; 128; 256; 512; 1024 ] "budgets"
       $ int_arg ~doc:"Trials per configuration." ~default:10 "trials"
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* F5 *)
 let info_cmd =
@@ -181,8 +194,9 @@ let rounds_cmd =
 
 (* T2b *)
 let packing_cmd =
-  let run ms tries seed =
-    Core.Experiments.print_packing_table (Core.Experiments.packing_table ~ms ~tries ~seed)
+  let run ms tries seed jobs =
+    Core.Experiments.print_packing_table
+      (Core.Experiments.packing_table ?jobs:(jobs_opt jobs) ~ms ~tries ~seed ())
   in
   Cmd.v
     (Cmd.info "packing" ~doc:"T2b: random induced-matching packing vs Behrend RS graphs.")
@@ -190,13 +204,13 @@ let packing_cmd =
       const run
       $ ints_arg ~doc:"RS parameters m." ~default:[ 5; 10; 25; 50 ] "m"
       $ int_arg ~doc:"Packing attempts." ~default:3000 "tries"
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* F5b *)
 let estimate_cmd =
-  let run bits samples seed =
+  let run bits samples seed jobs =
     Core.Experiments.print_estimate_accounting
-      (Core.Experiments.estimate_accounting ~bits ~samples ~seed)
+      (Core.Experiments.estimate_accounting ?jobs:(jobs_opt jobs) ~bits ~samples ~seed ())
   in
   Cmd.v
     (Cmd.info "estimate-info" ~doc:"F5b: sampled MI estimates vs exact enumeration.")
@@ -204,7 +218,7 @@ let estimate_cmd =
       const run
       $ ints_arg ~doc:"Budgets in bits." ~default:[ 6; 10; 14 ] "bits"
       $ int_arg ~doc:"Samples." ~default:6000 "samples"
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* T13 *)
 let yao_cmd =
@@ -234,11 +248,31 @@ let bcc_cmd =
       $ int_arg ~doc:"One-round trials." ~default:10 "trials"
       $ seed_arg)
 
+(* P1 *)
+let speedup_cmd =
+  let run m samples seed jobs =
+    Core.Experiments.print_parallel_speedup ~m ~samples
+      (Core.Experiments.parallel_speedup ?jobs:(jobs_opt jobs) ~m ~samples ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "speedup"
+       ~doc:
+         "P1: wall-clock of the deterministic trial engine (claim31) at 1, 2, 4, ... domains, \
+          with a bit-identity check against the sequential run.")
+    Term.(
+      const run
+      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
+      $ int_arg ~doc:"Samples." ~default:2000 "samples"
+      $ seed_arg $ jobs_arg)
+
 let all_cmd =
-  let run fast = Core.Experiments.run_all ~fast () in
+  let run fast jobs = Core.Experiments.run_all ~fast ?jobs:(jobs_opt jobs) () in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at default sizes.")
-    Term.(const run $ Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk sizes (for smoke tests)."))
+    Term.(
+      const run
+      $ Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk sizes (for smoke tests).")
+      $ jobs_arg)
 
 let () =
   let doc =
@@ -268,6 +302,7 @@ let () =
         estimate_cmd;
         yao_cmd;
         bcc_cmd;
+        speedup_cmd;
         all_cmd;
       ]
   in

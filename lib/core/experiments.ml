@@ -67,8 +67,11 @@ let print_behrend_table rows =
 
 type packing_row = { pn : int; pr : int; packed_t : int; behrend_t : int; tries : int }
 
-let packing_table ~ms ~tries ~seed =
-  List.map
+(* The greedy packing loop is inherently sequential (every try depends on
+   the matchings accepted so far), so the parallel axis is the independent
+   per-m packings; each m re-derives its generator from the seed alone. *)
+let packing_table ?jobs ~ms ~tries ~seed () =
+  Stdx.Parallel.map_list ?jobs
     (fun m ->
       let row = Params.rs_row m in
       let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
@@ -110,15 +113,20 @@ type claim_row = {
   consistent : bool;
 }
 
-let claim31 ~ms ~samples ~seed =
+let claim31 ?jobs ~ms ~samples ~seed () =
   List.map
     (fun m ->
       let rs = Rs.bipartite m in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
+      (* Per-trial seeding scheme: trial [i] draws from [split root i], so
+         the sample set is a pure function of [(seed, m, i)] and the trials
+         shard across domains without changing a single bit. *)
+      let root = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
       let stats_list =
-        List.init samples (fun _ ->
+        Stdx.Parallel.init ?jobs samples (fun i ->
+            let rng = Stdx.Prng.split root i in
             let dmm = Hard_dist.sample rs rng in
             Claims.check dmm ())
+        |> Array.to_list
       in
       let unions = List.map (fun s -> s.Claims.union_special) stats_list in
       let uu_min =
@@ -228,29 +236,40 @@ let oracle_protocol dmm =
         !out);
   }
 
-let budget_sweep ~m ?k ~budgets ~trials ~seed () =
+let budget_sweep ?jobs ~m ?k ~budgets ~trials ~seed () =
   let rs = Rs.bipartite m in
   let k = Option.value ~default:rs.Rs.t_count k in
-  let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed * 31 + m)) in
+  (* Same per-trial scheme as claim31: instance [i] is a pure function of
+     [(seed, m, i)], so both sampling and evaluation shard across domains. *)
+  let root = Stdx.Prng.create (Stdx.Hashing.mix64 ((seed * 31) + m)) in
   let instances =
-    Array.init trials (fun i ->
+    Stdx.Parallel.init ?jobs trials (fun i ->
+        let rng = Stdx.Prng.split root i in
         (Hard_dist.sample rs ~k rng, Public_coins.create (Stdx.Hashing.mix64 (seed + (1000 * i)))))
   in
   let first = fst instances.(0) in
   let eval_protocol make_protocol =
+    let per_instance =
+      Stdx.Parallel.map ?jobs
+        (fun (dmm, coins) ->
+          let output, _stats = Model.run (make_protocol dmm) dmm.Hard_dist.graph coins in
+          let special = List.map snd (Hard_dist.surviving_special dmm) in
+          let out_set = edge_table output in
+          let hit = List.length (List.filter (fun e -> Hashtbl.mem out_set e) special) in
+          ( float_of_int hit /. float_of_int (max 1 (List.length special)),
+            relaxed_ok dmm output,
+            Dgraph.Matching.is_maximal dmm.Hard_dist.graph output ))
+        instances
+    in
+    (* Accumulate sequentially in index order: float addition is not
+       associative, and the printed tables must not depend on job count. *)
     let recovered = ref 0. and relaxed = ref 0 and maximal = ref 0 in
     Array.iter
-      (fun (dmm, coins) ->
-        let output, _stats = Model.run (make_protocol dmm) dmm.Hard_dist.graph coins in
-        let special = List.map snd (Hard_dist.surviving_special dmm) in
-        let out_set = edge_table output in
-        let hit = List.length (List.filter (fun e -> Hashtbl.mem out_set e) special) in
-        recovered :=
-          !recovered
-          +. (float_of_int hit /. float_of_int (max 1 (List.length special)));
-        if relaxed_ok dmm output then incr relaxed;
-        if Dgraph.Matching.is_maximal dmm.Hard_dist.graph output then incr maximal)
-      instances;
+      (fun (frac, ok_relaxed, ok_maximal) ->
+        recovered := !recovered +. frac;
+        if ok_relaxed then incr relaxed;
+        if ok_maximal then incr maximal)
+      per_instance;
     let tf = float_of_int trials in
     (!recovered /. tf, float_of_int !relaxed /. tf, float_of_int !maximal /. tf)
   in
@@ -275,13 +294,19 @@ let budget_sweep ~m ?k ~budgets ~trials ~seed () =
   in
   let oracle_bits = ref 0 in
   let oracle_success =
+    let per_instance =
+      Stdx.Parallel.map ?jobs
+        (fun (dmm, coins) ->
+          let output, stats = Model.run (oracle_protocol dmm) dmm.Hard_dist.graph coins in
+          (stats.Model.max_bits, relaxed_ok dmm output))
+        instances
+    in
     let hits = ref 0 in
     Array.iter
-      (fun (dmm, coins) ->
-        let output, stats = Model.run (oracle_protocol dmm) dmm.Hard_dist.graph coins in
-        oracle_bits := max !oracle_bits stats.Model.max_bits;
-        if relaxed_ok dmm output then incr hits)
-      instances;
+      (fun (bits, ok) ->
+        oracle_bits := max !oracle_bits bits;
+        if ok then incr hits)
+      per_instance;
     float_of_int !hits /. float_of_int trials
   in
   let bound = Params.bound_of_rs rs ~k in
@@ -361,7 +386,7 @@ type estimate_row = {
   abs_error : float;
 }
 
-let estimate_accounting ~bits ~samples ~seed =
+let estimate_accounting ?jobs ~bits ~samples ~seed () =
   List.map
     (fun b ->
       let spec =
@@ -381,8 +406,11 @@ let estimate_accounting ~bits ~samples ~seed =
       let nn = Rsgraph.Rs_graph.n rs in
       let n = nn - (2 * rs.Rs.r) + (2 * rs.Rs.r * spec.Accounting.k) in
       let sigma = Array.init n (fun v -> v) in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + b)) in
-      let draw () =
+      let root = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + b)) in
+      let draw i =
+        (* Per-sample seeding scheme: sample [i] is a pure function of
+           [(seed, b, i)], independent of job count and worker order. *)
+        let rng = Stdx.Prng.split root i in
         let j = Stdx.Prng.int rng rs.Rs.t_count in
         let kept =
           Array.init spec.Accounting.k (fun _ ->
@@ -407,7 +435,7 @@ let estimate_accounting ~bits ~samples ~seed =
         in
         (m_code, (msgs, j))
       in
-      let joint = Array.init samples (fun _ -> draw ()) in
+      let joint = Stdx.Parallel.init ?jobs samples draw in
       let estimated = Infotheory.Estimate.conditional_mutual_information_plugin joint in
       {
         ebits = b;
@@ -1032,52 +1060,114 @@ let print_bcc_table rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* P1: the parallel trial engine itself                                *)
 
-let run_all ?(fast = false) () =
-  let rs_ms = if fast then [ 5; 10; 25 ] else [ 5; 10; 25; 50; 100; 200 ] in
-  print_rs_table (rs_table ~ms:rs_ms);
-  let behrend_ms = if fast then [ 10; 30; 100 ] else [ 10; 30; 100; 300; 1000; 3000; 10000 ] in
-  print_behrend_table (behrend_table ~ms:behrend_ms);
-  let claim_ms = if fast then [ 10; 25 ] else [ 10; 25; 50 ] in
-  print_claim31 (claim31 ~ms:claim_ms ~samples:(if fast then 5 else 20) ~seed:7);
-  let sweep =
-    budget_sweep ~m:25
-      ~budgets:(if fast then [ 8; 64; 512 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
-      ~trials:(if fast then 3 else 10) ~seed:11 ()
+type speedup_row = { pjobs : int; wall_s : float; speedup : float; identical : bool }
+
+let parallel_speedup ?jobs ~m ~samples ~seed () =
+  let max_jobs =
+    match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs ()
   in
-  print_budget_sweep sweep;
-  print_info_accounting (info_accounting ~bits:(if fast then [ 2; 6 ] else [ 0; 2; 4; 6; 10 ]));
-  print_upper_bounds (upper_bounds ~ns:(if fast then [ 64; 128 ] else [ 64; 128; 256 ]) ~seed:3);
-  print_coloring_contrast
-    (coloring_contrast ~ns:(if fast then [ 128; 256 ] else [ 256; 512; 1024; 2048 ]) ~seed:19);
-  print_bound_curve (bound_curve ~ms:(if fast then [ 10; 50 ] else [ 10; 25; 50; 100; 200; 400 ]));
-  print_reduction
-    (reduction_check ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25 ])
-       ~samples:(if fast then 3 else 10) ~seed:23);
-  print_bridge
-    (bridge
-       ~halves:(if fast then [ 32 ] else [ 32; 128; 512 ])
-       ~samples:[ 1; 2; 4 ] ~trials:(if fast then 5 else 20) ~seed:29);
-  print_approx_matching
-    (approx_matching
-       ~ns:(if fast then [ 40 ] else [ 40; 80; 160 ])
-       ~budgets:[ 8; 24; 64; 256 ] ~trials:(if fast then 3 else 8) ~seed:31);
-  print_k_sweep
-    (k_sweep ~m:25
-       ~ks:(if fast then [ 5; 25 ] else [ 3; 6; 12; 25 ])
-       ~budgets:[ 4; 8; 16; 32; 64; 128 ] ~trials:(if fast then 3 else 8) ~seed:37);
-  print_stream_table (stream_table ~ns:(if fast then [ 24 ] else [ 24; 48; 96 ]) ~seed:41);
-  print_connectivity_table (connectivity_table ~seed:43);
-  print_rounds_table (rounds_table ~ms:(if fast then [ 10 ] else [ 10; 25; 50 ]) ~seed:47);
-  print_packing_table
-    (packing_table ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25; 50 ])
-       ~tries:(if fast then 500 else 3000) ~seed:53);
-  print_estimate_accounting
-    (estimate_accounting ~bits:(if fast then [ 10 ] else [ 6; 10; 14 ])
-       ~samples:(if fast then 1500 else 6000) ~seed:59);
-  print_yao_table
-    (yao_table ~m:10 ~budgets:[ 16; 32; 48 ] ~instances:(if fast then 8 else 20)
-       ~seeds:(if fast then 4 else 8) ~seed:61);
-  print_bcc_table
-    (bcc_table ~ms:(if fast then [ 10 ] else [ 10; 25 ]) ~trials:(if fast then 3 else 10)
-       ~seed:67)
+  let run j = Stdx.Parallel.timed (fun () -> claim31 ~jobs:j ~ms:[ m ] ~samples ~seed ()) in
+  let reference, baseline_wall = run 1 in
+  let job_counts =
+    List.sort_uniq compare (List.filter (fun j -> j <= max_jobs) [ 1; 2; 4; max_jobs ])
+  in
+  List.map
+    (fun j ->
+      let rows, wall = if j = 1 then (reference, baseline_wall) else run j in
+      {
+        pjobs = j;
+        wall_s = wall;
+        speedup = baseline_wall /. wall;
+        identical = rows = reference;
+      })
+    job_counts
+
+let print_parallel_speedup ~m ~samples rows =
+  pr "\nP1. Deterministic trial engine — claim31 (m=%d, %d samples) sharded over domains\n" m
+    samples;
+  pr "    %d cores recommended by the runtime; identical = rows bit-equal to jobs=1\n"
+    (Stdx.Parallel.default_jobs ());
+  pr "%6s %10s %9s %10s\n" "jobs" "wall (s)" "speedup" "identical";
+  List.iter
+    (fun r -> pr "%6d %10.3f %9.2f %10b\n" r.pjobs r.wall_s r.speedup r.identical)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_all ?(fast = false) ?jobs () =
+  let jobs = match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs () in
+  let total = ref 0. in
+  let table name f =
+    let (), wall = Stdx.Parallel.timed f in
+    total := !total +. wall;
+    pr "    [%s: %.2f s wall]\n%!" name wall
+  in
+  let rs_ms = if fast then [ 5; 10; 25 ] else [ 5; 10; 25; 50; 100; 200 ] in
+  table "T1" (fun () -> print_rs_table (rs_table ~ms:rs_ms));
+  let behrend_ms = if fast then [ 10; 30; 100 ] else [ 10; 30; 100; 300; 1000; 3000; 10000 ] in
+  table "T2" (fun () -> print_behrend_table (behrend_table ~ms:behrend_ms));
+  let claim_ms = if fast then [ 10; 25 ] else [ 10; 25; 50 ] in
+  table "T3" (fun () ->
+      print_claim31 (claim31 ~jobs ~ms:claim_ms ~samples:(if fast then 5 else 20) ~seed:7 ()));
+  table "F4" (fun () ->
+      print_budget_sweep
+        (budget_sweep ~jobs ~m:25
+           ~budgets:(if fast then [ 8; 64; 512 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
+           ~trials:(if fast then 3 else 10) ~seed:11 ()));
+  table "F5" (fun () ->
+      print_info_accounting (info_accounting ~bits:(if fast then [ 2; 6 ] else [ 0; 2; 4; 6; 10 ])));
+  table "T6" (fun () ->
+      print_upper_bounds (upper_bounds ~ns:(if fast then [ 64; 128 ] else [ 64; 128; 256 ]) ~seed:3));
+  table "T6b" (fun () ->
+      print_coloring_contrast
+        (coloring_contrast ~ns:(if fast then [ 128; 256 ] else [ 256; 512; 1024; 2048 ]) ~seed:19));
+  table "F7" (fun () ->
+      print_bound_curve (bound_curve ~ms:(if fast then [ 10; 50 ] else [ 10; 25; 50; 100; 200; 400 ])));
+  table "T8" (fun () ->
+      print_reduction
+        (reduction_check ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25 ])
+           ~samples:(if fast then 3 else 10) ~seed:23));
+  table "F9" (fun () ->
+      print_bridge
+        (bridge
+           ~halves:(if fast then [ 32 ] else [ 32; 128; 512 ])
+           ~samples:[ 1; 2; 4 ] ~trials:(if fast then 5 else 20) ~seed:29));
+  table "F10" (fun () ->
+      print_approx_matching
+        (approx_matching
+           ~ns:(if fast then [ 40 ] else [ 40; 80; 160 ])
+           ~budgets:[ 8; 24; 64; 256 ] ~trials:(if fast then 3 else 8) ~seed:31));
+  table "F11" (fun () ->
+      print_k_sweep
+        (k_sweep ~m:25
+           ~ks:(if fast then [ 5; 25 ] else [ 3; 6; 12; 25 ])
+           ~budgets:[ 4; 8; 16; 32; 64; 128 ] ~trials:(if fast then 3 else 8) ~seed:37));
+  table "T10" (fun () ->
+      print_stream_table (stream_table ~ns:(if fast then [ 24 ] else [ 24; 48; 96 ]) ~seed:41));
+  table "T11" (fun () -> print_connectivity_table (connectivity_table ~seed:43));
+  table "T12" (fun () ->
+      print_rounds_table (rounds_table ~ms:(if fast then [ 10 ] else [ 10; 25; 50 ]) ~seed:47));
+  table "T2b" (fun () ->
+      print_packing_table
+        (packing_table ~jobs ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25; 50 ])
+           ~tries:(if fast then 500 else 3000) ~seed:53 ()));
+  table "F5b" (fun () ->
+      print_estimate_accounting
+        (estimate_accounting ~jobs ~bits:(if fast then [ 10 ] else [ 6; 10; 14 ])
+           ~samples:(if fast then 1500 else 6000) ~seed:59 ()));
+  table "T13" (fun () ->
+      print_yao_table
+        (yao_table ~m:10 ~budgets:[ 16; 32; 48 ] ~instances:(if fast then 8 else 20)
+           ~seeds:(if fast then 4 else 8) ~seed:61));
+  table "T14" (fun () ->
+      print_bcc_table
+        (bcc_table ~ms:(if fast then [ 10 ] else [ 10; 25 ]) ~trials:(if fast then 3 else 10)
+           ~seed:67));
+  table "P1" (fun () ->
+      let m = if fast then 10 else 25 in
+      let samples = if fast then 8 else 40 in
+      print_parallel_speedup ~m ~samples (parallel_speedup ~jobs ~m ~samples ~seed:71 ()));
+  pr "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total
+    jobs

@@ -42,7 +42,7 @@ type packing_row = {
   tries : int;
 }
 
-val packing_table : ms:int list -> tries:int -> seed:int -> packing_row list
+val packing_table : ?jobs:int -> ms:int list -> tries:int -> seed:int -> unit -> packing_row list
 val print_packing_table : packing_row list -> unit
 
 (** {1 T3 — Claim 3.1} *)
@@ -66,7 +66,7 @@ type claim_row = {
           occasional violations are {e predicted}) *)
 }
 
-val claim31 : ms:int list -> samples:int -> seed:int -> claim_row list
+val claim31 : ?jobs:int -> ms:int list -> samples:int -> seed:int -> unit -> claim_row list
 val print_claim31 : claim_row list -> unit
 
 (** {1 F4 — Theorem 1's shape: budget sweep on [D_MM]} *)
@@ -94,7 +94,7 @@ type sweep = {
 }
 
 val budget_sweep :
-  m:int -> ?k:int -> budgets:int list -> trials:int -> seed:int -> unit -> sweep
+  ?jobs:int -> m:int -> ?k:int -> budgets:int list -> trials:int -> seed:int -> unit -> sweep
 val print_budget_sweep : sweep -> unit
 
 (** {1 F5 — Lemmas 3.3–3.5: exact accounting} *)
@@ -119,7 +119,8 @@ type estimate_row = {
   abs_error : float;
 }
 
-val estimate_accounting : bits:int list -> samples:int -> seed:int -> estimate_row list
+val estimate_accounting :
+  ?jobs:int -> bits:int list -> samples:int -> seed:int -> unit -> estimate_row list
 val print_estimate_accounting : estimate_row list -> unit
 
 (** {1 T6 — Section 1 landscape: upper-bound protocol costs} *)
@@ -311,7 +312,35 @@ type bcc_row = {
 val bcc_table : ms:int list -> trials:int -> seed:int -> bcc_row list
 val print_bcc_table : bcc_row list -> unit
 
+(** {1 P1 — the deterministic parallel trial engine}
+
+    The Monte-Carlo loops above ([claim31], [budget_sweep],
+    [estimate_accounting], [packing_table]) take an optional [?jobs]
+    argument and shard their independent trials over that many OCaml 5
+    domains via {!Stdx.Parallel}. Trial [i] derives its generator as
+    [Prng.split root i], so every table is bit-identical at every job
+    count; this report measures the wall-clock side of that claim. *)
+
+type speedup_row = {
+  pjobs : int;
+  wall_s : float;
+  speedup : float;  (** wall-clock at [jobs=1] / wall-clock at [pjobs] *)
+  identical : bool;  (** rows structurally equal to the [jobs=1] rows *)
+}
+
+val parallel_speedup :
+  ?jobs:int -> m:int -> samples:int -> seed:int -> unit -> speedup_row list
+(** Times [claim31 ~ms:[m] ~samples] at job counts [1, 2, 4, jobs]
+    (deduplicated, capped at [jobs]; default
+    [Stdx.Parallel.default_jobs ()]) and checks each run's rows against
+    the sequential reference. *)
+
+val print_parallel_speedup : m:int -> samples:int -> speedup_row list -> unit
+
 (** {1 Everything} *)
 
-val run_all : ?fast:bool -> unit -> unit
-(** Print every table at default sizes ([fast] shrinks them for tests). *)
+val run_all : ?fast:bool -> ?jobs:int -> unit -> unit
+(** Print every table at default sizes ([fast] shrinks them for tests),
+    sharding the Monte-Carlo tables over [jobs] domains (default: the
+    runtime's recommended count; results are identical either way) and
+    reporting per-table wall-clock. *)

@@ -12,8 +12,26 @@ type 'a protocol = {
 
 type stats = { max_bits : int; total_bits : int; avg_bits : float; players : int }
 
-let run_views protocol ~n player_views coins =
-  let writers = Array.map (fun view -> protocol.player view coins) player_views in
+(* [schedule] is the order player sketches are computed in; sketch slots are
+   always indexed by player, so the referee's input — and therefore output
+   and stats — cannot depend on it. This is the contract that lets the
+   experiment suite compute trials (and their inner Model.run calls) on any
+   domain in any order; test_sketchmodel pins it with shuffled schedules. *)
+let run_views ?schedule protocol ~n player_views coins =
+  let players = Array.length player_views in
+  let schedule =
+    match schedule with
+    | None -> Array.init players (fun i -> i)
+    | Some order ->
+        let sorted = Array.copy order in
+        Array.sort compare sorted;
+        if sorted <> Array.init players (fun i -> i) then
+          invalid_arg "Model.run_views: schedule is not a permutation of the players";
+        order
+  in
+  let slots = Array.make players None in
+  Array.iter (fun p -> slots.(p) <- Some (protocol.player player_views.(p) coins)) schedule;
+  let writers = Array.map (function Some w -> w | None -> assert false) slots in
   let sizes = Array.map Stdx.Bitbuf.Writer.length_bits writers in
   let total_bits = Array.fold_left ( + ) 0 sizes in
   let max_bits = Array.fold_left max 0 sizes in

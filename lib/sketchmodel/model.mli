@@ -37,10 +37,20 @@ val run : 'a protocol -> Dgraph.Graph.t -> Public_coins.t -> 'a * stats
 (** Executes one round honestly: builds views, runs every player, hands the
     referee read-only sketches, and accounts bits. *)
 
-val run_views : 'a protocol -> n:int -> view array -> Public_coins.t -> 'a * stats
+val run_views :
+  ?schedule:int array -> 'a protocol -> n:int -> view array -> Public_coins.t -> 'a * stats
 (** Same, but over explicit views — used by the public/unique augmented
     player model of Section 3.1, where the number of players exceeds [n]
-    and views are not the honest per-vertex ones. *)
+    and views are not the honest per-vertex ones.
+
+    [schedule] (a permutation of the player indices; default identity)
+    fixes the {e order} in which player sketches are computed. Players are
+    simultaneous and independent, so every schedule must give identical
+    output and stats — the referee's accounting is order-independent by
+    construction. The knob exists so tests can pin that invariant, which
+    is what makes computing sketches concurrently (or trials in parallel
+    via {!Stdx.Parallel}) safe. Raises [Invalid_argument] if [schedule]
+    is not a permutation. *)
 
 val success_rate :
   trials:int -> seed:int -> (Public_coins.t -> bool) -> float

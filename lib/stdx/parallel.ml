@@ -1,0 +1,61 @@
+(* Deterministic Domain-sharded trial execution. Chunks are fixed up front
+   ([jobs] contiguous slices of the index range), each worker fills its own
+   slice in increasing index order, and slices are concatenated in order —
+   so the result never depends on worker interleaving. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* In-order sequential fill of [a.(lo .. hi-1)] with [f i]; explicit loop
+   because [Array.init]'s evaluation order is unspecified and [f] may be
+   effectful (the [jobs = 1] path must be the reference sequential order). *)
+let fill_range a f lo hi =
+  for i = lo to hi - 1 do
+    a.(i) <- Some (f i)
+  done
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let jobs = min jobs (max 1 n) in
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    (if jobs = 1 then fill_range slots f 0 n
+     else begin
+       let chunk = (n + jobs - 1) / jobs in
+       let bounds w = (w * chunk, min n ((w + 1) * chunk)) in
+       let workers =
+         Array.init (jobs - 1) (fun i ->
+             let lo, hi = bounds (i + 1) in
+             Domain.spawn (fun () -> fill_range slots f lo hi))
+       in
+       (* The calling domain takes the first chunk instead of idling. *)
+       let first_error =
+         let lo, hi = bounds 0 in
+         try
+           fill_range slots f lo hi;
+           None
+         with e -> Some e
+       in
+       (* Join everything before re-raising so no domain leaks. *)
+       let errors =
+         Array.to_list workers
+         |> List.filter_map (fun d ->
+                match Domain.join d with () -> None | exception e -> Some e)
+       in
+       match (first_error, errors) with
+       | Some e, _ | None, e :: _ -> raise e
+       | None, [] -> ()
+     end);
+    Array.map (function Some v -> v | None -> assert false) slots
+  end
+
+let map ?jobs f a = init ?jobs (Array.length a) (fun i -> f a.(i))
+
+let map_list ?jobs f l =
+  Array.to_list (map ?jobs f (Array.of_list l))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)

@@ -1,0 +1,51 @@
+(** Deterministic multicore execution of independent trials.
+
+    The Monte-Carlo experiment suite spends nearly all of its time in loops
+    of the form "for each trial index [i], derive a generator from [(root
+    seed, i)] and run one independent simulation". Those loops are
+    embarrassingly parallel {e provided} the randomness of trial [i] is a
+    pure function of [i] — which is exactly what {!Prng.split} gives us.
+
+    This module shards such loops across OCaml 5 [Domain.t] workers in
+    fixed, statically computed chunks. Scheduling is deterministic by
+    construction: trial [i] always computes the same value no matter how
+    many workers run, so results are bit-identical for every job count,
+    including [jobs = 1] (which runs in the calling domain with no domain
+    spawned at all, and is the reference sequential order).
+
+    {2 The determinism contract}
+
+    [init ~jobs n f] computes [f i] for [i = 0 .. n-1] and never shares
+    state between calls: each [f i] must depend only on [i] (deriving any
+    randomness it needs via [Prng.split root i] — see the seeding-scheme
+    note in {!Prng.split}) and on immutable captured data. Under that
+    contract:
+
+    - [init ~jobs:a n f] and [init ~jobs:b n f] return equal arrays for
+      all [a, b >= 1];
+    - every index is computed exactly once (chunks partition [0 .. n-1]);
+    - within a chunk, indices are evaluated in increasing order.
+
+    Nothing enforces the purity of [f]; feeding it a shared mutable
+    generator silently breaks both determinism and memory safety. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the runtime's estimate of how
+    many domains this machine runs well, used when [?jobs] is omitted. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [[| f 0; f 1; ...; f (n-1) |]], computed on up to
+    [jobs] domains ([max 1 jobs]; never more than [n]). Raises whatever
+    [f] raises (the first failing chunk in index order wins); all spawned
+    domains are joined before the exception propagates. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] is [Array.map f a] sharded like {!init}. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f l] is [List.map f l] sharded like {!init}. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and also returns the elapsed wall-clock seconds
+    (monotonic; safe across domains — [Sys.time] counts CPU seconds summed
+    over every domain and would over-report parallel runs). *)

@@ -20,7 +20,21 @@ val split : t -> int -> t
 (** [split g key] derives an independent generator from [g]'s seed and an
     integer [key], without advancing [g]. Two distinct keys give streams that
     are independent for all practical purposes. This is how public coins are
-    distributed: every player calls [split coins vertex_id]. *)
+    distributed: every player calls [split coins vertex_id].
+
+    {b Trial-key derivation (the seeding scheme).} [split] is also the
+    contract the deterministic parallel engine ({!Parallel}) is built on:
+    Monte-Carlo trial [i] of an experiment rooted at generator [root] uses
+    exactly [split root i] as its private generator. The derivation is a
+    pure function of [(root seed, key)] — one SplitMix64 step of the root
+    seed, XORed with [key * 0x9E3779B97F4A7C15], masked to 63 bits, then
+    fed to {!create} — and never reads or advances the root's stream
+    state, so trial [i]'s randomness is identical whether the trials run
+    sequentially, sharded over any number of domains, or in any order.
+    This derivation is pinned by golden-value tests in [test_prng.ml];
+    changing it silently would break bit-for-bit reproducibility of every
+    published table, so any change must update those goldens (and the
+    recorded tables) deliberately. *)
 
 val copy : t -> t
 (** [copy g] duplicates the state; the copy evolves independently. *)

@@ -28,7 +28,7 @@ let test_behrend_table () =
     rows
 
 let test_claim31 () =
-  let rows = E.claim31 ~ms:[ 5 ] ~samples:3 ~seed:1 in
+  let rows = E.claim31 ~ms:[ 5 ] ~samples:3 ~seed:1 () in
   List.iter
     (fun r ->
       checkb "min <= mean" true (float_of_int r.E.min_union <= r.E.mean_union +. 1e-9);
@@ -104,13 +104,13 @@ let test_bridge () =
     rows
 
 let test_packing () =
-  let rows = E.packing_table ~ms:[ 4 ] ~tries:300 ~seed:7 in
+  let rows = E.packing_table ~ms:[ 4 ] ~tries:300 ~seed:7 () in
   List.iter
     (fun r -> checkb "some packing" true (r.E.packed_t >= 1 && r.E.behrend_t >= 1))
     rows
 
 let test_estimate () =
-  let rows = E.estimate_accounting ~bits:[ 14 ] ~samples:2000 ~seed:8 in
+  let rows = E.estimate_accounting ~bits:[ 14 ] ~samples:2000 ~seed:8 () in
   List.iter (fun r -> checkb "error small at saturating b" true (r.E.abs_error < 0.25)) rows
 
 let test_yao () =

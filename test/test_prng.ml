@@ -24,6 +24,29 @@ let test_split_independent () =
   check Alcotest.int64 "split deterministic" (Stdx.Prng.bits64 a) (Stdx.Prng.bits64 a');
   checkb "split keys differ" true (Stdx.Prng.bits64 a <> Stdx.Prng.bits64 b)
 
+(* Golden values pinning the trial-key derivation documented on
+   [Prng.split]: first word of [split (create seed) key]. The parallel
+   engine's determinism contract (trial i <-> split root i) and every
+   published table depend on this exact derivation; if this test fails,
+   the seeding scheme changed and all recorded experiment outputs are
+   silently different. Update these constants only on purpose. *)
+let test_split_golden () =
+  List.iter
+    (fun (seed, key, expected) ->
+      check Alcotest.int64
+        (Printf.sprintf "split (create %d) %d" seed key)
+        expected
+        (Stdx.Prng.bits64 (Stdx.Prng.split (Stdx.Prng.create seed) key)))
+    [
+      (0, 0, 0x112869f07c59d976L);
+      (0, 1, 0x67cfad6b945c5e67L);
+      (7, 0, 0xf15372a7610d380L);
+      (7, 1, 0x1bd90e81a3995153L);
+      (7, 2, 0x65cb288236869b1aL);
+      (42, 1000, 0x3f1ad5c171df2c2bL);
+      (123456789, 31337, 0xcbe6d94bb88c8f46L);
+    ]
+
 let test_split_does_not_advance () =
   let g = Stdx.Prng.create 7 and h = Stdx.Prng.create 7 in
   ignore (Stdx.Prng.split g 5);
@@ -160,6 +183,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "different seeds" `Quick test_different_seeds;
           Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "split golden values" `Quick test_split_golden;
           Alcotest.test_case "split no advance" `Quick test_split_does_not_advance;
           Alcotest.test_case "copy" `Quick test_copy;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;

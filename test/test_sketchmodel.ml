@@ -204,6 +204,35 @@ let test_player_isolation () =
   Alcotest.(check (list (pair int int))) "views routed correctly"
     [ (0, 1); (1, 1); (2, 0) ] echoed
 
+(* Regression for the parallel trial engine's core assumption: the order in
+   which player sketches are computed must not change the referee's output
+   or the bit accounting. Runs a real protocol (sampled MM) on a D_MM-sized
+   random graph under shuffled schedules and demands bit-equality. *)
+let test_schedule_independence () =
+  let rng = Stdx.Prng.create 2024 in
+  let g = Dgraph.Gen.gnp rng 48 0.2 in
+  let coins = PC.create 77 in
+  let protocol =
+    Protocols.Sampled_mm.protocol ~budget_bits:32 ~strategy:Protocols.Sampled_mm.Uniform
+  in
+  let views = Model.views g in
+  let reference_out, reference_stats = Model.run_views protocol ~n:(G.n g) views coins in
+  List.iter
+    (fun shuffle_seed ->
+      let schedule = Stdx.Prng.permutation (Stdx.Prng.create shuffle_seed) (G.n g) in
+      let out, stats = Model.run_views ~schedule protocol ~n:(G.n g) views coins in
+      Alcotest.(check (list (pair int int)))
+        "output independent of sketch order" reference_out out;
+      checki "max_bits independent of sketch order" reference_stats.Model.max_bits
+        stats.Model.max_bits;
+      checki "total_bits independent of sketch order" reference_stats.Model.total_bits
+        stats.Model.total_bits)
+    [ 1; 2; 3; 4 ];
+  Alcotest.check_raises "non-permutation schedule rejected"
+    (Invalid_argument "Model.run_views: schedule is not a permutation of the players")
+    (fun () ->
+      ignore (Model.run_views ~schedule:(Array.make (G.n g) 0) protocol ~n:(G.n g) views coins))
+
 let () =
   Alcotest.run "sketchmodel"
     [
@@ -222,6 +251,7 @@ let () =
           Alcotest.test_case "player isolation" `Quick test_player_isolation;
           Alcotest.test_case "run deterministic" `Quick test_run_deterministic;
           Alcotest.test_case "zero players" `Quick test_zero_players;
+          Alcotest.test_case "schedule independence" `Quick test_schedule_independence;
         ] );
       ( "rounds",
         [ Alcotest.test_case "two-round accounting" `Quick test_two_round_accounting ] );
