@@ -1,4 +1,4 @@
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke smoke-json check bench clean
 
 all: build
 
@@ -14,8 +14,17 @@ smoke: build
 	dune exec bin/sketchlb.exe -- claim31 -m 5 --samples 3 --seed 1 --jobs 2
 	dune exec bin/sketchlb.exe -- claim31 -m 5 --samples 3 --seed 1 --jobs 1
 
-check: build test smoke
+# Every experiment at shrunk sizes through the JSON-lines renderer,
+# validated by the bundled parser. Built binaries are invoked directly:
+# two `dune exec` processes joined by a pipe deadlock on the build lock.
+smoke-json: build
+	./_build/default/bin/sketchlb.exe all --fast --jobs 1 --format json --out - \
+	  | ./_build/default/bin/jsoncheck.exe
 
+check: build test smoke smoke-json
+
+# Regenerates every table and writes BENCH_tables.json (one JSON line per
+# table: id, wall-clock, rows).
 bench: build
 	dune exec bench/main.exe -- tables
 

@@ -4,12 +4,41 @@
 
    Usage: dune exec bench/main.exe            (tables + micro-benches)
           dune exec bench/main.exe -- tables  (tables only)
-          dune exec bench/main.exe -- bench   (micro-benches only) *)
+          dune exec bench/main.exe -- bench   (micro-benches only)
+
+   The tables pass also writes BENCH_tables.json (JSON-lines: one object
+   per table with id, wall-clock and rows); `--fast` shrinks sizes. *)
 
 open Bechamel
 open Toolkit
+module R = Core.Exp_registry
+module T = Report.Tabular
 
-let tables ?jobs () = Core.Experiments.run_all ?jobs ()
+(* Regenerate every registered table (text to stdout, as `run_all` always
+   did) and seed BENCH_tables.json: one JSON line per table with its id,
+   wall-clock seconds and rows through the JSON renderer. *)
+let tables ?(fast = false) ?jobs () =
+  let jobs =
+    match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs ()
+  in
+  let oc = open_out "BENCH_tables.json" in
+  let total = ref 0. in
+  List.iter
+    (fun e ->
+      let overrides = R.overrides_for ~fast e @ [ ("jobs", R.Vint jobs) ] in
+      let tbl, wall = Stdx.Parallel.timed (fun () -> R.table e overrides) in
+      print_string (T.to_text tbl);
+      Printf.printf "    [%s: %.2f s wall]\n%!" (R.title e) wall;
+      total := !total +. wall;
+      let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
+      Printf.fprintf oc "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"rows\":[%s]}\n" (R.id e)
+        (R.title e) (T.float_repr wall) (String.concat "," rows))
+    (Core.Exp_all.all ());
+  Printf.printf
+    "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total
+    jobs;
+  close_out oc;
+  print_endline "bench: wrote BENCH_tables.json"
 
 (* One Test.make per experiment: the kernel that generates that table.
 
@@ -140,18 +169,19 @@ let () =
   (* Usage: main.exe [tables|bench|all] [-j N]. [-j] shards the Monte-Carlo
      tables over N domains; the printed tables are identical at any N. *)
   let args = Array.to_list Sys.argv in
-  let rec parse mode jobs = function
-    | [] -> (mode, jobs)
-    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) rest
-    | ("tables" | "bench" | "all") as m :: rest -> parse m jobs rest
-    | _ :: rest -> parse mode jobs rest
+  let rec parse mode jobs fast = function
+    | [] -> (mode, jobs, fast)
+    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast rest
+    | "--fast" :: rest -> parse mode jobs true rest
+    | ("tables" | "bench" | "all") as m :: rest -> parse m jobs fast rest
+    | _ :: rest -> parse mode jobs fast rest
   in
-  let mode, jobs = parse "all" None (List.tl args) in
+  let mode, jobs, fast = parse "all" None false (List.tl args) in
   let jobs = match jobs with Some j when j > 0 -> Some j | Some _ | None -> None in
   (match mode with
-  | "tables" -> tables ?jobs ()
+  | "tables" -> tables ~fast ?jobs ()
   | "bench" -> run_benchmarks ()
   | _ ->
-      tables ?jobs ();
+      tables ~fast ?jobs ();
       run_benchmarks ());
   print_endline "\nbench: done"

@@ -1,0 +1,23 @@
+(* CI smoke gate: parse a JSON-lines stream (file argument or stdin) with
+   the same minimal parser the test suite uses, failing loudly on the
+   first malformed line. *)
+
+let read_all ic = In_channel.input_all ic
+
+let () =
+  let input =
+    match Sys.argv with
+    | [| _ |] -> read_all stdin
+    | [| _; file |] -> In_channel.with_open_bin file read_all
+    | _ ->
+        prerr_endline "usage: jsoncheck [FILE]  (reads stdin when FILE is omitted)";
+        exit 2
+  in
+  match Report.Tabular.json_lines_of_string input with
+  | [] ->
+      prerr_endline "jsoncheck: no JSON lines found";
+      exit 1
+  | lines -> Printf.printf "jsoncheck: %d JSON lines parsed\n" (List.length lines)
+  | exception Report.Tabular.Parse_error msg ->
+      Printf.eprintf "jsoncheck: %s\n" msg;
+      exit 1

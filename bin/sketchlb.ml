@@ -1,17 +1,105 @@
-(* Command-line driver: one subcommand per experiment of DESIGN.md §4, with
-   every size knob exposed so larger-than-default runs are one flag away. *)
+(* Command-line driver, generated from the experiment registry: one
+   subcommand per registered experiment, its flags derived from the
+   experiment's parameter spec, plus registry-wide `run`, `list` and
+   `all` commands. Every command takes `--format text|csv|json` and
+   `--out FILE`. *)
 
 open Cmdliner
+module T = Report.Tabular
+module R = Core.Exp_registry
 
-let ints_arg ~doc ~default name =
-  Arg.(value & opt (list int) default & info [ name ] ~doc ~docv:"INTS")
+let format_arg =
+  let formats = [ ("text", T.Text); ("csv", T.Csv); ("json", T.Json) ] in
+  Arg.(
+    value
+    & opt (enum formats) T.Text
+    & info [ "format" ] ~doc:"Output format: $(b,text), $(b,csv) or $(b,json) (JSON-lines)."
+        ~docv:"FORMAT")
 
-let int_arg ~doc ~default name = Arg.(value & opt int default & info [ name ] ~doc ~docv:"INT")
+let out_arg =
+  Arg.(
+    value
+    & opt string "-"
+    & info [ "out" ] ~doc:"Write rows to $(docv) instead of stdout (\"-\" = stdout)." ~docv:"FILE")
 
-let seed_arg = int_arg ~doc:"Random seed." ~default:7 "seed"
+let with_out path f =
+  if path = "-" then f stdout
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  end
 
-(* Worker domains for the parallelized Monte-Carlo tables. Results are
-   bit-identical at every job count (see Stdx.Parallel). *)
+(* A cmdliner term evaluating to parameter overrides, one flag per spec
+   entry; defaults come from the spec itself, so the term only records
+   flags the user actually passed. *)
+let term_of_params (specs : R.param list) : R.params Term.t =
+  List.fold_left
+    (fun acc (p : R.param) ->
+      match p.R.default with
+      | R.Vint d ->
+          let arg = Arg.(value & opt int d & info p.R.keys ~doc:p.R.doc ~docv:"INT") in
+          Term.(const (fun ps v -> (p.R.name, R.Vint v) :: ps) $ acc $ arg)
+      | R.Vints d ->
+          let arg = Arg.(value & opt (list int) d & info p.R.keys ~doc:p.R.doc ~docv:"INTS") in
+          Term.(const (fun ps v -> (p.R.name, R.Vints v) :: ps) $ acc $ arg))
+    (Term.const []) specs
+
+let emit_experiment e overrides format path =
+  with_out path (fun out -> T.emit ~format ~out (R.table e overrides))
+
+(* One subcommand per experiment, flags straight from its param spec. *)
+let exp_cmd e =
+  let run overrides format path = emit_experiment e overrides format path in
+  Cmd.v
+    (Cmd.info (R.id e) ~doc:(R.doc e))
+    Term.(const run $ term_of_params (R.params e) $ format_arg $ out_arg)
+
+(* `run ID`: look an experiment up by id and run it at spec defaults,
+   with only the uniform seed/jobs knobs (plus --smoke) exposed. *)
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~doc:"Experiment id (see `list`)." ~docv:"ID")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Tiny sizes (the registry test's parameters).")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Random seed override." ~docv:"INT")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~doc:"Worker domains for trial sharding." ~docv:"INT")
+  in
+  let run id smoke seed jobs format path =
+    match Core.Exp_all.find id with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; `sketchlb list` shows the catalogue" id )
+    | Some e ->
+        let overrides =
+          (if smoke then R.smoke e else [])
+          @ (match seed with Some s -> [ ("seed", R.Vint s) ] | None -> [])
+          @ (match jobs with Some j -> [ ("jobs", R.Vint j) ] | None -> [])
+        in
+        emit_experiment e overrides format path;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment by id at its default parameters.")
+    Term.(ret (const run $ id_arg $ smoke_arg $ seed_arg $ jobs_arg $ format_arg $ out_arg))
+
+(* `list`: the registry catalogue. *)
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-18s %-4s %s\n" (R.id e) (R.title e) (R.doc e))
+      (Core.Exp_all.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every registered experiment id.") Term.(const run $ const ())
+
 let jobs_arg =
   Arg.(
     value
@@ -22,257 +110,16 @@ let jobs_arg =
 
 let jobs_opt j = if j <= 0 then None else Some j
 
-(* T1 *)
-let rs_table_cmd =
-  let run ms =
-    Core.Experiments.print_rs_table (Core.Experiments.rs_table ~ms)
-  in
-  Cmd.v
-    (Cmd.info "rs-table" ~doc:"T1: Proposition 2.1 RS-graph parameter table (verified).")
-    Term.(const run $ ints_arg ~doc:"Construction parameters m." ~default:[ 5; 10; 25; 50; 100; 200 ] "m")
-
-(* T2 *)
-let behrend_cmd =
-  let run ms =
-    Core.Experiments.print_behrend_table (Core.Experiments.behrend_table ~ms)
-  in
-  Cmd.v
-    (Cmd.info "behrend" ~doc:"T2: 3-AP-free set sizes (greedy vs Behrend vs exact).")
-    Term.(const run $ ints_arg ~doc:"Set range bounds m." ~default:[ 10; 30; 100; 300; 1000; 3000; 10000 ] "m")
-
-(* T3 *)
-let claim31_cmd =
-  let run ms samples seed jobs =
-    Core.Experiments.print_claim31
-      (Core.Experiments.claim31 ?jobs:(jobs_opt jobs) ~ms ~samples ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "claim31" ~doc:"T3: Claim 3.1 — unique-unique edges in maximal matchings of D_MM.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50 ] "m"
-      $ int_arg ~doc:"Samples per m." ~default:20 "samples"
-      $ seed_arg $ jobs_arg)
-
-(* F4 *)
-let sweep_cmd =
-  let run m k budgets trials seed jobs =
-    let k = if k <= 0 then None else Some k in
-    Core.Experiments.print_budget_sweep
-      (Core.Experiments.budget_sweep ?jobs:(jobs_opt jobs) ~m ?k ~budgets ~trials ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "budget-sweep" ~doc:"F4: success of budget-b protocols on D_MM vs b.")
-    Term.(
-      const run
-      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
-      $ int_arg ~doc:"Copies k (0 = t, the paper's choice)." ~default:0 "k"
-      $ ints_arg ~doc:"Per-player budgets in bits."
-          ~default:[ 8; 16; 32; 64; 128; 256; 512; 1024 ] "budgets"
-      $ int_arg ~doc:"Trials per configuration." ~default:10 "trials"
-      $ seed_arg $ jobs_arg)
-
-(* F5 *)
-let info_cmd =
-  let run bits =
-    Core.Experiments.print_info_accounting (Core.Experiments.info_accounting ~bits)
-  in
-  Cmd.v
-    (Cmd.info "info-accounting"
-       ~doc:"F5: exact Lemma 3.3-3.5 information accounting on micro instances.")
-    Term.(const run $ ints_arg ~doc:"Per-player budgets in bits." ~default:[ 0; 2; 4; 6; 10 ] "bits")
-
-(* T6 *)
-let upper_cmd =
-  let run ns seed =
-    Core.Experiments.print_upper_bounds (Core.Experiments.upper_bounds ~ns ~seed)
-  in
-  Cmd.v
-    (Cmd.info "upper-bounds" ~doc:"T6: measured sketch sizes of the cited upper bounds.")
-    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 64; 128; 256 ] "n" $ seed_arg)
-
-(* T6b *)
-let coloring_cmd =
-  let run ns seed =
-    Core.Experiments.print_coloring_contrast (Core.Experiments.coloring_contrast ~ns ~seed)
-  in
-  Cmd.v
-    (Cmd.info "coloring-contrast"
-       ~doc:"T6b: palette sparsification vs trivial on dense graphs.")
-    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 256; 512; 1024; 2048 ] "n" $ seed_arg)
-
-(* F7 *)
-let curve_cmd =
-  let run ms = Core.Experiments.print_bound_curve (Core.Experiments.bound_curve ~ms) in
-  Cmd.v
-    (Cmd.info "bound-curve" ~doc:"F7: Theorem 1 arithmetic vs upper bounds along the curve.")
-    Term.(const run $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50; 100; 200; 400 ] "m")
-
-(* T8 *)
-let reduction_cmd =
-  let run ms samples seed =
-    Core.Experiments.print_reduction (Core.Experiments.reduction_check ~ms ~samples ~seed)
-  in
-  Cmd.v
-    (Cmd.info "reduction" ~doc:"T8: the Section-4 MM-to-MIS reduction, end to end.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"RS parameters m." ~default:[ 5; 10; 25 ] "m"
-      $ int_arg ~doc:"Samples per m." ~default:10 "samples"
-      $ seed_arg)
-
-(* F9 *)
-let bridge_cmd =
-  let run halves samples trials seed =
-    Core.Experiments.print_bridge (Core.Experiments.bridge ~halves ~samples ~trials ~seed)
-  in
-  Cmd.v
-    (Cmd.info "bridge" ~doc:"F9: Footnote 1 — find the bridge between two random clouds.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"Cloud sizes (n/2)." ~default:[ 32; 128; 512 ] "halves"
-      $ ints_arg ~doc:"Sampled edges per vertex." ~default:[ 1; 2; 4 ] "samples"
-      $ int_arg ~doc:"Trials per configuration." ~default:20 "trials"
-      $ seed_arg)
-
-(* F10 *)
-let approx_cmd =
-  let run ns budgets trials seed =
-    Core.Experiments.print_approx_matching
-      (Core.Experiments.approx_matching ~ns ~budgets ~trials ~seed)
-  in
-  Cmd.v
-    (Cmd.info "approx-matching" ~doc:"F10: approximation ratio of budget protocols (Blossom oracle).")
-    Term.(
-      const run
-      $ ints_arg ~doc:"Graph sizes n." ~default:[ 40; 80; 160 ] "n"
-      $ ints_arg ~doc:"Budgets in bits." ~default:[ 8; 24; 64; 256 ] "budgets"
-      $ int_arg ~doc:"Trials per configuration." ~default:8 "trials"
-      $ seed_arg)
-
-(* F11 *)
-let ksweep_cmd =
-  let run m ks budgets trials seed =
-    Core.Experiments.print_k_sweep (Core.Experiments.k_sweep ~m ~ks ~budgets ~trials ~seed)
-  in
-  Cmd.v
-    (Cmd.info "k-sweep" ~doc:"F11: ablation decoupling k from t.")
-    Term.(
-      const run
-      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
-      $ ints_arg ~doc:"Values of k." ~default:[ 3; 6; 12; 25 ] "k"
-      $ ints_arg ~doc:"Budgets in bits." ~default:[ 4; 8; 16; 32; 64; 128 ] "budgets"
-      $ int_arg ~doc:"Trials per configuration." ~default:8 "trials"
-      $ seed_arg)
-
-(* T10 *)
-let streams_cmd =
-  let run ns seed =
-    Core.Experiments.print_stream_table (Core.Experiments.stream_table ~ns ~seed)
-  in
-  Cmd.v
-    (Cmd.info "streams" ~doc:"T10: dynamic streams = linear sketches, bit for bit.")
-    Term.(const run $ ints_arg ~doc:"Graph sizes n." ~default:[ 24; 48; 96 ] "n" $ seed_arg)
-
-(* T11 *)
-let connectivity_cmd =
-  let run seed =
-    Core.Experiments.print_connectivity_table (Core.Experiments.connectivity_table ~seed)
-  in
-  Cmd.v
-    (Cmd.info "connectivity" ~doc:"T11: k-forest edge-connectivity and bipartiteness sketches.")
-    Term.(const run $ seed_arg)
-
-(* T12 *)
-let rounds_cmd =
-  let run ms seed =
-    Core.Experiments.print_rounds_table (Core.Experiments.rounds_table ~ms ~seed)
-  in
-  Cmd.v
-    (Cmd.info "rounds" ~doc:"T12: one-round MIS failure vs two-round success on D_MM.")
-    Term.(const run $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25; 50 ] "m" $ seed_arg)
-
-(* T2b *)
-let packing_cmd =
-  let run ms tries seed jobs =
-    Core.Experiments.print_packing_table
-      (Core.Experiments.packing_table ?jobs:(jobs_opt jobs) ~ms ~tries ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "packing" ~doc:"T2b: random induced-matching packing vs Behrend RS graphs.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"RS parameters m." ~default:[ 5; 10; 25; 50 ] "m"
-      $ int_arg ~doc:"Packing attempts." ~default:3000 "tries"
-      $ seed_arg $ jobs_arg)
-
-(* F5b *)
-let estimate_cmd =
-  let run bits samples seed jobs =
-    Core.Experiments.print_estimate_accounting
-      (Core.Experiments.estimate_accounting ?jobs:(jobs_opt jobs) ~bits ~samples ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "estimate-info" ~doc:"F5b: sampled MI estimates vs exact enumeration.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"Budgets in bits." ~default:[ 6; 10; 14 ] "bits"
-      $ int_arg ~doc:"Samples." ~default:6000 "samples"
-      $ seed_arg $ jobs_arg)
-
-(* T13 *)
-let yao_cmd =
-  let run m budgets instances seeds seed =
-    Core.Experiments.print_yao_table (Core.Experiments.yao_table ~m ~budgets ~instances ~seeds ~seed)
-  in
-  Cmd.v
-    (Cmd.info "yao" ~doc:"T13: derandomization by averaging on D_MM.")
-    Term.(
-      const run
-      $ int_arg ~doc:"RS parameter m." ~default:10 "m"
-      $ ints_arg ~doc:"Budgets in bits." ~default:[ 16; 32; 48 ] "budgets"
-      $ int_arg ~doc:"Sampled instances." ~default:20 "instances"
-      $ int_arg ~doc:"Coin seeds evaluated." ~default:8 "seeds"
-      $ seed_arg)
-
-(* T14 *)
-let bcc_cmd =
-  let run ms trials seed =
-    Core.Experiments.print_bcc_table (Core.Experiments.bcc_table ~ms ~trials ~seed)
-  in
-  Cmd.v
-    (Cmd.info "bcc" ~doc:"T14: BCC rounds/bandwidth trade-off on D_MM.")
-    Term.(
-      const run
-      $ ints_arg ~doc:"RS parameters m." ~default:[ 10; 25 ] "m"
-      $ int_arg ~doc:"One-round trials." ~default:10 "trials"
-      $ seed_arg)
-
-(* P1 *)
-let speedup_cmd =
-  let run m samples seed jobs =
-    Core.Experiments.print_parallel_speedup ~m ~samples
-      (Core.Experiments.parallel_speedup ?jobs:(jobs_opt jobs) ~m ~samples ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "speedup"
-       ~doc:
-         "P1: wall-clock of the deterministic trial engine (claim31) at 1, 2, 4, ... domains, \
-          with a bit-identity check against the sequential run.")
-    Term.(
-      const run
-      $ int_arg ~doc:"RS parameter m." ~default:25 "m"
-      $ int_arg ~doc:"Samples." ~default:2000 "samples"
-      $ seed_arg $ jobs_arg)
-
 let all_cmd =
-  let run fast jobs = Core.Experiments.run_all ~fast ?jobs:(jobs_opt jobs) () in
+  let run fast jobs format path =
+    with_out path (fun out -> Core.Exp_all.run_all ~fast ?jobs:(jobs_opt jobs) ~format ~out ())
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at default sizes.")
     Term.(
       const run
       $ Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk sizes (for smoke tests).")
-      $ jobs_arg)
+      $ jobs_arg $ format_arg $ out_arg)
 
 let () =
   let doc =
@@ -282,28 +129,6 @@ let () =
   let info = Cmd.info "sketchlb" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [
-        rs_table_cmd;
-        behrend_cmd;
-        claim31_cmd;
-        sweep_cmd;
-        info_cmd;
-        upper_cmd;
-        coloring_cmd;
-        curve_cmd;
-        reduction_cmd;
-        bridge_cmd;
-        approx_cmd;
-        ksweep_cmd;
-        streams_cmd;
-        connectivity_cmd;
-        rounds_cmd;
-        packing_cmd;
-        estimate_cmd;
-        yao_cmd;
-        bcc_cmd;
-        speedup_cmd;
-        all_cmd;
-      ]
+      (List.map exp_cmd (Core.Exp_all.all ()) @ [ run_cmd; list_cmd; all_cmd ])
   in
   exit (Cmd.eval group)

@@ -1,36 +1,29 @@
-module Graph = Dgraph.Graph
-module Model = Sketchmodel.Model
-module Public_coins = Sketchmodel.Public_coins
-module Rs = Rsgraph.Rs_graph
-module Params = Rsgraph.Params
+(* Compatibility facade over the per-table experiment modules.
 
-let pr fmt = Printf.printf fmt
+   The monolith this file used to be now lives in [Exp_rs], [Exp_behrend],
+   ..., one module per DESIGN.md §4 table, each registered in [Exp_all]
+   and rendered through [Report.Tabular]. This facade re-exports the old
+   record types (as equations, so existing field accesses keep compiling)
+   and the old compute/print entry points, delegating everything. New code
+   should go through [Exp_registry] / [Exp_all] instead. *)
+
+module Params = Rsgraph.Params
+module T = Report.Tabular
+
+let print_table t = print_string (T.to_text t)
 
 (* ------------------------------------------------------------------ *)
 (* T1: RS graph parameter table                                        *)
 
-type rs_verified_row = { row : Params.rs_row; verified : bool }
+type rs_verified_row = Exp_rs.row = { row : Params.rs_row; verified : bool }
 
-let rs_table ~ms =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      { row = Params.rs_row m; verified = Rsgraph.Verify.is_valid_rs rs })
-    ms
-
-let print_rs_table rows =
-  pr "T1. Proposition 2.1 — (r,t)-RS graphs from Behrend sets (ours: N=5m, t=m)\n";
-  pr "%8s %8s %8s %8s %10s %10s %10s %9s\n" "m" "N" "r" "t" "edges" "density" "r/N" "verified";
-  List.iter
-    (fun { row; verified } ->
-      pr "%8d %8d %8d %8d %10d %10.5f %10.4f %9b\n" row.Params.m row.Params.big_n row.Params.r
-        row.Params.t row.Params.edges row.Params.density row.Params.r_over_n verified)
-    rows
+let rs_table ~ms = Exp_rs.compute ~ms ()
+let print_rs_table rows = print_table (Exp_rs.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T2: Behrend sets                                                    *)
 
-type behrend_row = {
+type behrend_row = Exp_behrend.row = {
   m : int;
   greedy_size : int;
   behrend_size : int;
@@ -39,65 +32,27 @@ type behrend_row = {
   rate : float;
 }
 
-let behrend_table ~ms =
-  List.map
-    (fun m ->
-      {
-        m;
-        greedy_size = List.length (Rsgraph.Behrend.greedy m);
-        behrend_size = List.length (Rsgraph.Behrend.behrend m);
-        best_size = List.length (Rsgraph.Behrend.best m);
-        exact_size = (if m <= 30 then Some (List.length (Rsgraph.Behrend.maximum m)) else None);
-        rate = Params.behrend_rate m;
-      })
-    ms
-
-let print_behrend_table rows =
-  pr "\nT2. Behrend's theorem — 3-AP-free subsets of [1, m]\n";
-  pr "%8s %8s %9s %8s %8s %8s\n" "m" "greedy" "behrend" "best" "exact" "rate";
-  List.iter
-    (fun r ->
-      pr "%8d %8d %9d %8d %8s %8.3f\n" r.m r.greedy_size r.behrend_size r.best_size
-        (match r.exact_size with Some e -> string_of_int e | None -> "-")
-        r.rate)
-    rows
+let behrend_table ~ms = Exp_behrend.compute ~ms ()
+let print_behrend_table rows = print_table (Exp_behrend.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T2b: packed RS vs Behrend                                           *)
 
-type packing_row = { pn : int; pr : int; packed_t : int; behrend_t : int; tries : int }
+type packing_row = Exp_packing.row = {
+  pn : int;
+  pr : int;
+  packed_t : int;
+  behrend_t : int;
+  tries : int;
+}
 
-(* The greedy packing loop is inherently sequential (every try depends on
-   the matchings accepted so far), so the parallel axis is the independent
-   per-m packings; each m re-derives its generator from the seed alone. *)
-let packing_table ?jobs ~ms ~tries ~seed () =
-  Stdx.Parallel.map_list ?jobs
-    (fun m ->
-      let row = Params.rs_row m in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
-      let packed_t =
-        Rsgraph.Packed.achieved_t rng ~big_n:row.Params.big_n ~r:row.Params.r ~tries
-      in
-      {
-        pn = row.Params.big_n;
-        pr = row.Params.r;
-        packed_t;
-        behrend_t = row.Params.t;
-        tries;
-      })
-    ms
-
-let print_packing_table rows =
-  pr "\nT2b. RS families — greedy random packing vs the Behrend construction (equal N, r)\n";
-  pr "%7s %6s %10s %11s %8s\n" "N" "r" "packed t" "behrend t" "tries";
-  List.iter
-    (fun row -> pr "%7d %6d %10d %11d %8d\n" row.pn row.pr row.packed_t row.behrend_t row.tries)
-    rows
+let packing_table ?jobs ~ms ~tries ~seed () = Exp_packing.compute ?jobs ~ms ~tries ~seed ()
+let print_packing_table rows = print_table (Exp_packing.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T3: Claim 3.1                                                       *)
 
-type claim_row = {
+type claim_row = Exp_claim31.row = {
   m : int;
   k : int;
   r : int;
@@ -113,72 +68,13 @@ type claim_row = {
   consistent : bool;
 }
 
-let claim31 ?jobs ~ms ~samples ~seed () =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      (* Per-trial seeding scheme: trial [i] draws from [split root i], so
-         the sample set is a pure function of [(seed, m, i)] and the trials
-         shard across domains without changing a single bit. *)
-      let root = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
-      let stats_list =
-        Stdx.Parallel.init ?jobs samples (fun i ->
-            let rng = Stdx.Prng.split root i in
-            let dmm = Hard_dist.sample rs rng in
-            Claims.check dmm ())
-        |> Array.to_list
-      in
-      let unions = List.map (fun s -> s.Claims.union_special) stats_list in
-      let uu_min =
-        List.concat_map (fun s -> List.map (fun (_, uu, _) -> uu) s.Claims.per_order) stats_list
-        |> List.fold_left min max_int
-      in
-      let first = List.hd stats_list in
-      let dmm_n =
-        let b = Params.bound_of_rs rs ~k:first.Claims.k in
-        b.Params.n_vertices
-      in
-      {
-        m;
-        k = first.Claims.k;
-        r = first.Claims.r;
-        n = dmm_n;
-        samples;
-        min_union = List.fold_left min max_int unions;
-        mean_union =
-          float_of_int (List.fold_left ( + ) 0 unions) /. float_of_int (List.length unions);
-        chernoff_threshold = first.Claims.chernoff_threshold;
-        min_unique_unique = uu_min;
-        claim_threshold = first.Claims.claim_threshold;
-        violations = List.length (List.filter (fun s -> not (Claims.holds s)) stats_list);
-        failure_bound = first.Claims.failure_bound;
-        consistent =
-          (let bound = first.Claims.failure_bound in
-           let sigma = sqrt (bound *. (1. -. bound) /. float_of_int samples) in
-           let rate =
-             float_of_int
-               (List.length (List.filter (fun s -> not (Claims.holds s)) stats_list))
-             /. float_of_int samples
-           in
-           rate <= bound +. (3. *. sigma) +. (1. /. float_of_int samples));
-      })
-    ms
-
-let print_claim31 rows =
-  pr "\nT3. Claim 3.1 — unique-unique edges in maximal matchings of G ~ D_MM\n";
-  pr "%6s %5s %5s %7s %8s %9s %9s %8s %8s %6s %9s %7s\n" "m" "k" "r" "n" "minU" "meanU" "kr/3"
-    "min-uu" "kr/4" "viol" "2^-kr/10" "consis";
-  List.iter
-    (fun r ->
-      pr "%6d %5d %5d %7d %8d %9.1f %9.1f %8d %8.1f %6d %9.2e %7b\n" r.m r.k r.r r.n r.min_union
-        r.mean_union r.chernoff_threshold r.min_unique_unique r.claim_threshold r.violations
-        r.failure_bound r.consistent)
-    rows
+let claim31 ?jobs ~ms ~samples ~seed () = Exp_claim31.compute ?jobs ~ms ~samples ~seed ()
+let print_claim31 rows = print_table (Exp_claim31.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* F4: budget sweep                                                    *)
 
-type sweep_row = {
+type sweep_row = Exp_budget_sweep.sweep_row = {
   budget_bits : int;
   strategy : string;
   special_recovered : float;
@@ -186,7 +82,7 @@ type sweep_row = {
   maximal_success : float;
 }
 
-type sweep = {
+type sweep = Exp_budget_sweep.sweep = {
   m : int;
   k : int;
   r : int;
@@ -197,188 +93,21 @@ type sweep = {
   rows : sweep_row list;
 }
 
-let edge_table edges =
-  let t = Hashtbl.create (List.length edges) in
-  List.iter (fun (u, v) -> Hashtbl.replace t (Graph.normalize_edge u v) ()) edges;
-  t
-
-let relaxed_ok = Remarks.meets_remark_iv
-
-(* Players handed sigma and j-star by an oracle: each unique vertex reports just
-   its surviving hidden-matching edge.  Shows the hardness is exactly the
-   secrecy of sigma and j-star, not volume of data. *)
-let oracle_protocol dmm =
-  let special = Hard_dist.surviving_special dmm in
-  let partner = Hashtbl.create 64 in
-  List.iter
-    (fun (_, (u, v)) ->
-      Hashtbl.replace partner u v;
-      Hashtbl.replace partner v u)
-    special;
-  {
-    Model.name = "oracle-mm";
-    player =
-      (fun view _coins ->
-        let w = Stdx.Bitbuf.Writer.create () in
-        (match Hashtbl.find_opt partner view.Model.vertex with
-        | Some p when p > view.Model.vertex -> Stdx.Bitbuf.Writer.uvarint w p
-        | Some _ | None -> ());
-        w);
-    referee =
-      (fun ~n ~sketches _coins ->
-        ignore n;
-        let out = ref [] in
-        Array.iteri
-          (fun v r ->
-            if Stdx.Bitbuf.Reader.remaining_bits r >= 8 then
-              out := Graph.normalize_edge v (Stdx.Bitbuf.Reader.uvarint r) :: !out)
-          sketches;
-        !out);
-  }
-
 let budget_sweep ?jobs ~m ?k ~budgets ~trials ~seed () =
-  let rs = Rs.bipartite m in
-  let k = Option.value ~default:rs.Rs.t_count k in
-  (* Same per-trial scheme as claim31: instance [i] is a pure function of
-     [(seed, m, i)], so both sampling and evaluation shard across domains. *)
-  let root = Stdx.Prng.create (Stdx.Hashing.mix64 ((seed * 31) + m)) in
-  let instances =
-    Stdx.Parallel.init ?jobs trials (fun i ->
-        let rng = Stdx.Prng.split root i in
-        (Hard_dist.sample rs ~k rng, Public_coins.create (Stdx.Hashing.mix64 (seed + (1000 * i)))))
-  in
-  let first = fst instances.(0) in
-  let eval_protocol make_protocol =
-    let per_instance =
-      Stdx.Parallel.map ?jobs
-        (fun (dmm, coins) ->
-          let output, _stats = Model.run (make_protocol dmm) dmm.Hard_dist.graph coins in
-          let special = List.map snd (Hard_dist.surviving_special dmm) in
-          let out_set = edge_table output in
-          let hit = List.length (List.filter (fun e -> Hashtbl.mem out_set e) special) in
-          ( float_of_int hit /. float_of_int (max 1 (List.length special)),
-            relaxed_ok dmm output,
-            Dgraph.Matching.is_maximal dmm.Hard_dist.graph output ))
-        instances
-    in
-    (* Accumulate sequentially in index order: float addition is not
-       associative, and the printed tables must not depend on job count. *)
-    let recovered = ref 0. and relaxed = ref 0 and maximal = ref 0 in
-    Array.iter
-      (fun (frac, ok_relaxed, ok_maximal) ->
-        recovered := !recovered +. frac;
-        if ok_relaxed then incr relaxed;
-        if ok_maximal then incr maximal)
-      per_instance;
-    let tf = float_of_int trials in
-    (!recovered /. tf, float_of_int !relaxed /. tf, float_of_int !maximal /. tf)
-  in
-  let rows =
-    List.concat_map
-      (fun budget ->
-        List.map
-          (fun strategy ->
-            let rec_frac, relax, maxi =
-              eval_protocol (fun _dmm ->
-                  Protocols.Sampled_mm.protocol ~budget_bits:budget ~strategy)
-            in
-            {
-              budget_bits = budget;
-              strategy = Protocols.Sampled_mm.strategy_name strategy;
-              special_recovered = rec_frac;
-              relaxed_success = relax;
-              maximal_success = maxi;
-            })
-          Protocols.Sampled_mm.all_strategies)
-      budgets
-  in
-  let oracle_bits = ref 0 in
-  let oracle_success =
-    let per_instance =
-      Stdx.Parallel.map ?jobs
-        (fun (dmm, coins) ->
-          let output, stats = Model.run (oracle_protocol dmm) dmm.Hard_dist.graph coins in
-          (stats.Model.max_bits, relaxed_ok dmm output))
-        instances
-    in
-    let hits = ref 0 in
-    Array.iter
-      (fun (bits, ok) ->
-        oracle_bits := max !oracle_bits bits;
-        if ok then incr hits)
-      per_instance;
-    float_of_int !hits /. float_of_int trials
-  in
-  let bound = Params.bound_of_rs rs ~k in
-  {
-    m;
-    k;
-    r = Hard_dist.r first;
-    n = first.Hard_dist.n;
-    predicted_bits = bound.Params.bits_lower_bound;
-    oracle_success;
-    oracle_bits = !oracle_bits;
-    rows;
-  }
+  Exp_budget_sweep.compute ?jobs ~m ?k ~budgets ~trials ~seed ()
 
-let print_budget_sweep sweep =
-  pr "\nF4. Theorem 1 shape — budget-limited protocols on D_MM (m=%d, k=%d, r=%d, n=%d)\n"
-    sweep.m sweep.k sweep.r sweep.n;
-  pr "    information-theoretic per-player bound at these parameters: %.2f bits\n"
-    sweep.predicted_bits;
-  pr "    oracle players (handed sigma, j*): relaxed success %.2f with only %d bits/player\n"
-    sweep.oracle_success sweep.oracle_bits;
-  pr "%10s %15s %10s %9s %9s\n" "bits" "strategy" "recovered" "relaxed" "maximal";
-  List.iter
-    (fun r ->
-      pr "%10d %15s %10.3f %9.2f %9.2f\n" r.budget_bits r.strategy r.special_recovered
-        r.relaxed_success r.maximal_success)
-    sweep.rows
+let print_budget_sweep sweep = print_table (Exp_budget_sweep.table_of sweep)
 
 (* ------------------------------------------------------------------ *)
 (* F5: information accounting                                          *)
 
-let info_accounting ~bits =
-  List.concat_map
-    (fun b ->
-      [
-        Accounting.analyze
-          {
-            Accounting.rs = Accounting.tiny_rs ();
-            k = 2;
-            bits = b;
-            strategy = Accounting.Truncate;
-            sigma_mode = Accounting.Enumerate_sigma;
-          };
-        Accounting.analyze
-          {
-            Accounting.rs = Accounting.micro_rs ();
-            k = 2;
-            bits = b;
-            strategy = Accounting.Truncate;
-            sigma_mode = Accounting.Fix_sigma;
-          };
-      ])
-    bits
-
-let print_info_accounting reports =
-  pr "\nF5. Lemmas 3.3-3.5 — exact information accounting on micro D_MM instances\n";
-  pr "%5s %6s %9s %7s %9s %8s %9s %9s %9s %6s\n" "b" "sigma" "outcomes" "kr" "I(M;Pi)" "E|M^U|"
-    "L3.3" "L3.4" "L3.5min" "ok";
-  List.iter
-    (fun (r : Accounting.report) ->
-      pr "%5d %6s %9d %7.0f %9.4f %8.3f %9.4f %9.4f %9.4f %6b\n" r.Accounting.spec_bits
-        (if r.Accounting.sigma_enumerated then "enum" else "fixed")
-        r.Accounting.outcomes r.Accounting.kr r.Accounting.info r.Accounting.expected_recovered
-        r.Accounting.lemma33_slack r.Accounting.lemma34_slack
-        (Array.fold_left min infinity r.Accounting.lemma35_slacks)
-        (Accounting.all_inequalities_hold r))
-    reports
+let info_accounting ~bits = Exp_info_accounting.compute ~bits
+let print_info_accounting reports = print_table (Exp_info_accounting.table_of reports)
 
 (* ------------------------------------------------------------------ *)
 (* F5b: sampled information estimates vs exact                         *)
 
-type estimate_row = {
+type estimate_row = Exp_estimate_info.row = {
   ebits : int;
   samples : int;
   exact_info : float;
@@ -387,78 +116,14 @@ type estimate_row = {
 }
 
 let estimate_accounting ?jobs ~bits ~samples ~seed () =
-  List.map
-    (fun b ->
-      let spec =
-        {
-          Accounting.rs = Accounting.micro_rs ();
-          k = 2;
-          bits = b;
-          strategy = Accounting.Truncate;
-          sigma_mode = Accounting.Fix_sigma;
-        }
-      in
-      let exact = Accounting.analyze spec in
-      (* Re-derive the joint (M, Pi, J) samples by drawing outcomes of the
-         same micro space through the deterministic constructor. *)
-      let rs = Accounting.micro_rs () in
-      let edge_count = Graph.m rs.Rs.graph in
-      let nn = Rsgraph.Rs_graph.n rs in
-      let n = nn - (2 * rs.Rs.r) + (2 * rs.Rs.r * spec.Accounting.k) in
-      let sigma = Array.init n (fun v -> v) in
-      let root = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + b)) in
-      let draw i =
-        (* Per-sample seeding scheme: sample [i] is a pure function of
-           [(seed, b, i)], independent of job count and worker order. *)
-        let rng = Stdx.Prng.split root i in
-        let j = Stdx.Prng.int rng rs.Rs.t_count in
-        let kept =
-          Array.init spec.Accounting.k (fun _ ->
-              Array.init edge_count (fun _ -> Stdx.Prng.bool rng))
-        in
-        let dmm = Hard_dist.make rs ~k:spec.Accounting.k ~j_star:j ~sigma ~kept in
-        let views = Hard_dist.augmented_views dmm in
-        let msgs =
-          Array.to_list views
-          |> List.map (fun view ->
-                 let bitmap = Stdx.Bitset.create (max 1 b) in
-                 Array.iter
-                   (fun u -> if u < b then Stdx.Bitset.add bitmap u)
-                   view.Model.neighbors;
-                 String.concat "," (List.map string_of_int (Stdx.Bitset.to_list bitmap)))
-          |> String.concat "|"
-        in
-        let m_code =
-          List.init spec.Accounting.k (fun i ->
-              Array.to_list (Hard_dist.kept_vector dmm ~copy:i ~j)
-              |> List.fold_left (fun acc kept_bit -> (acc * 2) + if kept_bit then 1 else 0) 0)
-        in
-        (m_code, (msgs, j))
-      in
-      let joint = Stdx.Parallel.init ?jobs samples draw in
-      let estimated = Infotheory.Estimate.conditional_mutual_information_plugin joint in
-      {
-        ebits = b;
-        samples;
-        exact_info = exact.Accounting.info;
-        estimated_info = estimated;
-        abs_error = abs_float (estimated -. exact.Accounting.info);
-      })
-    bits
+  Exp_estimate_info.compute ?jobs ~bits ~samples ~seed ()
 
-let print_estimate_accounting rows =
-  pr "\nF5b. Plug-in MI estimates from samples vs exact enumeration (micro instance)\n";
-  pr "%5s %9s %11s %12s %10s\n" "b" "samples" "exact I" "estimated I" "abs error";
-  List.iter
-    (fun r ->
-      pr "%5d %9d %11.4f %12.4f %10.4f\n" r.ebits r.samples r.exact_info r.estimated_info
-        r.abs_error)
-    rows
+let print_estimate_accounting rows = print_table (Exp_estimate_info.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T6: upper-bound landscape                                           *)
 
-type ub_row = {
+type ub_row = Exp_upper_bounds.row = {
   n : int;
   agm_forest_bits : int;
   agm_ok : bool;
@@ -471,78 +136,13 @@ type ub_row = {
   two_round_mis_ok : bool;
 }
 
-let upper_bounds ~ns ~seed =
-  List.map
-    (fun n ->
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + n)) in
-      (* Proportional degree (n/4 on average): the trivial protocol must
-         then grow linearly in n while the sketches stay polylog — the
-         Section-1 contrast. *)
-      let g = Dgraph.Gen.gnp rng n 0.25 in
-      let coins = Public_coins.create (Stdx.Hashing.mix64 (seed * 7 + n)) in
-      let forest, agm_stats = Agm.Spanning_forest.run g coins in
-      let color_outcome, color_stats = Coloring.Palette.run g coins in
-      let _, trivial_stats = Model.run Protocols.Trivial.mm g coins in
-      let mm2, mm2_stats = Protocols.Two_round_mm.run g coins in
-      let mis2, mis2_stats = Protocols.Two_round_mis.run g coins in
-      {
-        n;
-        agm_forest_bits = agm_stats.Model.max_bits;
-        agm_ok = Dgraph.Components.is_spanning_forest g forest;
-        coloring_bits = color_stats.Model.max_bits;
-        coloring_ok =
-          (match color_outcome.Coloring.Palette.coloring with
-          | Some colors ->
-              Array.length colors = n
-              && Graph.fold_edges (fun u v acc -> acc && colors.(u) <> colors.(v)) g true
-          | None -> false);
-        trivial_mm_bits = trivial_stats.Model.max_bits;
-        two_round_mm_bits = mm2_stats.Sketchmodel.Rounds.max_bits;
-        two_round_mm_ok = Dgraph.Matching.is_maximal g mm2;
-        two_round_mis_bits = mis2_stats.Sketchmodel.Rounds.max_bits;
-        two_round_mis_ok = Dgraph.Mis.is_maximal g mis2;
-      })
-    ns
-
-(* log2(bits(n2)/bits(n1)) / log2(n2/n1): 1.0 = linear growth in n,
-   ~0 = polylogarithmic. *)
-let growth_exponents rows select =
-  let rec pairs = function
-    | a :: (b :: _ as rest) ->
-        let e =
-          log (float_of_int (select b) /. float_of_int (select a))
-          /. log (float_of_int b.n /. float_of_int a.n)
-        in
-        e :: pairs rest
-    | [ _ ] | [] -> []
-  in
-  pairs rows
-
-let print_upper_bounds rows =
-  pr "\nT6. Section 1 landscape — measured per-player sketch bits (avg degree n/4)\n";
-  pr "%7s %12s %7s %12s %7s %12s %12s %7s %12s %7s\n" "n" "agm-forest" "ok" "coloring" "ok"
-    "trivial-mm" "2r-mm" "ok" "2r-mis" "ok";
-  List.iter
-    (fun r ->
-      pr "%7d %12d %7b %12d %7b %12d %12d %7b %12d %7b\n" r.n r.agm_forest_bits r.agm_ok
-        r.coloring_bits r.coloring_ok r.trivial_mm_bits r.two_round_mm_bits r.two_round_mm_ok
-        r.two_round_mis_bits r.two_round_mis_ok)
-    rows;
-  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
-  if List.length rows >= 2 then
-    pr
-      "    growth exponents (1.0 = linear in n, ~0 = polylog): agm=%.2f coloring=%.2f \
-       trivial=%.2f 2r-mm=%.2f 2r-mis=%.2f\n"
-      (mean (growth_exponents rows (fun r -> r.agm_forest_bits)))
-      (mean (growth_exponents rows (fun r -> r.coloring_bits)))
-      (mean (growth_exponents rows (fun r -> r.trivial_mm_bits)))
-      (mean (growth_exponents rows (fun r -> r.two_round_mm_bits)))
-      (mean (growth_exponents rows (fun r -> r.two_round_mis_bits)))
+let upper_bounds ~ns ~seed = Exp_upper_bounds.compute ~ns ~seed
+let print_upper_bounds rows = print_table (Exp_upper_bounds.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T6b: coloring contrast on dense graphs                              *)
 
-type coloring_row = {
+type coloring_row = Exp_coloring_contrast.row = {
   cn : int;
   delta : int;
   list_size : int;
@@ -552,44 +152,13 @@ type coloring_row = {
   proper : bool;
 }
 
-let coloring_contrast ~ns ~seed =
-  List.map
-    (fun n ->
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + (5 * n))) in
-      let g = Dgraph.Gen.gnp rng n 0.5 in
-      let coins = Public_coins.create (Stdx.Hashing.mix64 (seed * 11 + n)) in
-      let outcome, stats = Coloring.Palette.run g coins in
-      let _, trivial_stats = Model.run Protocols.Trivial.mm g coins in
-      let delta = Graph.max_degree g in
-      {
-        cn = n;
-        delta;
-        list_size = int_of_float (ceil (4. *. log (float_of_int (n + 1)))) + 4;
-        palette_bits = stats.Model.max_bits;
-        full_bits = trivial_stats.Model.max_bits;
-        ratio = float_of_int stats.Model.max_bits /. float_of_int trivial_stats.Model.max_bits;
-        proper =
-          (match outcome.Coloring.Palette.coloring with
-          | Some colors ->
-              Coloring.Palette.is_proper g colors && Coloring.Palette.max_color colors <= delta
-          | None -> false);
-      })
-    ns
-
-let print_coloring_contrast rows =
-  pr "\nT6b. (Delta+1)-coloring vs trivial on dense G(n, 1/2) — the ratio decays with n\n";
-  pr "%7s %7s %6s %13s %13s %8s %8s\n" "n" "Delta" "list" "palette bits" "full bits" "ratio"
-    "proper";
-  List.iter
-    (fun r ->
-      pr "%7d %7d %6d %13d %13d %8.3f %8b\n" r.cn r.delta r.list_size r.palette_bits r.full_bits
-        r.ratio r.proper)
-    rows
+let coloring_contrast ~ns ~seed = Exp_coloring_contrast.compute ~ns ~seed
+let print_coloring_contrast rows = print_table (Exp_coloring_contrast.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* F7: the gap                                                         *)
 
-type curve_row = {
+type curve_row = Exp_bound_curve.row = {
   m : int;
   n_dmm : int;
   lower_bound_bits : float;
@@ -598,34 +167,13 @@ type curve_row = {
   two_round_bits : float;
 }
 
-let bound_curve ~ms =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      let bound = Params.bound_of_rs rs ~k:rs.Rs.t_count in
-      {
-        m;
-        n_dmm = bound.Params.n_vertices;
-        lower_bound_bits = bound.Params.bits_lower_bound;
-        sqrt_n = sqrt (float_of_int bound.Params.n_vertices);
-        trivial_bits = bound.Params.trivial_upper_bound;
-        two_round_bits = bound.Params.two_round_upper_bound;
-      })
-    ms
-
-let print_bound_curve rows =
-  pr "\nF7. Theorem 1 arithmetic vs upper bounds along the construction curve\n";
-  pr "%6s %9s %12s %9s %14s %14s\n" "m" "n" "LB bits" "sqrt(n)" "2-round UB" "trivial UB";
-  List.iter
-    (fun r ->
-      pr "%6d %9d %12.2f %9.1f %14.1f %14.1f\n" r.m r.n_dmm r.lower_bound_bits r.sqrt_n
-        r.two_round_bits r.trivial_bits)
-    rows
+let bound_curve ~ms = Exp_bound_curve.compute ~ms
+let print_bound_curve rows = print_table (Exp_bound_curve.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T8: reduction                                                       *)
 
-type reduction_row = {
+type reduction_row = Exp_reduction.row = {
   m : int;
   samples : int;
   lemma41_all : bool;
@@ -635,188 +183,54 @@ type reduction_row = {
   cost_ratio : float;
 }
 
-let reduction_check ~ms ~samples ~seed =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + (13 * m))) in
-      let lemma_ok = ref true and complete_ok = ref true and min_ok = ref true in
-      let valid_frac = ref 0. and ratio = ref 0. in
-      for i = 0 to samples - 1 do
-        let dmm = Hard_dist.sample rs rng in
-        let coins = Public_coins.create (Stdx.Hashing.mix64 (seed + (97 * i) + m)) in
-        let solver g =
-          Dgraph.Mis.greedy g
-            ~order:(Stdx.Prng.permutation (Stdx.Prng.create (seed + i)) (Graph.n g))
-            ()
-        in
-        let verdict, g_stats, h_stats =
-          Reduction.end_to_end_cost dmm Protocols.Trivial.mis coins
-        in
-        ignore solver;
-        lemma_ok := !lemma_ok && verdict.Reduction.lemma41_ok;
-        complete_ok := !complete_ok && verdict.Reduction.complete;
-        valid_frac :=
-          !valid_frac
-          +. (float_of_int verdict.Reduction.valid_edges
-             /. float_of_int (max 1 verdict.Reduction.output_size));
-        ratio :=
-          !ratio
-          +. (float_of_int g_stats.Model.max_bits /. float_of_int h_stats.Model.max_bits);
-        (* min-rule ablation on a referee-side exact MIS *)
-        let mis = solver (Reduction.build_h dmm) in
-        let mn =
-          List.sort compare
-            (List.map (fun (u, v) -> Graph.normalize_edge u v) (Reduction.referee_output_min dmm mis))
-        in
-        let survivors =
-          List.sort compare
-            (List.map
-               (fun (_, (u, v)) -> Graph.normalize_edge u v)
-               (Hard_dist.surviving_special dmm))
-        in
-        min_ok := !min_ok && mn = survivors
-      done;
-      {
-        m;
-        samples;
-        lemma41_all = !lemma_ok;
-        complete_all = !complete_ok;
-        min_rule_exact_all = !min_ok;
-        mean_valid_fraction = !valid_frac /. float_of_int samples;
-        cost_ratio = !ratio /. float_of_int samples;
-      })
-    ms
-
-let print_reduction rows =
-  pr "\nT8. Theorem 2 — the MM-to-MIS reduction on H (two copies + public biclique)\n";
-  pr "%6s %8s %9s %9s %10s %11s %11s\n" "m" "samples" "lemma4.1" "complete" "min-exact"
-    "valid-frac" "cost-ratio";
-  List.iter
-    (fun r ->
-      pr "%6d %8d %9b %9b %10b %11.3f %11.3f\n" r.m r.samples r.lemma41_all r.complete_all
-        r.min_rule_exact_all r.mean_valid_fraction r.cost_ratio)
-    rows
+let reduction_check ~ms ~samples ~seed = Exp_reduction.compute ~ms ~samples ~seed
+let print_reduction rows = print_table (Exp_reduction.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* F9: bridge                                                          *)
 
-type bridge_row = { half : int; samples_per_vertex : int; max_bits : int; success : float }
+type bridge_row = Exp_bridge.row = {
+  half : int;
+  samples_per_vertex : int;
+  max_bits : int;
+  success : float;
+}
 
-let bridge ~halves ~samples ~trials ~seed =
-  List.concat_map
-    (fun half ->
-      List.map
-        (fun s ->
-          let success =
-            Agm.Bridge_demo.success_probability ~half ~samples_per_vertex:s ~trials ~seed
-          in
-          let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + half + s)) in
-          let g, _ = Dgraph.Gen.bridge_of_clouds rng ~half ~p:0.5 in
-          let result =
-            Agm.Bridge_demo.run g ~samples_per_vertex:s
-              (Public_coins.create (Stdx.Hashing.mix64 (seed * 3 + half)))
-          in
-          { half; samples_per_vertex = s; max_bits = result.Agm.Bridge_demo.stats.Model.max_bits; success })
-        samples)
-    halves
-
-let print_bridge rows =
-  pr "\nF9. Footnote 1 — recovering the bridge between two random clouds\n";
-  pr "%7s %9s %10s %9s\n" "half" "samples" "max bits" "success";
-  List.iter
-    (fun r -> pr "%7d %9d %10d %9.2f\n" r.half r.samples_per_vertex r.max_bits r.success)
-    rows
-
+let bridge ~halves ~samples ~trials ~seed = Exp_bridge.compute ~halves ~samples ~trials ~seed
+let print_bridge rows = print_table (Exp_bridge.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* F10: approximate matching vs budget                                 *)
 
-type approx_row = { an : int; abudget : int; ratio_mean : float; ratio_min : float }
+type approx_row = Exp_approx_matching.row = {
+  an : int;
+  abudget : int;
+  ratio_mean : float;
+  ratio_min : float;
+}
 
 let approx_matching ~ns ~budgets ~trials ~seed =
-  List.concat_map
-    (fun n ->
-      List.map
-        (fun budget ->
-          let ratios =
-            List.init trials (fun i ->
-                let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + (i * 131) + n)) in
-                let g = Dgraph.Gen.gnp rng n (4.0 /. float_of_int n) in
-                let coins = Public_coins.create (Stdx.Hashing.mix64 (seed + i + (n * budget))) in
-                let protocol =
-                  Protocols.Sampled_mm.protocol ~budget_bits:budget
-                    ~strategy:Protocols.Sampled_mm.Uniform
-                in
-                let output, _ = Model.run protocol g coins in
-                let valid = List.filter (fun (u, v) -> Graph.mem_edge g u v) output in
-                let opt = Dgraph.Blossom.maximum_matching_size g in
-                if opt = 0 then 1.
-                else float_of_int (List.length valid) /. float_of_int opt)
-          in
-          {
-            an = n;
-            abudget = budget;
-            ratio_mean = List.fold_left ( +. ) 0. ratios /. float_of_int trials;
-            ratio_min = List.fold_left min 1. ratios;
-          })
-        budgets)
-    ns
+  Exp_approx_matching.compute ~ns ~budgets ~trials ~seed
 
-let print_approx_matching rows =
-  pr "\nF10. Approximate matching vs per-player budget (Blossom oracle; avg degree 4)\n";
-  pr "%7s %9s %11s %10s\n" "n" "bits" "mean ratio" "min ratio";
-  List.iter
-    (fun r -> pr "%7d %9d %11.3f %10.3f\n" r.an r.abudget r.ratio_mean r.ratio_min)
-    rows
+let print_approx_matching rows = print_table (Exp_approx_matching.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* F11: k vs t ablation                                                *)
 
-type k_sweep_row = {
+type k_sweep_row = Exp_k_sweep.row = {
   kk : int;
   kt_ratio : float;
   predicted : float;
   threshold_bits : int option;
 }
 
-let k_sweep ~m ~ks ~budgets ~trials ~seed =
-  let rs = Rs.bipartite m in
-  List.map
-    (fun k ->
-      let sweep = budget_sweep ~m ~k ~budgets ~trials ~seed () in
-      let uniform_rows =
-        List.filter (fun r -> r.strategy = "uniform") sweep.rows
-        |> List.sort (fun a b -> compare a.budget_bits b.budget_bits)
-      in
-      let threshold =
-        List.find_opt (fun r -> r.relaxed_success >= 0.5) uniform_rows
-        |> Option.map (fun r -> r.budget_bits)
-      in
-      let bound = Params.bound_of_rs rs ~k in
-      {
-        kk = k;
-        kt_ratio = float_of_int k /. float_of_int rs.Rs.t_count;
-        predicted = bound.Params.bits_lower_bound;
-        threshold_bits = threshold;
-      })
-    ks
-
-let print_k_sweep rows =
-  pr "\nF11. Ablation — decoupling k from t (m fixed). The information bound grows\n";
-  pr "     linearly with k while the natural protocol's per-player threshold is\n";
-  pr "     k-independent: the lower bound is tightest at the paper's choice k = t.\n";
-  pr "%6s %8s %12s %16s\n" "k" "k/t" "LB bits" "threshold bits";
-  List.iter
-    (fun r ->
-      pr "%6d %8.2f %12.4f %16s\n" r.kk r.kt_ratio r.predicted
-        (match r.threshold_bits with Some b -> string_of_int b | None -> ">max tested"))
-    rows
+let k_sweep ~m ~ks ~budgets ~trials ~seed = Exp_k_sweep.compute ~m ~ks ~budgets ~trials ~seed
+let print_k_sweep rows = print_table (Exp_k_sweep.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T10: dynamic streams                                                *)
 
-type stream_row = {
+type stream_row = Exp_streams.row = {
   sn : int;
   decoys : int;
   events : int;
@@ -825,42 +239,13 @@ type stream_row = {
   greedy_mm_ok : bool;
 }
 
-let stream_table ~ns ~seed =
-  List.map
-    (fun n ->
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + (3 * n))) in
-      let g = Dgraph.Gen.gnp rng n (6.0 /. float_of_int n) in
-      let decoys = Graph.m g in
-      let stream = Streams.Stream.with_decoys rng g ~decoys in
-      let coins = Public_coins.create (Stdx.Hashing.mix64 (seed * 13 + n)) in
-      let proc = Streams.Sketch_stream.create ~n coins in
-      Streams.Sketch_stream.feed_all proc stream;
-      let forest = Streams.Sketch_stream.spanning_forest proc in
-      let insertion_only = Streams.Stream.shuffled rng g in
-      let mm = Streams.Insertion_greedy.mm_of_stream insertion_only in
-      {
-        sn = n;
-        decoys;
-        events = Streams.Stream.length stream;
-        forest_ok = Dgraph.Components.is_spanning_forest g forest;
-        messages_identical = Streams.Sketch_stream.messages_equal_distributed proc g;
-        greedy_mm_ok = Dgraph.Matching.is_maximal g mm;
-      })
-    ns
-
-let print_stream_table rows =
-  pr "\nT10. Dynamic streams = linear sketches (insert/delete decoys, bitwise equality)\n";
-  pr "%7s %8s %8s %10s %11s %11s\n" "n" "decoys" "events" "forest ok" "bits equal" "greedy mm";
-  List.iter
-    (fun r ->
-      pr "%7d %8d %8d %10b %11b %11b\n" r.sn r.decoys r.events r.forest_ok
-        r.messages_identical r.greedy_mm_ok)
-    rows
+let stream_table ~ns ~seed = Exp_streams.compute ~ns ~seed
+let print_stream_table rows = print_table (Exp_streams.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T11: edge connectivity + bipartiteness sketches                     *)
 
-type connectivity_row = {
+type connectivity_row = Exp_connectivity.row = {
   workload : string;
   k_cert : int;
   cert_valid : bool;
@@ -871,49 +256,13 @@ type connectivity_row = {
   conn_bits : int;
 }
 
-let connectivity_table ~seed =
-  let rng = Stdx.Prng.create (Stdx.Hashing.mix64 seed) in
-  let coins = Public_coins.create (Stdx.Hashing.mix64 (seed + 1)) in
-  let workloads =
-    [
-      ("cycle(16)", Dgraph.Gen.cycle 16, 3);
-      ("complete(9)", Dgraph.Gen.complete 9, 4);
-      ("path(12)", Dgraph.Gen.path 12, 2);
-      ("gnp(48,.25)", Dgraph.Gen.gnp rng 48 0.25, 4);
-      ("bipartite(14,12)", Dgraph.Gen.random_bipartite rng ~left:14 ~right:12 ~p:0.5, 3);
-      ("2 components", Graph.disjoint_union (Dgraph.Gen.cycle 6) (Dgraph.Gen.complete 5), 2);
-    ]
-  in
-  List.map
-    (fun (workload, g, k) ->
-      let cert, stats = Agm.Connectivity.k_forests g ~k coins in
-      let bip, _ = Agm.Connectivity.is_bipartite_via_sketches g coins in
-      {
-        workload;
-        k_cert = k;
-        cert_valid = Agm.Connectivity.certificate_valid g ~k cert;
-        estimate = Agm.Connectivity.edge_connectivity_estimate cert ~k;
-        truth = (let c = Dgraph.Mincut.min_cut g in if c = max_int then 0 else min k c);
-        bipartite_sketch = bip;
-        bipartite_truth = Agm.Connectivity.is_bipartite_exact g;
-        conn_bits = stats.Model.max_bits;
-      })
-    workloads
-
-let print_connectivity_table rows =
-  pr "\nT11. Edge connectivity (k-forest certificate) and bipartiteness from sketches\n";
-  pr "%-18s %4s %7s %5s %6s %11s %10s %10s\n" "workload" "k" "valid" "est" "truth" "bip-sketch"
-    "bip-truth" "bits";
-  List.iter
-    (fun r ->
-      pr "%-18s %4d %7b %5d %6d %11b %10b %10d\n" r.workload r.k_cert r.cert_valid r.estimate
-        r.truth r.bipartite_sketch r.bipartite_truth r.conn_bits)
-    rows
+let connectivity_table ~seed = Exp_connectivity.compute ~seed
+let print_connectivity_table rows = print_table (Exp_connectivity.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T12: one round fails, two rounds suffice, on D_MM itself            *)
 
-type rounds_row = {
+type rounds_row = Exp_rounds.row = {
   rm : int;
   one_round_undominated : float;
   one_round_bits : int;
@@ -924,44 +273,13 @@ type rounds_row = {
   sqrt_n_dmm : float;
 }
 
-let rounds_table ~ms ~seed =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
-      let dmm = Hard_dist.sample rs rng in
-      let g = dmm.Hard_dist.graph in
-      let coins = Public_coins.create (Stdx.Hashing.mix64 (seed * 17 + m)) in
-      let undominated, one_stats = Protocols.One_round_mis.undominated_fraction g coins in
-      let mm, mm_stats = Protocols.Two_round_mm.run g coins in
-      let mis, mis_stats = Protocols.Two_round_mis.run g coins in
-      {
-        rm = m;
-        one_round_undominated = undominated;
-        one_round_bits = one_stats.Model.max_bits;
-        two_round_mm_maximal = Dgraph.Matching.is_maximal g mm;
-        two_round_mm_bits = mm_stats.Sketchmodel.Rounds.max_bits;
-        two_round_mis_maximal = Dgraph.Mis.is_maximal g mis;
-        two_round_mis_bits = mis_stats.Sketchmodel.Rounds.max_bits;
-        sqrt_n_dmm = sqrt (float_of_int dmm.Hard_dist.n);
-      })
-    ms
-
-let print_rounds_table rows =
-  pr "\nT12. On D_MM: one-round local-minima MIS fails; two rounds solve MM and MIS\n";
-  pr "%6s %13s %9s %8s %9s %9s %9s %9s\n" "m" "undominated" "1r bits" "2r-mm" "mm bits"
-    "2r-mis" "mis bits" "sqrt(n)";
-  List.iter
-    (fun r ->
-      pr "%6d %13.3f %9d %8b %9d %9b %9d %9.1f\n" r.rm r.one_round_undominated r.one_round_bits
-        r.two_round_mm_maximal r.two_round_mm_bits r.two_round_mis_maximal r.two_round_mis_bits
-        r.sqrt_n_dmm)
-    rows
+let rounds_table ~ms ~seed = Exp_rounds.compute ~ms ~seed
+let print_rounds_table rows = print_table (Exp_rounds.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T13: the Yao averaging step                                         *)
 
-type yao_row = {
+type yao_row = Exp_yao.row = {
   ym : int;
   ybudget : int;
   randomized : float;
@@ -970,43 +288,14 @@ type yao_row = {
 }
 
 let yao_table ~m ~budgets ~instances ~seeds ~seed =
-  let rs = Rs.bipartite m in
-  let insts =
-    Array.init instances (fun i ->
-        Hard_dist.sample rs (Stdx.Prng.create (Stdx.Hashing.mix64 (seed + (i * 53)))))
-  in
-  let seed_list = List.init seeds (fun i -> Stdx.Hashing.mix64 (seed + (811 * i))) in
-  List.map
-    (fun budget ->
-      let report =
-        Yao.derandomize ~seeds:seed_list ~instances:insts ~run:(fun coins dmm ->
-            let p =
-              Protocols.Sampled_mm.protocol ~budget_bits:budget
-                ~strategy:Protocols.Sampled_mm.Uniform
-            in
-            let out, _ = Model.run p dmm.Hard_dist.graph coins in
-            Dgraph.Matching.is_maximal dmm.Hard_dist.graph out)
-      in
-      {
-        ym = m;
-        ybudget = budget;
-        randomized = report.Yao.average;
-        derandomized = report.Yao.best_rate;
-        dominates = Yao.dominates report;
-      })
-    budgets
+  Exp_yao.compute ~m ~budgets ~instances ~seeds ~seed
 
-let print_yao_table rows =
-  pr "\nT13. The averaging step: best fixed coins >= coin-averaged success (Yao [53])\n";
-  pr "%6s %9s %12s %14s %10s\n" "m" "bits" "randomized" "derandomized" "dominates";
-  List.iter
-    (fun r -> pr "%6d %9d %12.3f %14.3f %10b\n" r.ym r.ybudget r.randomized r.derandomized r.dominates)
-    rows
+let print_yao_table rows = print_table (Exp_yao.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* T14: BCC rounds/bandwidth trade-off                                 *)
 
-type bcc_row = {
+type bcc_row = Exp_bcc.row = {
   bn : int;
   bcc_rounds : int;
   bcc_bits_per_round : int;
@@ -1015,159 +304,23 @@ type bcc_row = {
   one_round_same_budget_maximal : float;
 }
 
-let bcc_table ~ms ~trials ~seed =
-  List.map
-    (fun m ->
-      let rs = Rs.bipartite m in
-      let rng = Stdx.Prng.create (Stdx.Hashing.mix64 (seed + m)) in
-      let dmm = Hard_dist.sample rs rng in
-      let g = dmm.Hard_dist.graph in
-      let coins = Public_coins.create (Stdx.Hashing.mix64 (seed * 19 + m)) in
-      let mm, stats = Protocols.Bcc_mm.run g coins in
-      (* Apples to apples: the BCC bandwidth measure is bits per round, so
-         the one-round comparison gets exactly that per-player budget. *)
-      let budget = stats.Sketchmodel.Bcc.max_bits_per_round in
-      let successes = ref 0 in
-      for i = 1 to trials do
-        let one_round =
-          Protocols.Sampled_mm.protocol ~budget_bits:budget
-            ~strategy:Protocols.Sampled_mm.Uniform
-        in
-        let out, _ =
-          Model.run one_round g (Public_coins.create (Stdx.Hashing.mix64 (seed + (i * 71))))
-        in
-        if Dgraph.Matching.is_maximal g out then incr successes
-      done;
-      {
-        bn = dmm.Hard_dist.n;
-        bcc_rounds = stats.Sketchmodel.Bcc.rounds_used;
-        bcc_bits_per_round = stats.Sketchmodel.Bcc.max_bits_per_round;
-        bcc_total_bits = stats.Sketchmodel.Bcc.max_bits_total;
-        bcc_maximal = Dgraph.Matching.is_maximal g mm;
-        one_round_same_budget_maximal = float_of_int !successes /. float_of_int trials;
-      })
-    ms
-
-let print_bcc_table rows =
-  pr "\nT14. BCC rounds vs bandwidth on D_MM: O(log n) rounds of O(log n)-bit broadcasts\n";
-  pr "     solve MM; one round at the same per-round bandwidth does not.\n";
-  pr "%8s %8s %11s %11s %9s %21s\n" "n" "rounds" "bits/round" "total bits" "maximal"
-    "1-round same b/round";
-  List.iter
-    (fun r ->
-      pr "%8d %8d %11d %11d %9b %21.2f\n" r.bn r.bcc_rounds r.bcc_bits_per_round
-        r.bcc_total_bits r.bcc_maximal r.one_round_same_budget_maximal)
-    rows
+let bcc_table ~ms ~trials ~seed = Exp_bcc.compute ~ms ~trials ~seed
+let print_bcc_table rows = print_table (Exp_bcc.table_of rows)
 
 (* ------------------------------------------------------------------ *)
 (* P1: the parallel trial engine itself                                *)
 
-type speedup_row = { pjobs : int; wall_s : float; speedup : float; identical : bool }
+type speedup_row = Exp_speedup.row = {
+  pjobs : int;
+  wall_s : float;
+  speedup : float;
+  identical : bool;
+}
 
-let parallel_speedup ?jobs ~m ~samples ~seed () =
-  let max_jobs =
-    match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs ()
-  in
-  let run j = Stdx.Parallel.timed (fun () -> claim31 ~jobs:j ~ms:[ m ] ~samples ~seed ()) in
-  let reference, baseline_wall = run 1 in
-  let job_counts =
-    List.sort_uniq compare (List.filter (fun j -> j <= max_jobs) [ 1; 2; 4; max_jobs ])
-  in
-  List.map
-    (fun j ->
-      let rows, wall = if j = 1 then (reference, baseline_wall) else run j in
-      {
-        pjobs = j;
-        wall_s = wall;
-        speedup = baseline_wall /. wall;
-        identical = rows = reference;
-      })
-    job_counts
+let parallel_speedup ?jobs ~m ~samples ~seed () = Exp_speedup.compute ?jobs ~m ~samples ~seed ()
 
-let print_parallel_speedup ~m ~samples rows =
-  pr "\nP1. Deterministic trial engine — claim31 (m=%d, %d samples) sharded over domains\n" m
-    samples;
-  pr "    %d cores recommended by the runtime; identical = rows bit-equal to jobs=1\n"
-    (Stdx.Parallel.default_jobs ());
-  pr "%6s %10s %9s %10s\n" "jobs" "wall (s)" "speedup" "identical";
-  List.iter
-    (fun r -> pr "%6d %10.3f %9.2f %10b\n" r.pjobs r.wall_s r.speedup r.identical)
-    rows
+let print_parallel_speedup ~m ~samples rows = print_table (Exp_speedup.table_of ~m ~samples rows)
 
 (* ------------------------------------------------------------------ *)
 
-let run_all ?(fast = false) ?jobs () =
-  let jobs = match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs () in
-  let total = ref 0. in
-  let table name f =
-    let (), wall = Stdx.Parallel.timed f in
-    total := !total +. wall;
-    pr "    [%s: %.2f s wall]\n%!" name wall
-  in
-  let rs_ms = if fast then [ 5; 10; 25 ] else [ 5; 10; 25; 50; 100; 200 ] in
-  table "T1" (fun () -> print_rs_table (rs_table ~ms:rs_ms));
-  let behrend_ms = if fast then [ 10; 30; 100 ] else [ 10; 30; 100; 300; 1000; 3000; 10000 ] in
-  table "T2" (fun () -> print_behrend_table (behrend_table ~ms:behrend_ms));
-  let claim_ms = if fast then [ 10; 25 ] else [ 10; 25; 50 ] in
-  table "T3" (fun () ->
-      print_claim31 (claim31 ~jobs ~ms:claim_ms ~samples:(if fast then 5 else 20) ~seed:7 ()));
-  table "F4" (fun () ->
-      print_budget_sweep
-        (budget_sweep ~jobs ~m:25
-           ~budgets:(if fast then [ 8; 64; 512 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
-           ~trials:(if fast then 3 else 10) ~seed:11 ()));
-  table "F5" (fun () ->
-      print_info_accounting (info_accounting ~bits:(if fast then [ 2; 6 ] else [ 0; 2; 4; 6; 10 ])));
-  table "T6" (fun () ->
-      print_upper_bounds (upper_bounds ~ns:(if fast then [ 64; 128 ] else [ 64; 128; 256 ]) ~seed:3));
-  table "T6b" (fun () ->
-      print_coloring_contrast
-        (coloring_contrast ~ns:(if fast then [ 128; 256 ] else [ 256; 512; 1024; 2048 ]) ~seed:19));
-  table "F7" (fun () ->
-      print_bound_curve (bound_curve ~ms:(if fast then [ 10; 50 ] else [ 10; 25; 50; 100; 200; 400 ])));
-  table "T8" (fun () ->
-      print_reduction
-        (reduction_check ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25 ])
-           ~samples:(if fast then 3 else 10) ~seed:23));
-  table "F9" (fun () ->
-      print_bridge
-        (bridge
-           ~halves:(if fast then [ 32 ] else [ 32; 128; 512 ])
-           ~samples:[ 1; 2; 4 ] ~trials:(if fast then 5 else 20) ~seed:29));
-  table "F10" (fun () ->
-      print_approx_matching
-        (approx_matching
-           ~ns:(if fast then [ 40 ] else [ 40; 80; 160 ])
-           ~budgets:[ 8; 24; 64; 256 ] ~trials:(if fast then 3 else 8) ~seed:31));
-  table "F11" (fun () ->
-      print_k_sweep
-        (k_sweep ~m:25
-           ~ks:(if fast then [ 5; 25 ] else [ 3; 6; 12; 25 ])
-           ~budgets:[ 4; 8; 16; 32; 64; 128 ] ~trials:(if fast then 3 else 8) ~seed:37));
-  table "T10" (fun () ->
-      print_stream_table (stream_table ~ns:(if fast then [ 24 ] else [ 24; 48; 96 ]) ~seed:41));
-  table "T11" (fun () -> print_connectivity_table (connectivity_table ~seed:43));
-  table "T12" (fun () ->
-      print_rounds_table (rounds_table ~ms:(if fast then [ 10 ] else [ 10; 25; 50 ]) ~seed:47));
-  table "T2b" (fun () ->
-      print_packing_table
-        (packing_table ~jobs ~ms:(if fast then [ 5; 10 ] else [ 5; 10; 25; 50 ])
-           ~tries:(if fast then 500 else 3000) ~seed:53 ()));
-  table "F5b" (fun () ->
-      print_estimate_accounting
-        (estimate_accounting ~jobs ~bits:(if fast then [ 10 ] else [ 6; 10; 14 ])
-           ~samples:(if fast then 1500 else 6000) ~seed:59 ()));
-  table "T13" (fun () ->
-      print_yao_table
-        (yao_table ~m:10 ~budgets:[ 16; 32; 48 ] ~instances:(if fast then 8 else 20)
-           ~seeds:(if fast then 4 else 8) ~seed:61));
-  table "T14" (fun () ->
-      print_bcc_table
-        (bcc_table ~ms:(if fast then [ 10 ] else [ 10; 25 ]) ~trials:(if fast then 3 else 10)
-           ~seed:67));
-  table "P1" (fun () ->
-      let m = if fast then 10 else 25 in
-      let samples = if fast then 8 else 40 in
-      print_parallel_speedup ~m ~samples (parallel_speedup ~jobs ~m ~samples ~seed:71 ()));
-  pr "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total
-    jobs
+let run_all ?(fast = false) ?jobs () = Exp_all.run_all ~fast ?jobs ()

@@ -3,7 +3,13 @@
     Each function returns plain row records (so tests can assert on them)
     and has a matching [print_*] that renders the table the bench harness
     and the CLI show. Sizes are chosen so the whole suite runs in a couple
-    of minutes; every knob is exposed for larger runs from the CLI. *)
+    of minutes; every knob is exposed for larger runs from the CLI.
+
+    This module is a compatibility facade: each table now lives in its own
+    [Exp_*] module, registered with {!Exp_registry} (see {!Exp_all}), and
+    renders through {!Report.Tabular}. The functions here delegate; new
+    experiments should implement {!Exp_registry.EXPERIMENT} instead of
+    adding entry points here. *)
 
 (** {1 T1 — Proposition 2.1: RS graph parameters} *)
 

@@ -1,0 +1,441 @@
+(* Typed tabular reporting: one schema, three renderers.
+
+   A [table] is a column schema plus value rows (with optional free-form
+   preamble/footer lines that only the text renderer shows). The text
+   renderer reproduces the classic [Printf]-aligned terminal tables
+   byte-for-byte; the CSV and JSON-lines renderers emit machine-readable
+   output for the same rows, including columns marked [~text:false] that
+   the terminal view omits (per-row context such as instance parameters).
+
+   A minimal JSON-lines parser lives here too, so round-trip tests and
+   CI smoke checks need no external JSON dependency. *)
+
+type format = Text | Csv | Json
+
+exception Type_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+type typ =
+  | TInt
+  | TFloat of { digits : int; sci : bool }
+  | TBool
+  | TStr
+  | TOpt of { some : typ; none : string }
+      (* [none] is the text placeholder, e.g. "-" or ">max tested" *)
+
+type col = {
+  name : string;  (* machine key: CSV header cell, JSON object key *)
+  header : string;  (* text-renderer column header (display form) *)
+  width : int;  (* text-renderer minimum cell width *)
+  left : bool;  (* left-align in text (Printf's "%-*s") *)
+  text : bool;  (* shown by the text renderer at all *)
+  typ : typ;
+}
+
+let make_col ?header ?(left = false) ?(text = true) ~width name typ =
+  { name; header = Option.value header ~default:name; width; left; text; typ }
+
+let int_col ?header ?left ?text ~width name = make_col ?header ?left ?text ~width name TInt
+
+let float_col ?header ?left ?text ?(sci = false) ~width ~digits name =
+  make_col ?header ?left ?text ~width name (TFloat { digits; sci })
+
+let bool_col ?header ?left ?text ~width name = make_col ?header ?left ?text ~width name TBool
+let str_col ?header ?left ?text ~width name = make_col ?header ?left ?text ~width name TStr
+let opt_col ?(none = "-") c = { c with typ = TOpt { some = c.typ; none } }
+
+(* ------------------------------------------------------------------ *)
+(* Values and tables                                                   *)
+
+type value = Int of int | Float of float | Bool of bool | Str of string | Opt of value option
+type row = value list
+
+type table = {
+  schema : col list;
+  rows : row list;
+  preamble : string list;  (* text-only lines before the header *)
+  footer : string list;  (* text-only lines after the rows *)
+}
+
+let table ?(preamble = []) ?(footer = []) schema rows = { schema; rows; preamble; footer }
+
+let rec type_matches typ v =
+  match (typ, v) with
+  | TInt, Int _ | TFloat _, Float _ | TBool, Bool _ | TStr, Str _ -> true
+  | TOpt _, Opt None -> true
+  | TOpt { some; _ }, Opt (Some v) -> type_matches some v
+  | (TInt | TFloat _ | TBool | TStr | TOpt _), _ -> false
+
+(* Raises [Type_error] on the first row whose arity or cell types do not
+   match the schema; the registry test validates every experiment with it. *)
+let validate t =
+  List.iteri
+    (fun i row ->
+      if List.length row <> List.length t.schema then
+        raise
+          (Type_error
+             (Printf.sprintf "row %d: %d cells for %d columns" i (List.length row)
+                (List.length t.schema)));
+      List.iter2
+        (fun c v ->
+          if not (type_matches c.typ v) then
+            raise (Type_error (Printf.sprintf "row %d, column %s: type mismatch" i c.name)))
+        t.schema row)
+    t.rows
+
+(* ------------------------------------------------------------------ *)
+(* Text renderer                                                       *)
+
+let pad ~left ~width s =
+  let n = String.length s in
+  if n >= width then s
+  else if left then s ^ String.make (width - n) ' '
+  else String.make (width - n) ' ' ^ s
+
+(* Exactly the strings the old Printf formats produced: "%d", "%.*f",
+   "%.*e", "%b", "%s" — padding is applied separately so every cell type
+   supports dynamic widths. *)
+let rec raw_text typ v =
+  match (typ, v) with
+  | TInt, Int i -> string_of_int i
+  | TFloat { digits; sci = false }, Float f -> Printf.sprintf "%.*f" digits f
+  | TFloat { digits; sci = true }, Float f -> Printf.sprintf "%.*e" digits f
+  | TBool, Bool b -> string_of_bool b
+  | TStr, Str s -> s
+  | TOpt { none; _ }, Opt None -> none
+  | TOpt { some; _ }, Opt (Some v) -> raw_text some v
+  | _ -> raise (Type_error "cell does not match its column type")
+
+let text_line cols cells =
+  String.concat " "
+    (List.map2 (fun c s -> pad ~left:c.left ~width:c.width s) cols cells)
+  ^ "\n"
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    t.preamble;
+  let cols = List.filter (fun c -> c.text) t.schema in
+  if cols <> [] then begin
+    Buffer.add_string buf (text_line cols (List.map (fun c -> c.header) cols));
+    List.iter
+      (fun row ->
+        let cells =
+          List.filter_map
+            (fun (c, v) -> if c.text then Some (raw_text c.typ v) else None)
+            (List.combine t.schema row)
+        in
+        Buffer.add_string buf (text_line cols cells))
+      t.rows
+  end;
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    t.footer;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable float representation                               *)
+
+(* Shortest decimal form that parses back to the same float; forced to
+   contain '.' or 'e' so a reader never mistakes it for an integer. *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+(* ------------------------------------------------------------------ *)
+(* CSV renderer                                                        *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let rec raw_csv typ v =
+  match (typ, v) with
+  | TInt, Int i -> string_of_int i
+  | TFloat _, Float f -> float_repr f
+  | TBool, Bool b -> string_of_bool b
+  | TStr, Str s -> csv_escape s
+  | TOpt _, Opt None -> ""
+  | TOpt { some; _ }, Opt (Some v) -> raw_csv some v
+  | _ -> raise (Type_error "cell does not match its column type")
+
+let to_csv ?comment t =
+  let buf = Buffer.create 1024 in
+  (match comment with
+  | Some c -> Buffer.add_string buf ("# " ^ c ^ "\n")
+  | None -> ());
+  Buffer.add_string buf (String.concat "," (List.map (fun c -> csv_escape c.name) t.schema));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (List.map2 (fun c v -> raw_csv c.typ v) t.schema row));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines renderer                                                 *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec json_of_value typ v =
+  match (typ, v) with
+  | TInt, Int i -> string_of_int i
+  | TFloat _, Float f -> if Float.is_finite f then float_repr f else "null"
+  | TBool, Bool b -> string_of_bool b
+  | TStr, Str s -> "\"" ^ json_escape s ^ "\""
+  | TOpt _, Opt None -> "null"
+  | TOpt { some; _ }, Opt (Some v) -> json_of_value some v
+  | _ -> raise (Type_error "cell does not match its column type")
+
+(* One flat JSON object per row; [tag] prepends a constant field, used by
+   multi-experiment sinks to stamp each row with its experiment id. *)
+let json_of_row ?tag schema row =
+  let fields = List.map2 (fun c v -> (c.name, json_of_value c.typ v)) schema row in
+  let fields =
+    match tag with Some (k, v) -> (k, "\"" ^ json_escape v ^ "\"") :: fields | None -> fields
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ v) fields) ^ "}"
+
+let to_json_lines ?tag t =
+  String.concat "" (List.map (fun row -> json_of_row ?tag t.schema row ^ "\n") t.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+
+let emit ?tag ~format ~out t =
+  let s =
+    match format with
+    | Text -> to_text t
+    | Csv -> to_csv ?comment:(Option.map (fun (k, v) -> k ^ ": " ^ v) tag) t
+    | Json -> to_json_lines ?tag t
+  in
+  output_string out s
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines parser (for round-trip tests and CI smoke checks)        *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let json_of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let n = String.length lit in
+    if !pos + n <= len && String.sub s !pos n = lit then begin
+      pos := !pos + n;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" lit)
+  in
+  let utf8_add buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; loop ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; loop ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; loop ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; loop ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; loop ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; loop ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; loop ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> utf8_add buf code
+              | None -> fail "bad \\u escape");
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Jint i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Jfloat f
+        | None -> fail (Printf.sprintf "bad number '%s'" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Jarr (elements [])
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* Parse a JSON-lines buffer: one value per non-empty line. *)
+let json_lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map json_of_string
+
+(* Map a parsed JSON object back onto a schema — the round-trip contract:
+   [row_of_json schema (json_of_string (json_of_row schema row)) = row].
+   Unknown keys (e.g. an "experiment" tag) are ignored; missing keys fail. *)
+let row_of_json schema j =
+  let fields = match j with Jobj f -> f | _ -> raise (Parse_error "expected a JSON object") in
+  let rec value_of typ j =
+    match (typ, j) with
+    | TInt, Jint i -> Int i
+    | TFloat _, Jfloat f -> Float f
+    | TFloat _, Jint i -> Float (float_of_int i)
+    | TBool, Jbool b -> Bool b
+    | TStr, Jstr s -> Str s
+    | TOpt _, Jnull -> Opt None
+    | TOpt { some; _ }, j -> Opt (Some (value_of some j))
+    | _ -> raise (Parse_error "JSON value does not match schema type")
+  in
+  List.map
+    (fun c ->
+      match List.assoc_opt c.name fields with
+      | Some j -> value_of c.typ j
+      | None -> raise (Parse_error (Printf.sprintf "missing key '%s'" c.name)))
+    schema

@@ -1,0 +1,167 @@
+(* Tests for Report.Tabular: the three renderers (text alignment, CSV
+   escaping, JSON-lines), schema validation, the shortest-round-trip float
+   representation, and the bundled JSON parser (including the
+   [row_of_json] round-trip contract the CI smoke check relies on). *)
+
+module T = Report.Tabular
+
+let checks = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+
+(* A small schema exercising every column feature: right/left alignment,
+   a hidden [~text:false] column, fixed/scientific floats, bool, option. *)
+let schema =
+  [
+    T.int_col ~width:4 "m";
+    T.str_col ~header:"who" ~left:true ~width:6 "name";
+    T.float_col ~width:8 ~digits:3 "rate";
+    T.float_col ~sci:true ~width:9 ~digits:2 "bound";
+    T.bool_col ~width:5 "ok";
+    T.opt_col ~none:">max" (T.int_col ~width:6 "thresh");
+    T.int_col ~text:false ~width:1 "ctx";
+  ]
+
+let rows =
+  [
+    [
+      T.Int 5;
+      T.Str "ab";
+      T.Float 0.25;
+      T.Float 1.5e-3;
+      T.Bool true;
+      T.Opt (Some (T.Int 64));
+      T.Int 99;
+    ];
+    [
+      T.Int 1000;
+      T.Str "x,\"y\"";
+      T.Float 2.0;
+      T.Float 0.;
+      T.Bool false;
+      T.Opt None;
+      T.Int 100;
+    ];
+  ]
+
+let tbl = T.table ~preamble:[ ""; "== demo ==" ] ~footer:[ "bye" ] schema rows
+
+let test_text () =
+  (* Header and cells padded to width, joined by single spaces; the
+     [~text:false] column is absent; Opt None renders its placeholder;
+     preamble/footer lines pass through verbatim. Each expected cell is
+     written out pre-padded so the snapshot stays readable. *)
+  let line cells = String.concat " " cells ^ "\n" in
+  let expected =
+    "\n== demo ==\n"
+    ^ line [ "   m"; "who   "; "    rate"; "    bound"; "   ok"; "thresh" ]
+    ^ line [ "   5"; "ab    "; "   0.250"; " 1.50e-03"; " true"; "    64" ]
+    ^ line [ "1000"; "x,\"y\" "; "   2.000"; " 0.00e+00"; "false"; "  >max" ]
+    ^ "bye\n"
+  in
+  checks "text rendering" expected (T.to_text tbl)
+
+let test_text_overflow () =
+  (* Cells wider than the column keep their full content (Printf "%*d"
+     semantics): alignment degrades, data never truncates. *)
+  let t = T.table [ T.int_col ~width:2 "n" ] [ [ T.Int 12345 ] ] in
+  checks "overflow keeps content" " n\n12345\n" (T.to_text t)
+
+let test_csv () =
+  (* Machine keys as header; every column including hidden ones; floats in
+     round-trip form, not display form; Opt None is an empty cell; commas
+     and quotes escaped per RFC 4180. *)
+  let expected =
+    "m,name,rate,bound,ok,thresh,ctx\n" ^ "5,ab,0.25,0.0015,true,64,99\n"
+    ^ "1000,\"x,\"\"y\"\"\",2.0,0.0,false,,100\n"
+  in
+  checks "csv rendering" expected (T.to_csv tbl);
+  checks "csv comment" ("# experiment: demo\n" ^ expected)
+    (T.to_csv ~comment:"experiment: demo" tbl)
+
+let test_json_lines () =
+  let expected =
+    "{\"tag\":\"t1\",\"m\":5,\"name\":\"ab\",\"rate\":0.25,\"bound\":0.0015,\"ok\":true,\"thresh\":64,\"ctx\":99}\n"
+    ^ "{\"tag\":\"t1\",\"m\":1000,\"name\":\"x,\\\"y\\\"\",\"rate\":2.0,\"bound\":0.0,\"ok\":false,\"thresh\":null,\"ctx\":100}\n"
+  in
+  checks "json-lines rendering" expected (T.to_json_lines ~tag:("tag", "t1") tbl)
+
+let test_json_nonfinite () =
+  let t = T.table [ T.float_col ~width:6 ~digits:2 "x" ] [ [ T.Float nan ]; [ T.Float infinity ] ] in
+  checks "non-finite floats emit null" "{\"x\":null}\n{\"x\":null}\n" (T.to_json_lines t)
+
+let test_validate () =
+  T.validate tbl;
+  let raises f = match f () with () -> false | exception T.Type_error _ -> true in
+  checkb "arity mismatch" true
+    (raises (fun () -> T.validate (T.table schema [ [ T.Int 1 ] ])));
+  checkb "type mismatch" true
+    (raises (fun () ->
+         T.validate (T.table [ T.int_col ~width:2 "n" ] [ [ T.Str "oops" ] ])));
+  checkb "opt payload type mismatch" true
+    (raises (fun () ->
+         T.validate
+           (T.table [ T.opt_col (T.int_col ~width:2 "n") ] [ [ T.Opt (Some (T.Str "s")) ] ])))
+
+let test_float_repr () =
+  checks "integral floats keep a dot" "1.0" (T.float_repr 1.0);
+  checks "short decimals stay short" "0.25" (T.float_repr 0.25);
+  List.iter
+    (fun f ->
+      checkb
+        (Printf.sprintf "float_repr round-trips %h" f)
+        true
+        (float_of_string (T.float_repr f) = f))
+    [ 0.1; 1. /. 3.; 4. *. atan 1.; 1e-300; 1e300; -0.; 1.5e-3; 123456789.123456789 ]
+
+let test_parser () =
+  let open T in
+  checkb "scalar kinds" true
+    (json_of_string "[null,true,false,3,-2.5,\"a\\nb\",1e3]"
+    = Jarr [ Jnull; Jbool true; Jbool false; Jint 3; Jfloat (-2.5); Jstr "a\nb"; Jfloat 1e3 ]);
+  checkb "nested object" true
+    (json_of_string "{ \"a\" : { \"b\" : [ 1 , 2 ] } }"
+    = Jobj [ ("a", Jobj [ ("b", Jarr [ Jint 1; Jint 2 ]) ]) ]);
+  checkb "unicode escape" true (json_of_string "\"\\u00e9\"" = Jstr "\xc3\xa9");
+  let fails s = match json_of_string s with _ -> false | exception Parse_error _ -> true in
+  checkb "garbage fails" true (fails "{nope}");
+  checkb "trailing garbage fails" true (fails "1 2");
+  checkb "unterminated string fails" true (fails "\"abc");
+  Alcotest.(check int)
+    "json_lines skips blanks" 2
+    (List.length (json_lines_of_string "{\"a\":1}\n\n  \n{\"a\":2}\n"))
+
+let test_row_roundtrip () =
+  (* The contract CI relies on: render a row, parse it back, map it onto
+     the schema — identical values, with the tag field ignored. *)
+  List.iter
+    (fun row ->
+      let line = T.json_of_row ~tag:("experiment", "demo") schema row in
+      checkb "row round-trips through JSON" true
+        (T.row_of_json schema (T.json_of_string line) = row))
+    rows;
+  let missing () = T.row_of_json schema (T.json_of_string "{\"m\":1}") in
+  checkb "missing key fails" true
+    (match missing () with _ -> false | exception T.Parse_error _ -> true)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "renderers",
+        [
+          Alcotest.test_case "text" `Quick test_text;
+          Alcotest.test_case "text overflow" `Quick test_text_overflow;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "json-lines" `Quick test_json_lines;
+          Alcotest.test_case "json non-finite" `Quick test_json_nonfinite;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "float_repr" `Quick test_float_repr;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "json_of_string" `Quick test_parser;
+          Alcotest.test_case "row round-trip" `Quick test_row_roundtrip;
+        ] );
+    ]
