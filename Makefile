@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json check bench clean
+.PHONY: all build test smoke smoke-json check bench bench-release clean
 
 all: build
 
@@ -24,9 +24,16 @@ smoke-json: build
 check: build test smoke smoke-json
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
-# table: id, wall-clock, rows).
+# table: id, title, wall-clock, Gc.allocated_bytes, rows).
 bench: build
 	dune exec bench/main.exe -- tables
+
+# Same, under the release profile at shrunk sizes — what the CI
+# bench-release job runs. jobs=1 so allocated_bytes covers the full table.
+bench-release:
+	dune build --profile release @all
+	./_build/default/bench/main.exe tables --fast -j 1
+	./_build/default/bin/jsoncheck.exe BENCH_tables.json
 
 clean:
 	dune clean

@@ -26,13 +26,19 @@ let tables ?(fast = false) ?jobs () =
   List.iter
     (fun e ->
       let overrides = R.overrides_for ~fast e @ [ ("jobs", R.Vint jobs) ] in
+      (* [Gc.allocated_bytes] counts the calling domain only, so at jobs>1
+         the figure covers the main-domain share; at jobs=1 (the CI
+         setting) it is the full allocation of the table. *)
+      let alloc0 = Gc.allocated_bytes () in
       let tbl, wall = Stdx.Parallel.timed (fun () -> R.table e overrides) in
+      let alloc = Gc.allocated_bytes () -. alloc0 in
       print_string (T.to_text tbl);
-      Printf.printf "    [%s: %.2f s wall]\n%!" (R.title e) wall;
+      Printf.printf "    [%s: %.2f s wall, %.2f MB alloc]\n%!" (R.title e) wall
+        (alloc /. 1048576.);
       total := !total +. wall;
       let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
-      Printf.fprintf oc "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"rows\":[%s]}\n" (R.id e)
-        (R.title e) (T.float_repr wall) (String.concat "," rows))
+      Printf.fprintf oc "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"alloc_bytes\":%.0f,\"rows\":[%s]}\n"
+        (R.id e) (R.title e) (T.float_repr wall) alloc (String.concat "," rows))
     (Core.Exp_all.all ());
   Printf.printf
     "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total

@@ -49,12 +49,13 @@ let referee ~n ~sketches _coins =
       done;
       sums.(vertex) <- unzigzag (Reader.uvarint r))
     sketches;
-  let edge_list =
-    List.concat (List.init n (fun v -> List.map (fun u -> (v, u)) sampled.(v)))
-    |> List.filter (fun (a, b) -> a <> b)
-    |> List.map (fun (a, b) -> Graph.normalize_edge a b)
+  let sampled_graph =
+    let b = Graph.Builder.create ~capacity:(max 16 n) n in
+    for v = 0 to n - 1 do
+      List.iter (fun u -> if u <> v then Graph.Builder.add_edge b v u) sampled.(v)
+    done;
+    Graph.Builder.freeze b
   in
-  let sampled_graph = Graph.create n edge_list in
   let label, count = Dgraph.Components.components sampled_graph in
   let side_sum side = Array.to_list label |> List.mapi (fun v l -> if l = side then sums.(v) else 0)
                       |> List.fold_left ( + ) 0 in
@@ -62,13 +63,13 @@ let referee ~n ~sketches _coins =
   else if count = 1 then begin
     (* The bridge itself was sampled: it is the unique sampled cut edge
        whose removal splits the clouds; verify candidates with the sum. *)
-    let candidates = Graph.edges sampled_graph in
-    let all_edges = Graph.edges sampled_graph in
+    let all_edges = Graph.edges_array sampled_graph in
+    let candidates = Array.to_list all_edges in
     let answer =
       List.find_map
         (fun e ->
-          let without = List.filter (fun e' -> e' <> e) all_edges in
-          let g' = Graph.create n without in
+          let without = Array.of_list (List.filter (fun e' -> e' <> e) candidates) in
+          let g' = Graph.of_edge_array n without in
           let label', count' = Dgraph.Components.components g' in
           if count' <> 2 then None
           else begin

@@ -41,7 +41,11 @@ let forests_referee config ~n ~k ~sketches coins =
     done;
     forests.(j) <- SF.decode_forest ~n ~per_vertex:stacks_j
   done;
-  let union = Graph.create n (List.concat (Array.to_list forests)) in
+  let union =
+    let b = Graph.Builder.create ~capacity:(max 1 (k * n)) n in
+    Array.iter (List.iter (fun (u, v) -> Graph.Builder.add_edge b u v)) forests;
+    Graph.Builder.freeze b
+  in
   { forests; union }
 
 let forests_protocol ?(config = SF.default_config) ~n ~k () =
@@ -80,8 +84,11 @@ let certificate_valid g ~k cert =
   Array.iter
     (fun forest ->
       let residual =
-        Graph.create (Graph.n g)
-          (List.filter (fun e -> not (Hashtbl.mem removed e)) (Graph.edges g))
+        let b = Graph.Builder.create ~capacity:(max 1 (Graph.m g)) (Graph.n g) in
+        Graph.iter_edges
+          (fun u v -> if not (Hashtbl.mem removed (u, v)) then Graph.Builder.add_edge b u v)
+          g;
+        Graph.Builder.freeze b
       in
       if not (Dgraph.Components.is_spanning_forest residual forest) then ok := false;
       List.iter (fun e -> Hashtbl.replace removed e ()) forest)
@@ -162,14 +169,14 @@ let is_bipartite_exact g =
       Queue.add start queue;
       while not (Queue.is_empty queue) do
         let v = Queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun u ->
             if color.(u) = -1 then begin
               color.(u) <- 1 - color.(v);
               Queue.add u queue
             end
             else if color.(u) = color.(v) then ok := false)
-          (Graph.neighbors g v)
+          g v
       done
     end
   done;

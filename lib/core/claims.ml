@@ -9,7 +9,7 @@ let order_name = function
 
 let maximal_matching_under dmm order =
   let g = dmm.Hard_dist.graph in
-  let edges = Array.of_list (Graph.edges g) in
+  let edges = Graph.edges_array g in
   (match order with
   | Lexicographic -> ()
   | Random seed -> Stdx.Prng.shuffle (Stdx.Prng.create seed) edges

@@ -27,7 +27,7 @@ let make rs ~k ~j_star ~sigma ~kept =
   let n = nn - (2 * rr) + (2 * rr * k) in
   if j_star < 0 || j_star >= tt then invalid_arg "Hard_dist.make: j_star";
   if Array.length sigma <> n then invalid_arg "Hard_dist.make: sigma length";
-  let v_star = Array.of_list (Rs.matching_vertices rs j_star) in
+  let v_star = Rs.matching_vertices rs j_star in
   let in_star = Stdx.Bitset.create nn in
   Array.iter (Stdx.Bitset.add in_star) v_star;
   let non_star =
@@ -48,19 +48,33 @@ let make rs ~k ~j_star ~sigma ~kept =
             if star_pos.(v) >= 0 then unique_labels.(i).(star_pos.(v))
             else public_labels.(non_pos.(v))))
   in
-  let rs_edges = Array.of_list (Graph.edges rs.Rs.graph) in
+  let rs_edges = Graph.edges_array rs.Rs.graph in
   if
     Array.length kept <> k
     || Array.exists (fun row -> Array.length row <> Array.length rs_edges) kept
   then invalid_arg "Hard_dist.make: kept shape";
-  let edges = ref [] in
+  (* Counted two-pass fill: size the builder exactly from [kept], then
+     stream the surviving copy edges straight into the columnar store (the
+     freeze dedups public-public edges shared across copies). *)
+  let edge_count = Array.length rs_edges in
+  let total = ref 0 in
   for i = 0 to k - 1 do
-    Array.iteri
-      (fun e (u, v) ->
-        if kept.(i).(e) then edges := Graph.normalize_edge copy_map.(i).(u) copy_map.(i).(v) :: !edges)
-      rs_edges
+    let row = kept.(i) in
+    for e = 0 to edge_count - 1 do
+      if row.(e) then incr total
+    done
   done;
-  let graph = Graph.create n !edges in
+  let b = Graph.Builder.create ~capacity:(max 1 !total) n in
+  for i = 0 to k - 1 do
+    let row = kept.(i) and map = copy_map.(i) in
+    for e = 0 to edge_count - 1 do
+      if row.(e) then begin
+        let u, v = rs_edges.(e) in
+        Graph.Builder.add_edge b map.(u) map.(v)
+      end
+    done
+  done;
+  let graph = Graph.Builder.freeze b in
   { rs; k; j_star; sigma; graph; n; public_labels; unique_labels; copy_map; kept; rs_edges }
 
 let sample rs ?k rng =

@@ -5,14 +5,24 @@ let left u = u
 
 let right dmm u = dmm.Hard_dist.n + u
 
+(* H is assembled straight from G's columnar store: each G edge appears on
+   both sides, plus the public-public biclique across the middle. The three
+   blocks live on disjoint vertex pairs (left x left, right x right,
+   left x right), so the exactly-sized builder freezes without collapsing
+   anything. *)
 let build_h dmm =
   let n = dmm.Hard_dist.n in
-  let g_edges = Graph.edges dmm.Hard_dist.graph in
-  let left_edges = g_edges in
-  let right_edges = List.map (fun (u, v) -> (u + n, v + n)) g_edges in
-  let public = Array.to_list dmm.Hard_dist.public_labels in
-  let biclique = List.concat_map (fun u -> List.map (fun v -> (u, v + n)) public) public in
-  Graph.create (2 * n) (left_edges @ right_edges @ biclique)
+  let g = dmm.Hard_dist.graph in
+  let public = dmm.Hard_dist.public_labels in
+  let p = Array.length public in
+  let b = Graph.Builder.create ~capacity:(max 1 ((2 * Graph.m g) + (p * p))) (2 * n) in
+  Graph.iter_edges
+    (fun u v ->
+      Graph.Builder.add_edge b u v;
+      Graph.Builder.add_edge b (u + n) (v + n))
+    g;
+  Array.iter (fun u -> Array.iter (fun v -> Graph.Builder.add_edge b u (v + n)) public) public;
+  Graph.Builder.freeze b
 
 type side = Left | Right
 

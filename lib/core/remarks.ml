@@ -24,18 +24,21 @@ let distributed_h dmm =
      - copies of its own G-edges on both sides;
      - if public: its biclique edges to every public vertex (incl itself),
        which requires exactly Remark 3.6(iii). *)
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(max 1 (4 * Graph.m g)) (2 * n) in
   for u = 0 to n - 1 do
-    Array.iter
+    Graph.iter_neighbors
       (fun v ->
-        edges := (u, v) :: (u + n, v + n) :: !edges)
-      (Graph.neighbors g u);
+        Graph.Builder.add_edge b u v;
+        Graph.Builder.add_edge b (u + n) (v + n))
+      g u;
     if Stdx.Bitset.mem public u then
       Array.iter
-        (fun p -> edges := (u, p + n) :: (p, u + n) :: !edges)
+        (fun p ->
+          Graph.Builder.add_edge b u (p + n);
+          Graph.Builder.add_edge b p (u + n))
         dmm.Hard_dist.public_labels
   done;
-  Graph.create (2 * n) !edges
+  Graph.Builder.freeze b
 
 let meets_remark_iv dmm output =
   let verdict = Dgraph.Matching.verify dmm.Hard_dist.graph output in

@@ -53,10 +53,10 @@ let maximum_matching g =
     let found = ref (-1) in
     while !found = -1 && not (Queue.is_empty queue) do
       let v = Queue.pop queue in
-      let nbrs = Graph.neighbors g v in
+      let deg = Graph.degree g v in
       let i = ref 0 in
-      while !found = -1 && !i < Array.length nbrs do
-        let u = nbrs.(!i) in
+      while !found = -1 && !i < deg do
+        let u = Graph.neighbor g v !i in
         incr i;
         if base.(v) <> base.(u) && mate.(v) <> u then begin
           if u = root || (mate.(u) <> -1 && parent.(mate.(u)) <> -1) then begin

@@ -9,13 +9,13 @@ let components g =
       Queue.add start queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun v ->
             if label.(v) = -1 then begin
               label.(v) <- !count;
               Queue.add v queue
             end)
-          (Graph.neighbors g u)
+          g u
       done;
       incr count
     end
@@ -37,14 +37,14 @@ let spanning_forest g =
       Queue.add start queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun v ->
             if not visited.(v) then begin
               visited.(v) <- true;
               out := Graph.normalize_edge u v :: !out;
               Queue.add v queue
             end)
-          (Graph.neighbors g u)
+          g u
       done
     end
   done;

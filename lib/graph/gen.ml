@@ -1,68 +1,91 @@
+module B = Graph.Builder
+
 let gnp rng n p =
-  let edges = ref [] in
+  let b = B.create ~capacity:(max 16 (n * 4)) n in
   for u = 0 to n - 2 do
     for v = u + 1 to n - 1 do
-      if Stdx.Prng.bernoulli rng p then edges := (u, v) :: !edges
+      if Stdx.Prng.bernoulli rng p then B.add_edge b u v
     done
   done;
-  Graph.create n !edges
+  B.freeze b
 
 let random_bipartite rng ~left ~right ~p =
-  let edges = ref [] in
+  let b = B.create ~capacity:(max 16 (left + right)) (left + right) in
   for u = 0 to left - 1 do
     for v = left to left + right - 1 do
-      if Stdx.Prng.bernoulli rng p then edges := (u, v) :: !edges
+      if Stdx.Prng.bernoulli rng p then B.add_edge b u v
     done
   done;
-  Graph.create (left + right) !edges
+  B.freeze b
 
-let path n = Graph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+let path n =
+  let b = B.create ~capacity:(max 1 (n - 1)) n in
+  for i = 0 to n - 2 do
+    B.add_edge b i (i + 1)
+  done;
+  B.freeze b
 
 let cycle n =
   if n < 3 then invalid_arg "Gen.cycle: needs >= 3 vertices";
-  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+  let b = B.create ~capacity:n n in
+  B.add_edge b (n - 1) 0;
+  for i = 0 to n - 2 do
+    B.add_edge b i (i + 1)
+  done;
+  B.freeze b
 
 let complete n =
-  let edges = ref [] in
+  let b = B.create ~capacity:(max 1 (n * (n - 1) / 2)) n in
   for u = 0 to n - 2 do
     for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
+      B.add_edge b u v
     done
   done;
-  Graph.create n !edges
+  B.freeze b
 
 let star n =
   if n < 1 then invalid_arg "Gen.star";
-  Graph.create n (List.init (n - 1) (fun i -> (0, i + 1)))
+  let b = B.create ~capacity:(max 1 (n - 1)) n in
+  for i = 1 to n - 1 do
+    B.add_edge b 0 i
+  done;
+  B.freeze b
 
-let complete_bipartite a b =
-  let edges = ref [] in
+let complete_bipartite a b_count =
+  let b = B.create ~capacity:(max 1 (a * b_count)) (a + b_count) in
   for u = 0 to a - 1 do
-    for v = a to a + b - 1 do
-      edges := (u, v) :: !edges
+    for v = a to a + b_count - 1 do
+      B.add_edge b u v
     done
   done;
-  Graph.create (a + b) !edges
+  B.freeze b
 
-let perfect_matching k = Graph.create (2 * k) (List.init k (fun i -> ((2 * i), (2 * i) + 1)))
+let perfect_matching k =
+  let b = B.create ~capacity:(max 1 k) (2 * k) in
+  for i = 0 to k - 1 do
+    B.add_edge b (2 * i) ((2 * i) + 1)
+  done;
+  B.freeze b
 
 let disjoint_matchings ~sizes =
   let total = 2 * List.fold_left ( + ) 0 sizes in
-  let edges = ref [] and base = ref 0 in
+  let b = B.create ~capacity:(max 1 (total / 2)) total in
+  let base = ref 0 in
   List.iter
     (fun size ->
       for i = 0 to size - 1 do
-        edges := (!base + (2 * i), !base + (2 * i) + 1) :: !edges
+        B.add_edge b (!base + (2 * i)) (!base + (2 * i) + 1)
       done;
       base := !base + (2 * size))
     sizes;
-  Graph.create total !edges
+  B.freeze b
 
 let random_regular_ish rng n d =
   if d >= n then invalid_arg "Gen.random_regular_ish: d >= n";
   let target = d * n / 2 in
   let seen = Hashtbl.create (2 * target) in
-  let edges = ref [] and count = ref 0 and attempts = ref 0 in
+  let b = B.create ~capacity:(max 16 target) n in
+  let count = ref 0 and attempts = ref 0 in
   while !count < target && !attempts < 50 * target do
     incr attempts;
     let u = Stdx.Prng.int rng n and v = Stdx.Prng.int rng n in
@@ -70,24 +93,24 @@ let random_regular_ish rng n d =
       let e = Graph.normalize_edge u v in
       if not (Hashtbl.mem seen e) then begin
         Hashtbl.replace seen e ();
-        edges := e :: !edges;
+        B.add_edge b u v;
         incr count
       end
     end
   done;
-  Graph.create n !edges
+  B.freeze b
 
 let grid rows cols =
   if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
   let idx i j = (i * cols) + j in
-  let edges = ref [] in
+  let b = B.create ~capacity:(2 * rows * cols) (rows * cols) in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      if j + 1 < cols then edges := (idx i j, idx i (j + 1)) :: !edges;
-      if i + 1 < rows then edges := (idx i j, idx (i + 1) j) :: !edges
+      if j + 1 < cols then B.add_edge b (idx i j) (idx i (j + 1));
+      if i + 1 < rows then B.add_edge b (idx i j) (idx (i + 1) j)
     done
   done;
-  Graph.create (rows * cols) !edges
+  B.freeze b
 
 let configuration_model rng ~degrees =
   let n = Array.length degrees in
@@ -105,14 +128,14 @@ let configuration_model rng ~degrees =
       done)
     degrees;
   Stdx.Prng.shuffle rng stubs;
-  let edges = ref [] in
+  let b = B.create ~capacity:(max 16 (total / 2)) n in
   let i = ref 0 in
   while !i + 1 < total do
     let u = stubs.(!i) and v = stubs.(!i + 1) in
-    if u <> v then edges := (u, v) :: !edges;
+    if u <> v then B.add_edge b u v;
     i := !i + 2
   done;
-  Graph.create n !edges
+  B.freeze b
 
 let power_law_degrees rng ~n ~exponent ~dmax =
   if n < 1 || dmax < 1 || exponent <= 1. then invalid_arg "Gen.power_law_degrees";
@@ -143,4 +166,4 @@ let bridge_of_clouds rng ~half ~p =
   let u = Stdx.Prng.int rng half in
   let v = half + Stdx.Prng.int rng half in
   let bridge = Graph.normalize_edge u v in
-  (Graph.union g (Graph.create (2 * half) [ bridge ]), bridge)
+  (Graph.union g (Graph.of_edge_array (2 * half) [| bridge |]), bridge)

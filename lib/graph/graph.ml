@@ -1,77 +1,250 @@
+(* Columnar graph core.
+
+   The graph is frozen into two parallel columnar stores:
+   - a CSR neighbour store: [row_start] (length n+1) indexing into [col]
+     (length 2m), each row sorted ascending;
+   - a flat normalized edge store: [eu]/[ev] (length m each), the edges
+     (eu.(i), ev.(i)) with eu.(i) < ev.(i), in lexicographic order.
+
+   Both are derived from one sorted, deduplicated key array where edge
+   (u, v), u < v, is encoded as the single int u*n + v (safe while
+   n < 2^31 on 64-bit OCaml ints). Construction funnels through
+   [of_keys]; [Builder] is the mutable front end for incremental
+   assembly, and [of_sorted_csr] / [disjoint_union] bypass the sort for
+   inputs that are already in CSR shape. *)
+
 type edge = int * int
 
-type t = { n : int; adj : int array array; m : int }
+type t = {
+  n : int;
+  m : int;
+  row_start : int array;
+  col : int array;
+  eu : int array;
+  ev : int array;
+}
 
 let normalize_edge u v =
   if u = v then invalid_arg "Graph.normalize_edge: self-loop";
   if u < v then (u, v) else (v, u)
 
+let int_compare (a : int) b = compare a b
+
+(* Build from the first [len] entries of [keys] (destroyed by sorting);
+   duplicates are collapsed. *)
+let of_keys n keys len =
+  let keys = if len = Array.length keys then keys else Array.sub keys 0 len in
+  Array.sort int_compare keys;
+  let m =
+    let count = ref 0 and last = ref (-1) in
+    Array.iter
+      (fun key ->
+        if key <> !last then begin
+          incr count;
+          last := key
+        end)
+      keys;
+    !count
+  in
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  let i = ref 0 and last = ref (-1) in
+  Array.iter
+    (fun key ->
+      if key <> !last then begin
+        eu.(!i) <- key / n;
+        ev.(!i) <- key mod n;
+        incr i;
+        last := key
+      end)
+    keys;
+  (* CSR fill: count degrees, prefix-sum, then scatter both directions.
+     Scanning edges in lexicographic order appends, for every row w, first
+     the smaller neighbours (edges (x, w), x ascending) and then the larger
+     ones (edges (w, y), y ascending), so each row comes out sorted. *)
+  let row_start = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    row_start.(eu.(i) + 1) <- row_start.(eu.(i) + 1) + 1;
+    row_start.(ev.(i) + 1) <- row_start.(ev.(i) + 1) + 1
+  done;
+  for v = 1 to n do
+    row_start.(v) <- row_start.(v) + row_start.(v - 1)
+  done;
+  let col = Array.make (2 * m) 0 in
+  let cursor = Array.sub row_start 0 (max n 1) in
+  for i = 0 to m - 1 do
+    let u = eu.(i) and v = ev.(i) in
+    col.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    col.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { n; m; row_start; col; eu; ev }
+
+module Builder = struct
+  type graph = t
+
+  type t = { n : int; mutable keys : int array; mutable len : int }
+
+  let create ?(capacity = 16) n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative n";
+    { n; keys = Array.make (max capacity 1) 0; len = 0 }
+
+  let n b = b.n
+  let length b = b.len
+
+  let add_key b key =
+    if b.len = Array.length b.keys then begin
+      let bigger = Array.make (2 * b.len) 0 in
+      Array.blit b.keys 0 bigger 0 b.len;
+      b.keys <- bigger
+    end;
+    b.keys.(b.len) <- key;
+    b.len <- b.len + 1
+
+  let add_edge b u v =
+    if u < 0 || u >= b.n || v < 0 || v >= b.n then
+      invalid_arg "Graph.Builder.add_edge: vertex out of range";
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    add_key b (if u < v then (u * b.n) + v else (v * b.n) + u)
+
+  let freeze b : graph = of_keys b.n b.keys b.len
+end
+
 let create n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative n";
-  let buckets = Array.make n [] in
-  let add_edge (u, v) =
-    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: vertex out of range";
-    let u, v = normalize_edge u v in
-    buckets.(u) <- v :: buckets.(u);
-    buckets.(v) <- u :: buckets.(v)
-  in
-  List.iter add_edge edge_list;
-  let dedup_sorted l =
-    let a = Array.of_list l in
-    Array.sort compare a;
-    let out = ref [] and last = ref min_int in
-    Array.iter
-      (fun x ->
-        if x <> !last then begin
-          out := x :: !out;
-          last := x
-        end)
-      a;
-    Array.of_list (List.rev !out)
-  in
-  let adj = Array.map dedup_sorted buckets in
-  let m = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2 in
-  { n; adj; m }
+  let len = List.length edge_list in
+  let keys = Array.make (max len 1) 0 in
+  let i = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: vertex out of range";
+      let u, v = normalize_edge u v in
+      keys.(!i) <- (u * n) + v;
+      incr i)
+    edge_list;
+  of_keys n keys len
+
+let of_edge_array n edge_arr =
+  if n < 0 then invalid_arg "Graph.of_edge_array: negative n";
+  let len = Array.length edge_arr in
+  let keys = Array.make (max len 1) 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edge_array: vertex out of range";
+      if u = v then invalid_arg "Graph.of_edge_array: self-loop";
+      keys.(i) <- (if u < v then (u * n) + v else (v * n) + u))
+    edge_arr;
+  of_keys n keys len
+
+let of_sorted_csr ~n ~row_start ~col =
+  if n < 0 then invalid_arg "Graph.of_sorted_csr: negative n";
+  if Array.length row_start <> n + 1 || row_start.(0) <> 0 || row_start.(n) <> Array.length col
+  then invalid_arg "Graph.of_sorted_csr: row_start shape";
+  if Array.length col land 1 = 1 then invalid_arg "Graph.of_sorted_csr: odd half-edge count";
+  let m = Array.length col / 2 in
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  let i = ref 0 in
+  for u = 0 to n - 1 do
+    for idx = row_start.(u) to row_start.(u + 1) - 1 do
+      let v = col.(idx) in
+      if u < v then begin
+        eu.(!i) <- u;
+        ev.(!i) <- v;
+        incr i
+      end
+    done
+  done;
+  if !i <> m then invalid_arg "Graph.of_sorted_csr: not a symmetric simple adjacency";
+  { n; m; row_start; col; eu; ev }
 
 let empty n = create n []
 
 let n g = g.n
 let m g = g.m
-let neighbors g v = g.adj.(v)
-let degree g v = Array.length g.adj.(v)
+let degree g v = g.row_start.(v + 1) - g.row_start.(v)
 
-let max_degree g = Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 g.adj
+let neighbors g v = Array.sub g.col g.row_start.(v) (degree g v)
+
+let neighbor g v j = g.col.(g.row_start.(v) + j)
+
+let iter_neighbors f g v =
+  for idx = g.row_start.(v) to g.row_start.(v + 1) - 1 do
+    f g.col.(idx)
+  done
+
+let fold_neighbors f g v init =
+  let acc = ref init in
+  for idx = g.row_start.(v) to g.row_start.(v + 1) - 1 do
+    acc := f g.col.(idx) !acc
+  done;
+  !acc
+
+let exists_neighbor p g v =
+  let rec go idx = idx < g.row_start.(v + 1) && (p g.col.(idx) || go (idx + 1)) in
+  go g.row_start.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
 
 let mem_edge g u v =
   if u = v then false
   else begin
-    let nbrs = g.adj.(u) in
     let rec bsearch lo hi =
       if lo >= hi then false
       else
         let mid = (lo + hi) / 2 in
-        if nbrs.(mid) = v then true else if nbrs.(mid) < v then bsearch (mid + 1) hi else bsearch lo mid
+        if g.col.(mid) = v then true
+        else if g.col.(mid) < v then bsearch (mid + 1) hi
+        else bsearch lo mid
     in
-    bsearch 0 (Array.length nbrs)
+    bsearch g.row_start.(u) g.row_start.(u + 1)
   end
 
 let iter_edges f g =
-  for u = 0 to g.n - 1 do
-    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  for i = 0 to g.m - 1 do
+    f g.eu.(i) g.ev.(i)
   done
 
 let fold_edges f g init =
   let acc = ref init in
-  iter_edges (fun u v -> acc := f u v !acc) g;
+  for i = 0 to g.m - 1 do
+    acc := f g.eu.(i) g.ev.(i) !acc
+  done;
   !acc
 
-let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+let edges_array g = Array.init g.m (fun i -> (g.eu.(i), g.ev.(i)))
+
+let edges g = List.init g.m (fun i -> (g.eu.(i), g.ev.(i)))
 
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: vertex count mismatch";
-  create a.n (edges a @ edges b)
+  let keys = Array.make (max (a.m + b.m) 1) 0 in
+  for i = 0 to a.m - 1 do
+    keys.(i) <- (a.eu.(i) * a.n) + a.ev.(i)
+  done;
+  for i = 0 to b.m - 1 do
+    keys.(a.m + i) <- (b.eu.(i) * b.n) + b.ev.(i)
+  done;
+  of_keys a.n keys (a.m + b.m)
 
-let union_all n gs = create n (List.concat_map edges gs)
+let union_all n gs =
+  let total = List.fold_left (fun acc g -> acc + g.m) 0 gs in
+  let keys = Array.make (max total 1) 0 in
+  let i = ref 0 in
+  List.iter
+    (fun g ->
+      for e = 0 to g.m - 1 do
+        if g.eu.(e) >= n || g.ev.(e) >= n then invalid_arg "Graph.union_all: vertex out of range";
+        keys.(!i) <- (g.eu.(e) * n) + g.ev.(e);
+        incr i
+      done)
+    gs;
+  of_keys n keys total
 
 let relabel g sigma =
   if Array.length sigma <> g.n then invalid_arg "Graph.relabel: bad permutation length";
@@ -81,28 +254,51 @@ let relabel g sigma =
       if x < 0 || x >= g.n || seen.(x) then invalid_arg "Graph.relabel: not a permutation";
       seen.(x) <- true)
     sigma;
-  create g.n (List.map (fun (u, v) -> normalize_edge sigma.(u) sigma.(v)) (edges g))
+  let keys = Array.make (max g.m 1) 0 in
+  for i = 0 to g.m - 1 do
+    let u = sigma.(g.eu.(i)) and v = sigma.(g.ev.(i)) in
+    keys.(i) <- (if u < v then (u * g.n) + v else (v * g.n) + u)
+  done;
+  of_keys g.n keys g.m
 
 let induced g vs =
   let vs = List.sort_uniq compare vs in
   let back = Array.of_list vs in
-  let fwd = Hashtbl.create (List.length vs) in
+  let fwd = Hashtbl.create (Array.length back) in
   Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
-  let sub_edges =
-    fold_edges
-      (fun u v acc ->
-        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
-        | Some u', Some v' -> (u', v') :: acc
-        | _ -> acc)
-      g []
-  in
-  (create (Array.length back) sub_edges, back)
+  let b = Builder.create ~capacity:(Array.length back) (Array.length back) in
+  iter_edges
+    (fun u v ->
+      match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+      | Some u', Some v' -> Builder.add_edge b u' v'
+      | _ -> ())
+    g;
+  (Builder.freeze b, back)
 
+(* Fast path: both operands are already frozen CSR, and every shifted
+   vertex of [b] is larger than every vertex of [a], so the concatenated
+   rows and edge columns are already sorted — no re-sort needed. *)
 let disjoint_union a b =
-  let shift = a.n in
-  create (a.n + b.n) (edges a @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges b))
+  let n = a.n + b.n in
+  let row_start = Array.make (n + 1) 0 in
+  Array.blit a.row_start 0 row_start 0 (a.n + 1);
+  let off = a.row_start.(a.n) in
+  for v = 1 to b.n do
+    row_start.(a.n + v) <- off + b.row_start.(v)
+  done;
+  let col = Array.make (off + Array.length b.col) 0 in
+  Array.blit a.col 0 col 0 off;
+  Array.iteri (fun i v -> col.(off + i) <- v + a.n) b.col;
+  let eu = Array.make (a.m + b.m) 0 and ev = Array.make (a.m + b.m) 0 in
+  Array.blit a.eu 0 eu 0 a.m;
+  Array.blit a.ev 0 ev 0 a.m;
+  for i = 0 to b.m - 1 do
+    eu.(a.m + i) <- b.eu.(i) + a.n;
+    ev.(a.m + i) <- b.ev.(i) + a.n
+  done;
+  { n; m = a.m + b.m; row_start; col; eu; ev }
 
-let equal a b = a.n = b.n && a.adj = b.adj
+let equal a b = a.n = b.n && a.eu = b.eu && a.ev = b.ev
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;

@@ -2,8 +2,13 @@
 
     This is the substrate every layer above shares: the RS construction, the
     hard distribution, the sketching protocols and the referee all exchange
-    values of this type. The representation is a frozen sorted adjacency
-    array, so neighbourhood queries are cache-friendly and deterministic. *)
+    values of this type. The representation is columnar (DESIGN.md §8): a
+    frozen CSR neighbour store (rows sorted ascending) plus a flat
+    normalized edge array in lexicographic order, so both neighbourhood
+    queries and whole-edge-set scans are cache-friendly, deterministic and
+    allocation-free. Graphs are assembled either through the legacy
+    list-taking {!create}, or — on hot paths — through {!Builder},
+    {!of_edge_array} and {!of_sorted_csr}. *)
 
 type t
 
@@ -15,7 +20,53 @@ val normalize_edge : int -> int -> edge
 
 val create : int -> edge list -> t
 (** [create n edges] builds a graph; duplicate edges are collapsed,
-    endpoints must lie in [\[0, n)], self-loops are rejected. *)
+    endpoints must lie in [\[0, n)], self-loops are rejected. Prefer
+    {!Builder} or {!of_edge_array} on hot paths: they take the same
+    sort+dedup freeze path without consing a list first. *)
+
+(** Mutable edge accumulator: [create] a builder (with a capacity hint when
+    the edge count is known), [add_edge] in any order — duplicates and
+    unnormalised endpoint order are fine — then [freeze] once into an
+    immutable graph. Freezing sorts and deduplicates in one pass over a
+    flat key array; the builder must not be reused afterwards. *)
+module Builder : sig
+  type graph := t
+
+  type t
+
+  val create : ?capacity:int -> int -> t
+  (** [create ?capacity n] is an empty builder over vertex set [\[0, n)].
+      [capacity] (default 16) pre-sizes the edge store; adding beyond it
+      grows by doubling. *)
+
+  val n : t -> int
+  (** Vertex count the builder was created with. *)
+
+  val length : t -> int
+  (** Edges added so far (before deduplication). *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Endpoints in any order; rejects self-loops and out-of-range
+      vertices. *)
+
+  val freeze : t -> graph
+  (** Sort + dedup into a frozen graph. The builder is consumed: using it
+      after [freeze] is unspecified. *)
+end
+
+val of_edge_array : int -> edge array -> t
+(** [of_edge_array n edges] is [create n] without the list: one
+    validation pass over the array, then the shared sort+dedup freeze.
+    Fast path for array-shaped producers ({!relabel}-style permuted edge
+    sets, [kept]-filtered RS copies, decoded sketches). *)
+
+val of_sorted_csr : n:int -> row_start:int array -> col:int array -> t
+(** Adopts an already-validated CSR adjacency: [row_start] has length
+    [n+1] with [row_start.(0) = 0] and [row_start.(n) = Array.length col],
+    and row [v] is [col.(row_start.(v)) .. col.(row_start.(v+1)-1)], sorted
+    ascending, symmetric and self-loop-free. The arrays are adopted, not
+    copied — callers must not mutate them afterwards. Only shape is
+    checked; per-row sortedness/symmetry is trusted. *)
 
 val empty : int -> t
 
@@ -26,16 +77,41 @@ val m : t -> int
 (** Number of edges. *)
 
 val neighbors : t -> int -> int array
-(** Sorted, read-only by convention (do not mutate). *)
+(** Sorted neighbours of [v], as a fresh owned copy of the CSR row — safe
+    to mutate, and allocated per call. Iterate with {!iter_neighbors} /
+    {!fold_neighbors} / {!exists_neighbor} (or index with {!neighbor})
+    instead when the copy is not needed. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g v j] is the [j]-th (0-based) neighbour of [v] in sorted
+    order, [0 <= j < degree g v]; reads the CSR row in place. *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+(** [iter_neighbors f g v] applies [f] to each neighbour of [v] in sorted
+    order, without allocating. *)
+
+val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+
+val exists_neighbor : (int -> bool) -> t -> int -> bool
+(** Short-circuiting exists over the sorted neighbour row. *)
 
 val degree : t -> int -> int
 val max_degree : t -> int
 val mem_edge : t -> int -> int -> bool
 
 val edges : t -> edge list
-(** All edges, normalised, in lexicographic order. *)
+(** All edges, normalised, in lexicographic order.
+
+    @deprecated Thin compat shim that conses one list cell plus one tuple
+    per edge; kept for out-of-tree callers and goldens. Use
+    {!iter_edges} / {!fold_edges} (allocation-free) or {!edges_array}. *)
+
+val edges_array : t -> edge array
+(** All edges, normalised, in lexicographic order, as a fresh array (safe
+    to mutate, e.g. to shuffle into a greedy order). *)
 
 val iter_edges : (int -> int -> unit) -> t -> unit
+(** Lexicographic, allocation-free scan over the flat edge columns. *)
 
 val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
@@ -53,7 +129,8 @@ val induced : t -> int list -> t * int array
     [0 ..]; the returned array maps new indices back to original ones. *)
 
 val disjoint_union : t -> t -> t
-(** Vertices of the second graph are shifted by [n first]. *)
+(** Vertices of the second graph are shifted by [n first]. Fast path: the
+    two CSR stores are concatenated directly, no re-sort. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -45,7 +45,7 @@ let verify g matching =
 
 let greedy g ?order () =
   let order =
-    match order with Some o -> o | None -> Array.of_list (Graph.edges g)
+    match order with Some o -> o | None -> Graph.edges_array g
   in
   let matched = Stdx.Bitset.create (Graph.n g) in
   let out = ref [] in
@@ -114,7 +114,7 @@ let maximum_bipartite g ~left =
       lefts;
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      Array.iter
+      Graph.iter_neighbors
         (fun v ->
           let u' = pair.(v) in
           if u' = -1 then found_free := true
@@ -122,19 +122,19 @@ let maximum_bipartite g ~left =
             dist.(u') <- dist.(u) + 1;
             Queue.add u' queue
           end)
-        (Graph.neighbors g u)
+        g u
     done;
     !found_free
   in
   let rec dfs u =
-    let nbrs = Graph.neighbors g u in
+    let deg = Graph.degree g u in
     let rec try_from i =
-      if i >= Array.length nbrs then begin
+      if i >= deg then begin
         dist.(u) <- max_int;
         false
       end
       else begin
-        let v = nbrs.(i) in
+        let v = Graph.neighbor g u i in
         let u' = pair.(v) in
         let advance = u' = -1 || (dist.(u') = dist.(u) + 1 && dfs u') in
         if advance then begin

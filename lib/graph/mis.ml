@@ -16,7 +16,7 @@ let is_independent g set =
   Graph.fold_edges (fun u v acc -> acc && not (Stdx.Bitset.mem s u && Stdx.Bitset.mem s v)) g true
 
 let dominated g s v =
-  Stdx.Bitset.mem s v || Array.exists (fun u -> Stdx.Bitset.mem s u) (Graph.neighbors g v)
+  Stdx.Bitset.mem s v || Graph.exists_neighbor (fun u -> Stdx.Bitset.mem s u) g v
 
 let is_maximal_given g s =
   let ok = ref true in
@@ -47,7 +47,7 @@ let greedy g ?order () =
       if not (Stdx.Bitset.mem blocked v) then begin
         Stdx.Bitset.add chosen v;
         Stdx.Bitset.add blocked v;
-        Array.iter (fun u -> Stdx.Bitset.add blocked u) (Graph.neighbors g v);
+        Graph.iter_neighbors (fun u -> Stdx.Bitset.add blocked u) g v;
         out := v :: !out
       end)
     order;
@@ -64,11 +64,11 @@ let greedy_prefix g ~order ~prefix =
     if not (Stdx.Bitset.mem blocked v) then begin
       Stdx.Bitset.add blocked v;
       Stdx.Bitset.add decided v;
-      Array.iter
+      Graph.iter_neighbors
         (fun u ->
           Stdx.Bitset.add blocked u;
           Stdx.Bitset.add decided u)
-        (Graph.neighbors g v);
+        g v;
       out := v :: !out
     end
   done;
@@ -92,11 +92,11 @@ let luby g rng =
       Stdx.Bitset.fold
         (fun v acc ->
           let beaten =
-            Array.exists
+            Graph.exists_neighbor
               (fun u ->
                 Stdx.Bitset.mem alive u
                 && (prio.(u) < prio.(v) || (prio.(u) = prio.(v) && u < v)))
-              (Graph.neighbors g v)
+              g v
           in
           if beaten then acc else v :: acc)
         alive []
@@ -106,7 +106,7 @@ let luby g rng =
         if Stdx.Bitset.mem alive v then begin
           chosen := v :: !chosen;
           Stdx.Bitset.remove alive v;
-          Array.iter (fun u -> if Stdx.Bitset.mem alive u then Stdx.Bitset.remove alive u) (Graph.neighbors g v)
+          Graph.iter_neighbors (fun u -> if Stdx.Bitset.mem alive u then Stdx.Bitset.remove alive u) g v
         end)
       winners
   done;

@@ -37,7 +37,7 @@ let undominated_fraction g coins =
   List.iter
     (fun v ->
       Stdx.Bitset.add covered v;
-      Array.iter (Stdx.Bitset.add covered) (Graph.neighbors g v))
+      Graph.iter_neighbors (Stdx.Bitset.add covered) g v)
     set;
   (float_of_int (n - Stdx.Bitset.cardinal covered) /. float_of_int n, stats)
 

@@ -9,12 +9,14 @@ let player (view : Model.view) _coins =
   w
 
 let reconstruct ~n ~sketches =
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(max 16 n) n in
   Array.iteri
     (fun v r ->
-      List.iter (fun u -> if u <> v && u >= 0 && u < n then edges := (v, u) :: !edges) (Reader.int_list r))
+      List.iter
+        (fun u -> if u <> v && u >= 0 && u < n then Graph.Builder.add_edge b v u)
+        (Reader.int_list r))
     sketches;
-  Graph.create n !edges
+  Graph.Builder.freeze b
 
 let mm =
   {

@@ -17,13 +17,14 @@ let round1 ~cap (view : Model.view) coins =
   w
 
 let decide ~n ~sketches _coins =
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(max 16 n) n in
   Array.iteri
     (fun v r ->
-      List.iter (fun u -> if u <> v && u >= 0 && u < n then edges := Graph.normalize_edge v u :: !edges)
+      List.iter
+        (fun u -> if u <> v && u >= 0 && u < n then Graph.Builder.add_edge b v u)
         (Reader.int_list r))
     sketches;
-  let sampled = Graph.create n !edges in
+  let sampled = Graph.Builder.freeze b in
   let m1 = Dgraph.Matching.greedy sampled () in
   let matched = Array.make n false in
   List.iter

@@ -42,7 +42,11 @@ let validate n matchings =
           Hashtbl.replace owner e j)
         m)
     matchings;
-  let graph = Graph.create n (Hashtbl.fold (fun e _ acc -> e :: acc) owner []) in
+  let graph =
+    let b = Graph.Builder.create ~capacity:(Hashtbl.length owner) n in
+    Hashtbl.iter (fun (u, v) _ -> Graph.Builder.add_edge b u v) owner;
+    Graph.Builder.freeze b
+  in
   (* Induced property: any graph edge between endpoints of M_j lies in M_j. *)
   Array.iteri
     (fun j m ->
@@ -90,8 +94,15 @@ let trivial ~r ~t =
 
 let matching_vertices rs j =
   if j < 0 || j >= rs.t_count then invalid_arg "Rs_graph.matching_vertices";
-  Array.fold_left (fun acc (u, v) -> u :: v :: acc) [] rs.matchings.(j)
-  |> List.sort_uniq compare
+  let mj = rs.matchings.(j) in
+  let out = Array.make (2 * Array.length mj) 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      out.(2 * i) <- u;
+      out.((2 * i) + 1) <- v)
+    mj;
+  Array.sort (fun (a : int) b -> compare a b) out;
+  out
 
 let matching_index_of_edge rs (u, v) =
   let e = Graph.normalize_edge u v in

@@ -33,9 +33,10 @@ val trivial : r:int -> t:int -> t
 (** [t] vertex-disjoint matchings of size [r]: the degenerate RS graph on
     [N = 2rt] vertices used by the micro accounting instances. *)
 
-val matching_vertices : t -> int -> int list
-(** The [2r] vertices incident on matching [j] — the paper's [V*] when
-    [j = j*]. *)
+val matching_vertices : t -> int -> int array
+(** The [2r] vertices incident on matching [j], sorted ascending — the
+    paper's [V*] when [j = j*]. A fresh array (the endpoints of a matching
+    are pairwise distinct, so no dedup is needed). *)
 
 val matching_index_of_edge : t -> Dgraph.Graph.edge -> int option
 (** Which matching an edge belongs to ([None] for non-edges). *)

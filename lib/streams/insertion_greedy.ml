@@ -67,7 +67,10 @@ let mis_of_graph g ~order =
   Array.iter
     (fun v ->
       let earlier =
-        Array.to_list (Graph.neighbors g v) |> List.filter (fun u -> position.(u) < position.(v))
+        List.rev
+          (Graph.fold_neighbors
+             (fun u acc -> if position.(u) < position.(v) then u :: acc else acc)
+             g v [])
       in
       mis_feed state ~vertex:v ~earlier_neighbors:earlier)
     order;

@@ -4,10 +4,11 @@ type event = Insert of Graph.edge | Delete of Graph.edge
 
 type t = { n : int; events : event list }
 
-let of_graph g = { n = Graph.n g; events = List.map (fun e -> Insert e) (Graph.edges g) }
+let of_graph g =
+  { n = Graph.n g; events = List.rev (Graph.fold_edges (fun u v acc -> Insert (u, v) :: acc) g []) }
 
 let shuffled rng g =
-  let edges = Array.of_list (Graph.edges g) in
+  let edges = Graph.edges_array g in
   Stdx.Prng.shuffle rng edges;
   { n = Graph.n g; events = Array.to_list (Array.map (fun e -> Insert e) edges) }
 
@@ -29,7 +30,9 @@ let with_decoys rng g ~decoys =
   done;
   (* Each decoy contributes an Insert..Delete bracket; shuffle everything
      respecting bracket order by assigning random (open, close) positions. *)
-  let real = List.map (fun e -> (Stdx.Prng.float rng, Insert e)) (Graph.edges g) in
+  let real =
+    List.rev (Graph.fold_edges (fun u v acc -> (Stdx.Prng.float rng, Insert (u, v)) :: acc) g [])
+  in
   let brackets =
     List.concat_map
       (fun e ->
@@ -57,7 +60,9 @@ let final_graph stream =
           if not (Hashtbl.mem present e) then invalid_arg "Stream.final_graph: deleting absent edge";
           Hashtbl.remove present e)
     stream.events;
-  Graph.create stream.n (Hashtbl.fold (fun e _ acc -> e :: acc) present [])
+  let b = Graph.Builder.create ~capacity:(max 1 (Hashtbl.length present)) stream.n in
+  Hashtbl.iter (fun (u, v) _ -> Graph.Builder.add_edge b u v) present;
+  Graph.Builder.freeze b
 
 let length stream = List.length stream.events
 

@@ -168,6 +168,60 @@ let small_graph_gen =
       let edges = List.filter (fun (u, v) -> u <> v) pairs in
       return (n, edges))
 
+(* Builder / columnar-core unit tests *)
+
+let test_builder_basic () =
+  let b = G.Builder.create ~capacity:2 5 in
+  checki "n" 5 (G.Builder.n b);
+  G.Builder.add_edge b 3 1;
+  G.Builder.add_edge b 1 3;
+  G.Builder.add_edge b 0 4;
+  G.Builder.add_edge b 2 0;
+  checki "length pre-dedup" 4 (G.Builder.length b);
+  let g = G.Builder.freeze b in
+  checki "m dedups" 3 (G.m g);
+  checkb "equal to create" true (G.equal g (G.create 5 [ (3, 1); (1, 3); (0, 4); (2, 0) ]))
+
+let test_builder_rejects () =
+  let b = G.Builder.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.Builder.add_edge: self-loop")
+    (fun () -> G.Builder.add_edge b 1 1);
+  Alcotest.check_raises "range" (Invalid_argument "Graph.Builder.add_edge: vertex out of range")
+    (fun () -> G.Builder.add_edge b 0 3)
+
+let test_of_edge_array () =
+  let g = G.of_edge_array 4 [| (2, 3); (0, 1); (1, 2); (0, 1) |] in
+  checkb "equal to create" true (G.equal g (G.create 4 [ (2, 3); (0, 1); (1, 2) ]))
+
+let test_of_sorted_csr_roundtrip () =
+  let g = G.create 5 [ (0, 1); (1, 2); (2, 4); (0, 4) ] in
+  let row_start = Array.make 6 0 in
+  for v = 0 to 4 do
+    row_start.(v + 1) <- row_start.(v) + G.degree g v
+  done;
+  let col = Array.concat (List.init 5 (fun v -> G.neighbors g v)) in
+  let g' = G.of_sorted_csr ~n:5 ~row_start ~col in
+  checkb "round-trips" true (G.equal g g')
+
+let test_neighbors_owned_copy () =
+  let g = G.create 4 [ (0, 1); (0, 2); (0, 3) ] in
+  let nbrs = G.neighbors g 0 in
+  nbrs.(0) <- 99;
+  (* The graph must be unaffected by mutating the returned row copy. *)
+  Alcotest.(check (array int)) "fresh copy" [| 1; 2; 3 |] (G.neighbors g 0);
+  checkb "edge intact" true (G.mem_edge g 0 1)
+
+let test_neighbor_iterators () =
+  let g = G.create 6 [ (2, 0); (2, 5); (2, 3) ] in
+  let via_iter = ref [] in
+  G.iter_neighbors (fun u -> via_iter := u :: !via_iter) g 2;
+  Alcotest.(check (list int)) "iter order" [ 0; 3; 5 ] (List.rev !via_iter);
+  checki "fold counts" 3 (G.fold_neighbors (fun _ acc -> acc + 1) g 2 0);
+  checki "indexed access" 3 (G.neighbor g 2 1);
+  checkb "exists hit" true (G.exists_neighbor (fun u -> u = 5) g 2);
+  checkb "exists miss" false (G.exists_neighbor (fun u -> u = 4) g 2);
+  checkb "exists empty row" false (G.exists_neighbor (fun _ -> true) g 1)
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -196,6 +250,47 @@ let qcheck_tests =
              total := !total + G.degree g v
            done;
            !total = 2 * G.m g));
+    (* Equivalence suite for the columnar constructors: on random edge
+       multisets (duplicates, both orientations, unsorted), every build
+       path must land on the same frozen graph as [create]. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Builder.freeze equals create" ~count:300 small_graph_gen
+         (fun (n, edges) ->
+           let b = G.Builder.create ~capacity:1 n in
+           List.iter (fun (u, v) -> G.Builder.add_edge b u v) edges;
+           G.equal (G.Builder.freeze b) (G.create n edges)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"of_edge_array equals create" ~count:300 small_graph_gen
+         (fun (n, edges) ->
+           G.equal (G.of_edge_array n (Array.of_list edges)) (G.create n edges)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"iter_edges/edges_array/edges agree" ~count:300 small_graph_gen
+         (fun (n, edges) ->
+           let g = G.create n edges in
+           let via_iter = List.rev (G.fold_edges (fun u v acc -> (u, v) :: acc) g []) in
+           via_iter = G.edges g && via_iter = Array.to_list (G.edges_array g)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"neighbor iterators agree with neighbors" ~count:300 small_graph_gen
+         (fun (n, edges) ->
+           let g = G.create n edges in
+           let ok = ref true in
+           for v = 0 to n - 1 do
+             let row = G.neighbors g v in
+             let via_fold = Array.of_list (List.rev (G.fold_neighbors (fun u acc -> u :: acc) g v [])) in
+             if row <> via_fold then ok := false;
+             Array.iteri (fun j u -> if G.neighbor g v j <> u then ok := false) row;
+             if G.exists_neighbor (fun u -> not (Array.mem u row)) g v then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"disjoint_union fast path equals create" ~count:200
+         QCheck.(pair small_graph_gen small_graph_gen)
+         (fun ((na, ea), (nb, eb)) ->
+           let a = G.create na ea and b = G.create nb eb in
+           let reference =
+             G.create (na + nb) (ea @ List.map (fun (u, v) -> (u + na, v + na)) eb)
+           in
+           G.equal (G.disjoint_union a b) reference));
   ]
 
 let () =
@@ -215,6 +310,15 @@ let () =
           Alcotest.test_case "induced" `Quick test_induced;
           Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
           Alcotest.test_case "fold/iter consistency" `Quick test_fold_iter_consistency;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "builder basic" `Quick test_builder_basic;
+          Alcotest.test_case "builder rejects" `Quick test_builder_rejects;
+          Alcotest.test_case "of_edge_array" `Quick test_of_edge_array;
+          Alcotest.test_case "of_sorted_csr round-trip" `Quick test_of_sorted_csr_roundtrip;
+          Alcotest.test_case "neighbors owned copy" `Quick test_neighbors_owned_copy;
+          Alcotest.test_case "neighbor iterators" `Quick test_neighbor_iterators;
         ] );
       ( "generators",
         [

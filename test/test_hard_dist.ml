@@ -56,7 +56,7 @@ let test_copy_map_consistency () =
   done;
   let star = Rs.matching_vertices dmm.HD.rs dmm.HD.j_star in
   for v = 0 to nn - 1 do
-    let is_star = List.mem v star in
+    let is_star = Array.mem v star in
     for i = 1 to dmm.HD.k - 1 do
       if is_star then
         checkb "star vertices get fresh labels" false

@@ -44,7 +44,7 @@ let test_trivial () =
 let test_matching_vertices () =
   let rs = Rs.bipartite 10 in
   for j = 0 to rs.Rs.t_count - 1 do
-    checki "2r vertices" (2 * rs.Rs.r) (List.length (Rs.matching_vertices rs j))
+    checki "2r vertices" (2 * rs.Rs.r) (Array.length (Rs.matching_vertices rs j))
   done
 
 let test_matching_index_roundtrip () =
