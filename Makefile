@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json check bench bench-release clean
+.PHONY: all build test smoke smoke-json serve-smoke check bench bench-release clean
 
 all: build
 
@@ -21,7 +21,13 @@ smoke-json: build
 	./_build/default/bin/sketchlb.exe all --fast --jobs 1 --format json --out - \
 	  | ./_build/default/bin/jsoncheck.exe
 
-check: build test smoke smoke-json
+# End-to-end smoke of the sketchd service: random port, catalogue, a
+# cached-vs-uncached run pair (byte-identical payloads + a cache hit in
+# stats), graceful shutdown. See scripts/serve_smoke.sh.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
+
+check: build test smoke smoke-json serve-smoke
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
 # table: id, title, wall-clock, Gc.allocated_bytes, rows).

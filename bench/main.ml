@@ -2,9 +2,10 @@
    paper's quantitative statements) and then times the computational kernel
    behind each one with Bechamel.
 
-   Usage: dune exec bench/main.exe            (tables + micro-benches)
+   Usage: dune exec bench/main.exe            (tables + micro-benches + serve)
           dune exec bench/main.exe -- tables  (tables only)
           dune exec bench/main.exe -- bench   (micro-benches only)
+          dune exec bench/main.exe -- serve   (sketchd end-to-end latency)
 
    The tables pass also writes BENCH_tables.json (JSON-lines: one object
    per table with id, wall-clock and rows); `--fast` shrinks sizes. *)
@@ -146,6 +147,70 @@ let micro_tests () =
            ignore (Rsgraph.Packed.achieved_t (Stdx.Prng.create 3) ~big_n:50 ~r:5 ~tries:500)));
   ]
 
+(* `serve`: end-to-end latency of the sketchd stack over loopback TCP —
+   an in-process daemon, one persistent client connection, and four
+   request mixes: ping (transport floor), uncached runs (distinct seeds,
+   every request computes), cached runs (one seed repeated, every request
+   after the first is an LRU hit) and cached simulates. Percentiles per
+   mix plus throughput, and a BENCH_serve.json line per mix. *)
+let serve_bench ?(fast = false) () =
+  print_endline "=== sketchd end-to-end latency (loopback TCP, persistent connection) ===";
+  let d = Server.Daemon.start ~workers:2 ~capacity:32 () in
+  let port = Server.Daemon.port d in
+  let iters = if fast then 25 else 200 in
+  let oc = open_out "BENCH_serve.json" in
+  Server.Client.with_connection ~port (fun c ->
+      let time_one payload =
+        let response, s = Stdx.Parallel.timed (fun () -> Server.Client.request c payload) in
+        (match T.member "ok" (T.json_of_string response) with
+        | Some (T.Jbool true) -> ()
+        | _ -> failwith ("serve bench: request failed: " ^ response));
+        s *. 1000.
+      in
+      let mix name payloads =
+        let samples = Array.of_list (List.map time_one payloads) in
+        let q p = Stdx.Stats.quantile samples p in
+        let total_s = Array.fold_left ( +. ) 0. samples /. 1000. in
+        let rps = float_of_int (Array.length samples) /. total_s in
+        Printf.printf "%-18s n=%-4d p50=%8.3f ms  p90=%8.3f ms  p99=%8.3f ms  %8.0f req/s\n%!"
+          name (Array.length samples) (q 0.5) (q 0.9) (q 0.99) rps;
+        Printf.fprintf oc
+          "{\"mix\":%S,\"n\":%d,\"p50_ms\":%s,\"p90_ms\":%s,\"p99_ms\":%s,\"throughput_rps\":%s}\n"
+          name (Array.length samples) (T.float_repr (q 0.5)) (T.float_repr (q 0.9))
+          (T.float_repr (q 0.99)) (T.float_repr rps)
+      in
+      let jobj fields = T.string_of_json (T.Jobj fields) in
+      let run_payload seed =
+        jobj
+          [
+            ("op", T.Jstr "run");
+            ("id", T.Jstr "claim31");
+            ("smoke", T.Jbool true);
+            ("seed", T.Jint seed);
+          ]
+      in
+      let simulate_payload =
+        jobj
+          [
+            ("op", T.Jstr "simulate");
+            ("protocol", T.Jstr "two-round-mm");
+            ("graph", T.Jobj [ ("kind", T.Jstr "gnp"); ("n", T.Jint 64); ("p", T.Jfloat 0.1) ]);
+            ("seed", T.Jint 7);
+          ]
+      in
+      mix "ping" (List.init iters (fun _ -> jobj [ ("op", T.Jstr "ping") ]));
+      (* Distinct seeds: every request misses the cache and computes. *)
+      mix "run-uncached" (List.init iters (fun i -> run_payload (1000 + i)));
+      (* One seed repeated: after the warm-up miss, every request hits. *)
+      ignore (time_one (run_payload 1));
+      mix "run-cached" (List.init iters (fun _ -> run_payload 1));
+      ignore (time_one simulate_payload);
+      mix "simulate-cached" (List.init iters (fun _ -> simulate_payload)));
+  Server.Daemon.stop d;
+  Server.Daemon.wait d;
+  close_out oc;
+  print_endline "bench: wrote BENCH_serve.json"
+
 let run_benchmarks () =
   print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -179,7 +244,7 @@ let () =
     | [] -> (mode, jobs, fast)
     | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast rest
     | "--fast" :: rest -> parse mode jobs true rest
-    | ("tables" | "bench" | "all") as m :: rest -> parse m jobs fast rest
+    | ("tables" | "bench" | "serve" | "all") as m :: rest -> parse m jobs fast rest
     | _ :: rest -> parse mode jobs fast rest
   in
   let mode, jobs, fast = parse "all" None false (List.tl args) in
@@ -187,7 +252,9 @@ let () =
   (match mode with
   | "tables" -> tables ~fast ?jobs ()
   | "bench" -> run_benchmarks ()
+  | "serve" -> serve_bench ~fast ()
   | _ ->
       tables ~fast ?jobs ();
-      run_benchmarks ());
+      run_benchmarks ();
+      serve_bench ~fast ());
   print_endline "\nbench: done"

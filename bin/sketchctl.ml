@@ -1,0 +1,177 @@
+(* sketchctl: command-line client for sketchd.
+
+   Prints the server's raw response payload (byte-exact JSON) to stdout —
+   `sketchctl run <id> --seed S` twice must print identical bytes, the
+   second served from the daemon's cache; CI diffs exactly that. Exits
+   nonzero when the server reports {"ok":false}. *)
+
+open Cmdliner
+module T = Report.Tabular
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address." ~docv:"ADDR")
+
+let port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "p"; "port" ] ~doc:"Server TCP port (required)." ~docv:"PORT")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~doc:"Per-request deadline budget in milliseconds." ~docv:"INT")
+
+(* Send one payload; print the byte-exact response; exit 1 on {"ok":false},
+   2 on connection failure. *)
+let roundtrip host port payload =
+  match
+    Server.Client.with_connection ~host ~port (fun c -> Server.Client.request c payload)
+  with
+  | response ->
+      print_string response;
+      print_newline ();
+      let ok =
+        match T.member "ok" (T.json_of_string response) with
+        | Some (T.Jbool true) -> true
+        | _ | (exception T.Parse_error _) -> false
+      in
+      if ok then `Ok () else `Error (false, "server reported an error (payload above)")
+  | exception Unix.Unix_error (e, _, _) ->
+      `Error (false, Printf.sprintf "cannot reach sketchd at %s:%d: %s" host port (Unix.error_message e))
+  | exception (Server.Wire.Closed | Server.Wire.Malformed _) ->
+      `Error (false, "connection lost mid-request")
+
+let jobj fields = T.string_of_json (T.Jobj fields)
+
+let simple_cmd name ~doc op =
+  let run host port = roundtrip host port (jobj [ ("op", T.Jstr op) ]) in
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const run $ host_arg $ port_arg))
+
+let list_cmd = simple_cmd "list" ~doc:"Fetch the experiment and protocol catalogue." "list"
+let stats_cmd = simple_cmd "stats" ~doc:"Fetch server statistics (cache, queue, latency)." "stats"
+let ping_cmd = simple_cmd "ping" ~doc:"Check liveness and version." "ping"
+let shutdown_cmd = simple_cmd "shutdown" ~doc:"Ask the server to drain and exit." "shutdown"
+
+(* `run ID`: uniform seed/jobs/smoke knobs plus free-form -P name=v,... *)
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~doc:"Experiment id (see `list`)." ~docv:"ID")
+  in
+  let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Tiny sizes (registry test sizes).") in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Random seed override." ~docv:"INT")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:"Worker domains for trial sharding server-side (default 1; never changes rows)."
+          ~docv:"INT")
+  in
+  let param_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "P"; "param" ]
+          ~doc:"Experiment parameter override, $(b,NAME=INT) or $(b,NAME=I1,I2,...); repeatable."
+          ~docv:"NAME=V")
+  in
+  let parse_param s =
+    match String.index_opt s '=' with
+    | None -> Error (Printf.sprintf "bad --param %S (expected NAME=V)" s)
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt v with
+        | Some n -> Ok (name, T.Jint n)
+        | None -> (
+            let parts = String.split_on_char ',' v in
+            match
+              List.fold_right
+                (fun p acc ->
+                  match (int_of_string_opt p, acc) with
+                  | Some n, Some l -> Some (T.Jint n :: l)
+                  | _ -> None)
+                parts (Some [])
+            with
+            | Some l -> Ok (name, T.Jarr l)
+            | None -> Error (Printf.sprintf "bad --param %S (values must be integers)" s)))
+  in
+  let run host port id smoke seed jobs params deadline =
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> ( match parse_param s with Ok kv -> conv (kv :: acc) rest | Error e -> Error e)
+    in
+    match conv [] params with
+    | Error e -> `Error (false, e)
+    | Ok params ->
+        let fields =
+          [ ("op", T.Jstr "run"); ("id", T.Jstr id) ]
+          @ (if smoke then [ ("smoke", T.Jbool true) ] else [])
+          @ (if params <> [] then [ ("params", T.Jobj params) ] else [])
+          @ (match seed with Some s -> [ ("seed", T.Jint s) ] | None -> [])
+          @ (match jobs with Some x -> [ ("jobs", T.Jint x) ] | None -> [])
+          @ match deadline with Some d -> [ ("deadline_ms", T.Jint d) ] | None -> []
+        in
+        roundtrip host port (jobj fields)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment by id on the server (cached by content).")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ id_arg $ smoke_arg $ seed_arg $ jobs_arg $ param_arg
+       $ deadline_arg))
+
+(* `simulate PROTOCOL`: named protocol on a generated graph. *)
+let simulate_cmd =
+  let protocol_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~doc:"Protocol name (see `list`): trivial-mm, two-round-mis, ..." ~docv:"PROTOCOL")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt string "gnp"
+      & info [ "graph" ] ~doc:"Graph kind: gnp, path, cycle, complete or star." ~docv:"KIND")
+  in
+  let n_arg =
+    Arg.(value & opt int 64 & info [ "n"; "vertices" ] ~doc:"Number of vertices." ~docv:"INT")
+  in
+  let p_arg =
+    Arg.(value & opt float 0.1 & info [ "prob" ] ~doc:"Edge probability (gnp only)." ~docv:"P")
+  in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed." ~docv:"INT") in
+  let run host port protocol kind n p seed deadline =
+    let graph =
+      ("kind", T.Jstr kind) :: ("n", T.Jint n)
+      :: (if kind = "gnp" then [ ("p", T.Jfloat p) ] else [])
+    in
+    let fields =
+      [
+        ("op", T.Jstr "simulate");
+        ("protocol", T.Jstr protocol);
+        ("graph", T.Jobj graph);
+        ("seed", T.Jint seed);
+      ]
+      @ match deadline with Some d -> [ ("deadline_ms", T.Jint d) ] | None -> []
+    in
+    roundtrip host port (jobj fields)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a named sketching protocol on a generated graph; exact bit accounting.")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ protocol_arg $ kind_arg $ n_arg $ p_arg $ seed_arg
+       $ deadline_arg))
+
+let () =
+  let doc = "Client for the sketchd sketch-service daemon." in
+  let info = Cmd.info "sketchctl" ~version:Stdx.Version.current ~doc in
+  let group = Cmd.group info [ list_cmd; run_cmd; simulate_cmd; stats_cmd; ping_cmd; shutdown_cmd ] in
+  exit (Cmd.eval group)

@@ -22,6 +22,17 @@ let out_arg =
     & opt string "-"
     & info [ "out" ] ~doc:"Write rows to $(docv) instead of stdout (\"-\" = stdout)." ~docv:"FILE")
 
+(* SIGINT/SIGTERM during a long run (`all` especially) must not truncate a
+   half-written --out file: the handler raises, [with_out]'s protector
+   closes (= flushes) the channel with every completed row intact, and the
+   driver exits with the conventional 128+signal code. *)
+exception Interrupted of int
+
+let () =
+  let graceful signal = Sys.set_signal signal (Sys.Signal_handle (fun _ -> raise (Interrupted signal))) in
+  graceful Sys.sigint;
+  graceful Sys.sigterm
+
 let with_out path f =
   if path = "-" then f stdout
   else begin
@@ -79,10 +90,12 @@ let run_cmd =
           ( false,
             Printf.sprintf "unknown experiment %S; `sketchlb list` shows the catalogue" id )
     | Some e ->
+        (* Merge keeps the first binding per name, so explicit --seed/--jobs
+           must precede the --smoke defaults to win over them. *)
         let overrides =
-          (if smoke then R.smoke e else [])
-          @ (match seed with Some s -> [ ("seed", R.Vint s) ] | None -> [])
+          (match seed with Some s -> [ ("seed", R.Vint s) ] | None -> [])
           @ (match jobs with Some j -> [ ("jobs", R.Vint j) ] | None -> [])
+          @ (if smoke then R.smoke e else [])
         in
         emit_experiment e overrides format path;
         `Ok ()
@@ -126,9 +139,17 @@ let () =
     "Reproduction harness for 'Lower Bounds for Distributed Sketching of Maximal Matchings \
      and Maximal Independent Sets' (PODC 2020)."
   in
-  let info = Cmd.info "sketchlb" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "sketchlb" ~version:Stdx.Version.current ~doc in
   let group =
     Cmd.group info
       (List.map exp_cmd (Core.Exp_all.all ()) @ [ run_cmd; list_cmd; all_cmd ])
   in
-  exit (Cmd.eval group)
+  (* ~catch:false so [Interrupted] reaches us instead of cmdliner's
+     catch-all backtrace printer; by now every [with_out] protector has
+     already flushed and closed its partial output file. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Interrupted signal ->
+      let name = if signal = Sys.sigterm then "SIGTERM" else "SIGINT" in
+      Printf.eprintf "sketchlb: interrupted by %s; partial output flushed\n%!" name;
+      exit (128 + if signal = Sys.sigterm then 15 else 2)

@@ -258,6 +258,29 @@ type json =
 
 exception Parse_error of string
 
+(* Serialise a [json] value back to canonical text: object fields in list
+   order, no whitespace, strings through [json_escape], floats through
+   [float_repr] (non-finite becomes [null] — JSON has no representation).
+   Together with [json_of_string] below this is the daemon's wire codec, so
+   [test_report] fuzzes the round-trip [json_of_string (string_of_json j) = j]. *)
+let rec string_of_json j =
+  match j with
+  | Jnull -> "null"
+  | Jbool b -> string_of_bool b
+  | Jint i -> string_of_int i
+  | Jfloat f -> if Float.is_finite f then float_repr f else "null"
+  | Jstr s -> "\"" ^ json_escape s ^ "\""
+  | Jarr l -> "[" ^ String.concat "," (List.map string_of_json l) ^ "]"
+  | Jobj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ string_of_json v) fields)
+      ^ "}"
+
+(* Object-field accessor for consumers of parsed JSON (the daemon's request
+   decoder, the CI validator): [None] on a missing key or a non-object. *)
+let member key = function Jobj fields -> List.assoc_opt key fields | _ -> None
+
 let json_of_string s =
   let pos = ref 0 in
   let len = String.length s in

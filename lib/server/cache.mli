@@ -1,0 +1,25 @@
+(** Content-addressed LRU result cache.
+
+    Sound because runs are deterministic: a response payload is a pure
+    function of its canonical key (experiment id, canonical params, seed —
+    the [jobs] knob is excluded, results being bit-identical at any job
+    count), so a stored payload is indistinguishable from a recomputation.
+
+    Bounded in entries and in total payload bytes; least-recently-used
+    entries evict first. Thread- and domain-safe (one internal mutex). *)
+
+type t
+
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
+(** Defaults: 512 entries, 64 MiB. An entry larger than [max_bytes] on its
+    own is simply not stored. *)
+
+val find : t -> string -> string option
+(** Lookup; bumps recency and the hit/miss counters. *)
+
+val add : t -> string -> string -> unit
+(** Insert (or refresh) [key -> payload], evicting LRU entries as needed. *)
+
+type stats = { entries : int; bytes : int; hits : int; misses : int; evictions : int }
+
+val stats : t -> stats

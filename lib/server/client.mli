@@ -1,0 +1,27 @@
+(** Client side of the [sketchd] wire protocol: one TCP connection,
+    synchronous request/response frames. *)
+
+module T = Report.Tabular
+
+type t
+
+exception Server_error of { code : int; error : string; msg : string }
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host ["127.0.0.1"]. *)
+
+val close : t -> unit
+
+val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)
+
+val request : t -> string -> string
+(** Send one payload, return the {e byte-exact} response payload — what
+    determinism checks diff. *)
+
+val request_json : t -> T.json -> T.json
+(** {!request} through the JSON codec. *)
+
+val request_json_exn : t -> T.json -> T.json
+(** Like {!request_json}, but an [{"ok":false}] response raises
+    {!Server_error}. *)

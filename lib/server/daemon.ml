@@ -1,0 +1,188 @@
+(* sketchd's TCP layer: an accept loop on its own thread, one lightweight
+   thread per connection, the [Service] brain behind both. Threads (not
+   domains) carry connections — they only do blocking I/O and frame
+   parsing; the compute lands on the scheduler's worker domains.
+
+   Lifecycle: [start] binds and accepts (port 0 = kernel-chosen, read back
+   with getsockname). [stop] closes the listener so no new connections
+   arrive; with [~abort_connections:true] (the signal path) it also shuts
+   down active sockets so idle readers wake up. [wait] blocks until the
+   listener is stopped and the last connection has finished, then drains
+   the scheduler — in-flight computations always complete.
+
+   A misbehaving client costs its own connection, nothing else: garbage or
+   oversized frames get one best-effort error frame and a close; a peer
+   that vanishes mid-request surfaces as a Unix error that ends only that
+   connection thread, and the scheduler's cancellation probe keeps its
+   queued compute from running into the void. *)
+
+type t = {
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  mutex : Mutex.t;
+  idle : Condition.t;  (* signalled when a connection ends or stop begins *)
+  mutable active : Unix.file_descr list;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  (* Self-pipe: closing a listening socket does NOT wake a thread blocked
+     in accept(2), so the accept loop selects on [listener; stop_r] and a
+     byte written to [stop_w] is the wake-up call. *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let port t = t.port
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* "Has the client gone?" — probe without consuming: readable + zero-byte
+   peek means EOF. Pipelined request bytes make the peek positive, which
+   correctly reads as "still there". *)
+let client_gone fd () =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [], _, _ -> false
+  | _ -> (
+      match Unix.recv fd (Bytes.create 1) 0 1 [ Unix.MSG_PEEK ] with
+      | 0 -> true
+      | _ -> false
+      | exception Unix.Unix_error _ -> true)
+  | exception Unix.Unix_error _ -> true
+
+let frame_error ~error msg =
+  Printf.sprintf "{\"ok\":false,\"error\":%S,\"code\":400,\"msg\":%S}" error msg
+
+(* Flip to stopping and wake the accept loop; idempotent, callable from a
+   connection thread (shutdown RPC) or a signal handler (via [stop]). *)
+let initiate_stop t =
+  locked t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        try ignore (Unix.write t.stop_w (Bytes.of_string "!") 0 1) with Unix.Unix_error _ -> ()
+      end;
+      Condition.broadcast t.idle)
+
+let serve_connection t fd =
+  let finish () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    locked t (fun () ->
+        t.active <- List.filter (fun fd' -> fd' != fd) t.active;
+        Condition.broadcast t.idle)
+  in
+  let rec loop () =
+    if locked t (fun () -> t.stopping) then ()
+    else
+      match Wire.read_frame fd with
+      | exception Wire.Closed -> ()
+      | exception Wire.Malformed msg ->
+          (* One best-effort complaint, then hang up: the stream position
+             is unrecoverable after garbage framing. *)
+          (try Wire.write_frame fd (frame_error ~error:"malformed-frame" msg)
+           with _ -> ())
+      | exception Wire.Oversized n ->
+          (try
+             Wire.write_frame fd
+               (frame_error ~error:"oversized-frame"
+                  (Printf.sprintf "declared %d bytes; max %d" n Wire.max_frame))
+           with _ -> ())
+      | exception Unix.Unix_error _ -> ()
+      | request ->
+          let reply = Service.handle t.service ~cancelled:(client_gone fd) request in
+          let written =
+            match Wire.write_frame fd reply.Service.payload with
+            | () -> true
+            | exception (Unix.Unix_error _ | Sys_error _) -> false
+          in
+          if reply.Service.shutdown then initiate_stop t
+          else if written then loop ()
+  in
+  Fun.protect ~finally:finish loop
+
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      let admitted =
+        locked t (fun () ->
+            if t.stopping then false
+            else begin
+              t.active <- fd :: t.active;
+              true
+            end)
+      in
+      if admitted then ignore (Thread.create (fun () -> serve_connection t fd) ())
+      else (try Unix.close fd with Unix.Unix_error _ -> ())
+  (* Transient accept failure (ECONNABORTED, EMFILE, ...): drop this one. *)
+  | exception Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if locked t (fun () -> t.stopping) then ()
+    else
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+      | ready, _, _ ->
+          if List.memq t.stop_r ready then ()
+          else begin
+            if List.memq t.listen_fd ready then accept_one t;
+            loop ()
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?workers ?capacity ?cache_entries ?cache_bytes ?log
+    () =
+  (* A dead client mid-write must surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.inet_addr_of_string host in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let service = Service.create ?workers ?capacity ?cache_entries ?cache_bytes ?log () in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      service;
+      listen_fd;
+      port;
+      mutex = Mutex.create ();
+      idle = Condition.create ();
+      active = [];
+      stopping = false;
+      accept_thread = None;
+      stop_r;
+      stop_w;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let service t = t.service
+
+let stop ?(abort_connections = false) t =
+  initiate_stop t;
+  let fds = locked t (fun () -> if abort_connections then t.active else []) in
+  (* Wake idle connection readers so their threads can exit; in-flight
+     computations still complete on the worker domains. *)
+  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) fds
+
+let wait t =
+  locked t (fun () ->
+      while not (t.stopping && t.active = []) do
+        Condition.wait t.idle t.mutex
+      done);
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Service.shutdown t.service

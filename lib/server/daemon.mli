@@ -1,0 +1,39 @@
+(** The [sketchd] TCP daemon: accept loop, per-connection threads, graceful
+    shutdown — {!Service} does the thinking, this module does the I/O.
+
+    Concurrency shape: connections ride lightweight threads (blocking I/O
+    and framing only); compute rides the {!Scheduler}'s worker domains. A
+    misbehaving client — garbage frame, oversized frame, mid-request
+    disconnect — costs its own connection and nothing else. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?workers:int ->
+  ?capacity:int ->
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  t
+(** Bind, listen and start accepting. [port 0] (the default) lets the
+    kernel choose — read it back with {!port}. [host] defaults to
+    ["127.0.0.1"]. The remaining knobs are {!Service.create}'s. Installs a
+    [SIGPIPE] ignore (a dead client mid-write must surface as [EPIPE]). *)
+
+val port : t -> int
+val service : t -> Service.t
+
+val stop : ?abort_connections:bool -> t -> unit
+(** Begin shutdown: close the listener (no new connections). With
+    [~abort_connections:true] — the signal path — also shut down active
+    sockets so idle connection readers wake up; in-flight computations
+    still complete. The [shutdown] RPC triggers the gentle variant
+    internally. *)
+
+val wait : t -> unit
+(** Block until the daemon is stopped (by {!stop}, a [shutdown] RPC, or a
+    signal handler calling {!stop}) and every connection has finished, then
+    drain the scheduler. The daemon's main thread lives here. *)

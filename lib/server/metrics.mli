@@ -1,0 +1,26 @@
+(** Daemon observability: per-operation request counters and latency
+    percentiles over a ring of the most recent requests. Thread- and
+    domain-safe (one internal mutex). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> ok:bool -> ms:float -> unit
+(** Count one request for [op] with wall latency [ms]; [ok = false] also
+    bumps the error counter. *)
+
+type snapshot = {
+  uptime_s : float;
+  total : int;
+  errors : int;
+  by_op : (string * int) list;  (** sorted by operation name *)
+  latency_count : int;  (** requests the percentiles are over (≤ 1024) *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val snapshot : t -> snapshot
+(** A consistent copy of all counters, percentiles computed on the spot. *)

@@ -1,0 +1,146 @@
+(* Request scheduler: admission control in front of a persistent
+   [Stdx.Parallel.Pool] of worker domains.
+
+   The pool's queue is unbounded; this layer bounds it. [run] counts a
+   request against [capacity] at submission and releases the slot when the
+   job finishes (or is dropped), so [depth] is "queued + running". A
+   request arriving with all slots taken is shed immediately — the 429 of
+   the wire protocol — instead of growing an unbounded backlog under
+   overload.
+
+   Two best-effort drop points run on the worker, just before the real
+   work: a deadline check (a request that waited past its budget is not
+   worth computing — the client has likely timed out) and a caller-supplied
+   cancellation probe (the daemon passes "has the client socket gone?", so
+   a disconnected client's heavy run is skipped rather than computed into
+   the void). Neither preempts running work: OCaml compute can't be safely
+   interrupted mid-table, and a completed run is still useful — it is
+   cached. *)
+
+type t = {
+  pool : Stdx.Parallel.Pool.t;
+  mutex : Mutex.t;
+  mutable depth : int;  (* queued + running *)
+  capacity : int;
+  mutable shed : int;
+  mutable deadline_drops : int;
+  mutable cancelled_drops : int;
+  mutable closing : bool;
+}
+
+type error = Overloaded | Deadline_exceeded | Cancelled | Shutting_down | Failed of string
+
+let create ?(workers = 2) ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Scheduler.create: capacity";
+  {
+    pool = Stdx.Parallel.Pool.create ~workers ();
+    mutex = Mutex.create ();
+    depth = 0;
+    capacity;
+    shed = 0;
+    deadline_drops = 0;
+    cancelled_drops = 0;
+    closing = false;
+  }
+
+let workers t = Stdx.Parallel.Pool.workers t.pool
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Per-request result cell the submitting thread blocks on. *)
+type 'a cell = {
+  cmutex : Mutex.t;
+  cond : Condition.t;
+  mutable result : ('a, error) result option;
+}
+
+let fill cell r =
+  Mutex.lock cell.cmutex;
+  cell.result <- Some r;
+  Condition.signal cell.cond;
+  Mutex.unlock cell.cmutex
+
+let await cell =
+  Mutex.lock cell.cmutex;
+  while cell.result = None do
+    Condition.wait cell.cond cell.cmutex
+  done;
+  let r = match cell.result with Some r -> r | None -> assert false in
+  Mutex.unlock cell.cmutex;
+  r
+
+let run t ?deadline ?(cancelled = fun () -> false) f =
+  let admitted =
+    locked t (fun () ->
+        if t.closing then Error Shutting_down
+        else if t.depth >= t.capacity then begin
+          t.shed <- t.shed + 1;
+          Error Overloaded
+        end
+        else begin
+          t.depth <- t.depth + 1;
+          Ok ()
+        end)
+  in
+  match admitted with
+  | Error e -> Error e
+  | Ok () ->
+      let cell = { cmutex = Mutex.create (); cond = Condition.create (); result = None } in
+      let job () =
+        let outcome =
+          if (match deadline with Some d -> Unix.gettimeofday () > d | None -> false) then begin
+            locked t (fun () -> t.deadline_drops <- t.deadline_drops + 1);
+            Error Deadline_exceeded
+          end
+          else if cancelled () then begin
+            locked t (fun () -> t.cancelled_drops <- t.cancelled_drops + 1);
+            Error Cancelled
+          end
+          else
+            match f () with
+            | v -> Ok v
+            | exception e -> Error (Failed (Printexc.to_string e))
+        in
+        locked t (fun () -> t.depth <- t.depth - 1);
+        fill cell outcome
+      in
+      if Stdx.Parallel.Pool.submit t.pool job then await cell
+      else begin
+        locked t (fun () -> t.depth <- t.depth - 1);
+        Error Shutting_down
+      end
+
+type stats = {
+  depth : int;
+  capacity : int;
+  workers : int;
+  shed : int;
+  deadline_drops : int;
+  cancelled_drops : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        depth = t.depth;
+        capacity = t.capacity;
+        workers = workers t;
+        shed = t.shed;
+        deadline_drops = t.deadline_drops;
+        cancelled_drops = t.cancelled_drops;
+      })
+
+(* Graceful drain: refuse new work, then block until the pool has finished
+   everything already admitted. *)
+let shutdown t =
+  locked t (fun () -> t.closing <- true);
+  Stdx.Parallel.Pool.shutdown t.pool
+
+let string_of_error = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Cancelled -> "cancelled"
+  | Shutting_down -> "shutting-down"
+  | Failed msg -> "failed: " ^ msg

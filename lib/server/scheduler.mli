@@ -1,0 +1,47 @@
+(** Request scheduler: bounded admission in front of a persistent pool of
+    worker domains ({!Stdx.Parallel.Pool}).
+
+    [depth] counts queued-plus-running requests against [capacity]; a
+    request arriving with every slot taken is shed immediately
+    ({!error.Overloaded} — the wire protocol's 429) instead of growing an
+    unbounded backlog. Two best-effort drop points run on the worker just
+    before the real work: a deadline check and a caller-supplied
+    cancellation probe (the daemon passes "has the client disconnected?").
+    Neither preempts running work. *)
+
+type t
+
+type error =
+  | Overloaded  (** queue full at submission — load shed *)
+  | Deadline_exceeded  (** waited past its deadline; work skipped *)
+  | Cancelled  (** cancellation probe fired before the work started *)
+  | Shutting_down  (** submitted during {!shutdown} *)
+  | Failed of string  (** the work itself raised *)
+
+val create : ?workers:int -> ?capacity:int -> unit -> t
+(** Defaults: 2 worker domains, capacity 16. *)
+
+val workers : t -> int
+
+val run : t -> ?deadline:float -> ?cancelled:(unit -> bool) -> (unit -> 'a) -> ('a, error) result
+(** Submit [f] and block until it completes or is dropped. [deadline] is an
+    absolute [Unix.gettimeofday] instant checked when the job reaches a
+    worker; [cancelled] is probed at the same point. Safe to call from many
+    threads concurrently. *)
+
+type stats = {
+  depth : int;  (** queued + running right now *)
+  capacity : int;
+  workers : int;
+  shed : int;  (** requests rejected with [Overloaded] *)
+  deadline_drops : int;
+  cancelled_drops : int;
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Refuse new work and block until everything already admitted finishes.
+    Idempotent. *)
+
+val string_of_error : error -> string

@@ -1,0 +1,363 @@
+(* The daemon's brain, socket-free: parse a request payload, dispatch, and
+   produce a response payload. Keeping this layer free of file descriptors
+   makes every endpoint unit-testable in-process; [Daemon] only adds TCP
+   framing, threads and signals around [handle].
+
+   Request/response bodies are JSON objects through [Report.Tabular]'s
+   bundled codec. Responses are built as canonical strings (object fields
+   in fixed order, no whitespace) so that a cached payload is byte-
+   identical to a recomputed one — the end-to-end determinism the CI smoke
+   job asserts with `diff`.
+
+   Cheap endpoints (`ping`, `list`, `stats`, `shutdown`) are answered on
+   the calling (connection) thread; compute endpoints (`run`, `simulate`)
+   first consult the result cache and only then go through the bounded
+   [Scheduler] onto a worker domain. *)
+
+module T = Report.Tabular
+module R = Core.Exp_registry
+
+type t = {
+  cache : Cache.t;
+  scheduler : Scheduler.t;
+  metrics : Metrics.t;
+  log : string -> unit;
+  mutable draining : bool;  (* set once `shutdown` has been accepted *)
+}
+
+let create ?(workers = 2) ?(capacity = 16) ?cache_entries ?cache_bytes
+    ?(log = fun _ -> ()) () =
+  {
+    cache = Cache.create ?max_entries:cache_entries ?max_bytes:cache_bytes ();
+    scheduler = Scheduler.create ~workers ~capacity ();
+    metrics = Metrics.create ();
+    log;
+    draining = false;
+  }
+
+let scheduler t = t.scheduler
+let cache t = t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Response building: canonical JSON text                              *)
+
+let jstr s = "\"" ^ T.json_escape s ^ "\""
+
+(* Fields are pre-rendered JSON text; order is the order given. *)
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+let ok_response fields = obj (("ok", "true") :: fields)
+
+(* Machine-readable [error] tag, HTTP-flavoured [code], human [msg]. *)
+let error_response ~code ~error msg =
+  obj
+    [
+      ("ok", "false");
+      ("error", jstr error);
+      ("code", string_of_int code);
+      ("msg", jstr msg);
+    ]
+
+let bad_request msg = error_response ~code:400 ~error:"bad-request" msg
+let not_found msg = error_response ~code:404 ~error:"not-found" msg
+
+let of_scheduler_error = function
+  | Scheduler.Overloaded -> error_response ~code:429 ~error:"overloaded" "queue full; retry later"
+  | Scheduler.Deadline_exceeded ->
+      error_response ~code:504 ~error:"deadline-exceeded" "request waited past its deadline"
+  | Scheduler.Cancelled -> error_response ~code:499 ~error:"cancelled" "client went away"
+  | Scheduler.Shutting_down ->
+      error_response ~code:503 ~error:"shutting-down" "server is draining"
+  | Scheduler.Failed msg -> error_response ~code:500 ~error:"failed" msg
+
+(* ------------------------------------------------------------------ *)
+(* Request-field accessors                                             *)
+
+let str_field j k = match T.member k j with Some (T.Jstr s) -> Some s | _ -> None
+let int_field j k = match T.member k j with Some (T.Jint i) -> Some i | _ -> None
+let bool_field j k = match T.member k j with Some (T.Jbool b) -> Some b | _ -> None
+
+(* An absolute deadline from a relative "deadline_ms" request field. *)
+let deadline_of j =
+  match int_field j "deadline_ms" with
+  | Some ms when ms > 0 -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parameters                                               *)
+
+let render_pvalue = function
+  | R.Vint i -> string_of_int i
+  | R.Vints l -> arr (List.map string_of_int l)
+
+(* Canonical cache key: id plus every merged param in spec order — except
+   [jobs], which only affects scheduling; the trial engine guarantees rows
+   bit-identical at any job count, so two requests differing only in [jobs]
+   share one cache entry. *)
+let canonical_key id merged =
+  let render (name, v) =
+    name ^ "="
+    ^ (match v with R.Vint i -> string_of_int i | R.Vints l -> String.concat "," (List.map string_of_int l))
+  in
+  id ^ "?" ^ String.concat "&" (List.map render (List.remove_assoc "jobs" merged))
+
+let params_json merged =
+  obj (List.map (fun (n, v) -> (n, render_pvalue v)) (List.remove_assoc "jobs" merged))
+
+(* JSON request params -> registry overrides. *)
+let overrides_of_json j =
+  match T.member "params" j with
+  | None -> Ok []
+  | Some (T.Jobj fields) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, T.Jint i) :: rest -> conv ((name, R.Vint i) :: acc) rest
+        | (name, T.Jarr items) :: rest -> (
+            let ints =
+              List.fold_right
+                (fun item acc ->
+                  match (item, acc) with T.Jint i, Some l -> Some (i :: l) | _ -> None)
+                items (Some [])
+            in
+            match ints with
+            | Some l -> conv ((name, R.Vints l) :: acc) rest
+            | None -> Error (Printf.sprintf "param %S: expected an integer array" name))
+        | (name, _) :: _ ->
+            Error (Printf.sprintf "param %S: expected an integer or integer array" name)
+      in
+      conv [] fields
+  | Some _ -> Error "\"params\" must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                           *)
+
+let handle_ping _t = ok_response [ ("op", jstr "ping"); ("version", jstr Stdx.Version.current) ]
+
+let handle_list _t =
+  let param_json (p : R.param) =
+    obj
+      [
+        ("name", jstr p.R.name);
+        ("doc", jstr p.R.doc);
+        ("default", render_pvalue p.R.default);
+      ]
+  in
+  let exp_json e =
+    obj
+      [
+        ("id", jstr (R.id e));
+        ("title", jstr (R.title e));
+        ("doc", jstr (R.doc e));
+        ("params", arr (List.map param_json (R.params e)));
+      ]
+  in
+  let protocol_json (name, doc) = obj [ ("name", jstr name); ("doc", jstr doc) ] in
+  ok_response
+    [
+      ("op", jstr "list");
+      ("version", jstr Stdx.Version.current);
+      ("experiments", arr (List.map exp_json (Core.Exp_all.all ())));
+      ("protocols", arr (List.map protocol_json Simulate.protocols));
+    ]
+
+let handle_stats t =
+  let m = Metrics.snapshot t.metrics in
+  let c = Cache.stats t.cache in
+  let s = Scheduler.stats t.scheduler in
+  let f = T.float_repr in
+  ok_response
+    [
+      ("op", jstr "stats");
+      ("version", jstr Stdx.Version.current);
+      ("uptime_s", f m.Metrics.uptime_s);
+      ( "requests",
+        obj
+          [
+            ("total", string_of_int m.Metrics.total);
+            ("errors", string_of_int m.Metrics.errors);
+            ("by_op", obj (List.map (fun (op, n) -> (op, string_of_int n)) m.Metrics.by_op));
+          ] );
+      ( "cache",
+        obj
+          [
+            ("hits", string_of_int c.Cache.hits);
+            ("misses", string_of_int c.Cache.misses);
+            ("entries", string_of_int c.Cache.entries);
+            ("bytes", string_of_int c.Cache.bytes);
+            ("evictions", string_of_int c.Cache.evictions);
+          ] );
+      ( "queue",
+        obj
+          [
+            ("depth", string_of_int s.Scheduler.depth);
+            ("capacity", string_of_int s.Scheduler.capacity);
+            ("workers", string_of_int s.Scheduler.workers);
+            ("shed", string_of_int s.Scheduler.shed);
+            ("deadline_drops", string_of_int s.Scheduler.deadline_drops);
+            ("cancelled_drops", string_of_int s.Scheduler.cancelled_drops);
+          ] );
+      ( "latency_ms",
+        obj
+          [
+            ("count", string_of_int m.Metrics.latency_count);
+            ("p50", f m.Metrics.p50_ms);
+            ("p90", f m.Metrics.p90_ms);
+            ("p99", f m.Metrics.p99_ms);
+            ("max", f m.Metrics.max_ms);
+          ] );
+    ]
+
+(* Consult the cache under [key]; on a miss compute the payload on a worker
+   domain through the bounded scheduler. Returns the response and whether
+   it was served from cache. *)
+let cached_compute t ~key ~deadline ~cancelled compute =
+  match Cache.find t.cache key with
+  | Some payload -> (payload, true)
+  | None -> (
+      match Scheduler.run t.scheduler ?deadline ?cancelled:(Some cancelled) compute with
+      | Ok payload ->
+          Cache.add t.cache key payload;
+          (payload, false)
+      | Error e -> (of_scheduler_error e, false))
+
+let handle_run t ~cancelled j =
+  match str_field j "id" with
+  | None -> bad_request "run needs a string field \"id\""
+  | Some id -> (
+      match Core.Exp_all.find id with
+      | None -> not_found (Printf.sprintf "unknown experiment %S; see `list`" id)
+      | Some e -> (
+          match overrides_of_json j with
+          | Error msg -> bad_request msg
+          | Ok param_overrides -> (
+              (* [merge] keeps the first binding per name, so explicit
+                 request fields come first and beat the --smoke defaults
+                 (same precedence as the CLI's `run` subcommand). *)
+              let overrides =
+                param_overrides
+                @ (match int_field j "seed" with Some s -> [ ("seed", R.Vint s) ] | None -> [])
+                @ [ ("jobs", R.Vint (Option.value ~default:1 (int_field j "jobs"))) ]
+                @ (if bool_field j "smoke" = Some true then R.smoke e else [])
+              in
+              (* Server-side validation against the experiment's spec,
+                 before any scheduling. *)
+              match R.merge (R.params e) overrides with
+              | exception R.Unknown_param p ->
+                  bad_request (Printf.sprintf "experiment %S has no parameter %S" id p)
+              | exception R.Wrong_param_type p ->
+                  bad_request (Printf.sprintf "parameter %S has the wrong type" p)
+              (* [merge] validates names only; shape mismatches would
+                 otherwise surface mid-compute as a 500. Catch them here. *)
+              | merged
+                when List.exists
+                       (fun (p : R.param) ->
+                         match (List.assoc p.R.name merged, p.R.default) with
+                         | R.Vint _, R.Vint _ | R.Vints _, R.Vints _ -> false
+                         | _ -> true)
+                       (R.params e) ->
+                  let bad =
+                    List.find
+                      (fun (p : R.param) ->
+                        match (List.assoc p.R.name merged, p.R.default) with
+                        | R.Vint _, R.Vint _ | R.Vints _, R.Vints _ -> false
+                        | _ -> true)
+                      (R.params e)
+                  in
+                  bad_request
+                    (Printf.sprintf "parameter %S has the wrong type (expected %s)" bad.R.name
+                       (match bad.R.default with R.Vint _ -> "an integer" | R.Vints _ -> "an integer array"))
+              | merged ->
+                  let key = canonical_key id merged in
+                  let compute () =
+                    let tbl = R.table e merged in
+                    let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
+                    ok_response
+                      [
+                        ("op", jstr "run");
+                        ("id", jstr id);
+                        ("title", jstr (R.title e));
+                        ("params", params_json merged);
+                        ("rows", arr rows);
+                      ]
+                  in
+                  let payload, hit =
+                    cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
+                  in
+                  t.log
+                    (Printf.sprintf "op=run id=%s cache=%s key=%S" id
+                       (if hit then "hit" else "miss")
+                       key);
+                  payload)))
+
+let handle_simulate t ~cancelled j =
+  match str_field j "protocol" with
+  | None -> bad_request "simulate needs a string field \"protocol\""
+  | Some name when not (List.mem_assoc name Simulate.protocols) ->
+      not_found (Printf.sprintf "unknown protocol %S; see `list`" name)
+  | Some name -> (
+      match T.member "graph" j with
+      | None -> bad_request "simulate needs an object field \"graph\""
+      | Some gj -> (
+          match Simulate.gspec_of_json gj with
+          | Error msg -> bad_request msg
+          | Ok graph ->
+              let seed = Option.value ~default:7 (int_field j "seed") in
+              let spec = { Simulate.protocol = name; graph; seed } in
+              let key =
+                Printf.sprintf "simulate?protocol=%s&graph=%s&seed=%d" name
+                  (T.string_of_json (Simulate.json_of_gspec graph))
+                  seed
+              in
+              let compute () =
+                let fields = Simulate.run spec in
+                ok_response
+                  (("op", jstr "simulate")
+                  :: List.map (fun (k, v) -> (k, T.string_of_json v)) fields)
+              in
+              let payload, hit =
+                cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
+              in
+              t.log
+                (Printf.sprintf "op=simulate protocol=%s cache=%s" name
+                   (if hit then "hit" else "miss"));
+              payload))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+type reply = { payload : string; shutdown : bool }
+
+let handle t ?(cancelled = fun () -> false) payload =
+  let t0 = Unix.gettimeofday () in
+  let op, response, shutdown =
+    match T.json_of_string payload with
+    | exception T.Parse_error msg -> ("parse-error", bad_request ("invalid JSON: " ^ msg), false)
+    | j -> (
+        match str_field j "op" with
+        | None -> ("bad-op", bad_request "request needs a string field \"op\"", false)
+        | Some "ping" -> ("ping", handle_ping t, false)
+        | Some "list" -> ("list", handle_list t, false)
+        | Some "stats" -> ("stats", handle_stats t, false)
+        | Some "run" -> ("run", handle_run t ~cancelled j, false)
+        | Some "simulate" -> ("simulate", handle_simulate t ~cancelled j, false)
+        | Some "shutdown" ->
+            t.draining <- true;
+            ( "shutdown",
+              ok_response [ ("op", jstr "shutdown"); ("msg", jstr "draining; no new requests") ],
+              true )
+        | Some op -> ("bad-op", not_found (Printf.sprintf "unknown op %S" op), false))
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let ok = String.length response >= 11 && String.sub response 0 11 = "{\"ok\":true," in
+  Metrics.record t.metrics ~op ~ok ~ms;
+  t.log (Printf.sprintf "op=%s status=%s ms=%.2f" op (if ok then "ok" else "error") ms);
+  { payload = response; shutdown }
+
+let draining t = t.draining
+
+(* Stop accepting compute work and wait for in-flight jobs. *)
+let shutdown t =
+  t.draining <- true;
+  Scheduler.shutdown t.scheduler

@@ -1,0 +1,47 @@
+(** The daemon's request handler, socket-free.
+
+    [handle] maps one request payload (a JSON object with a string field
+    ["op"]) to one response payload. Keeping this layer free of file
+    descriptors makes every endpoint unit-testable in-process; {!Daemon}
+    adds TCP framing, connection threads and signals around it.
+
+    Operations: [ping], [list], [stats], [run], [simulate], [shutdown].
+    Responses are canonical JSON strings (fixed field order, no
+    whitespace): a cached payload is byte-identical to a recomputed one.
+    [run]/[simulate] go through the result cache and then the bounded
+    {!Scheduler}; errors come back as
+    [{"ok":false,"error":...,"code":...,"msg":...}] with HTTP-flavoured
+    codes (400 bad request, 404 unknown id/op, 429 overloaded, 499 client
+    cancelled, 500 failed, 503 shutting down, 504 deadline exceeded). *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?capacity:int ->
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  t
+(** Defaults: 2 worker domains, queue capacity 16, cache 512 entries /
+    64 MiB, no logging. [log] receives one structured line per request
+    (and per cache decision). *)
+
+val scheduler : t -> Scheduler.t
+val cache : t -> Cache.t
+
+type reply = { payload : string; shutdown : bool }
+(** [shutdown] is [true] exactly when the request was an accepted
+    [shutdown] op — the daemon should reply, then drain and exit. *)
+
+val handle : t -> ?cancelled:(unit -> bool) -> string -> reply
+(** Process one request payload. [cancelled] is probed by the scheduler
+    just before compute starts (the daemon passes "has the client socket
+    gone?"). Never raises: every failure becomes an [ok:false] response. *)
+
+val draining : t -> bool
+(** Has a [shutdown] request been accepted? *)
+
+val shutdown : t -> unit
+(** Refuse new compute work and block until in-flight jobs finish. *)

@@ -1,0 +1,151 @@
+(* The `simulate` endpoint: run a named sketching protocol on a generated
+   graph and report its exact bit accounting.
+
+   This is the served version of what the repo's experiments do in-process
+   — the same [Sketchmodel.Model.run] / [Sketchmodel.Rounds.run] with the
+   same generators and the same coins, so a response's [max_bits] and
+   [total_bits] are {e exactly} the numbers an in-process run of the same
+   (protocol, graph, seed) triple produces; [test_server] pins that.
+
+   Derivations are fixed and documented in the mli: the graph generator is
+   [Prng.split (Prng.create seed) 1], the coins are
+   [Public_coins.create seed]. Everything downstream is deterministic, so
+   simulate responses are cacheable like experiment runs. *)
+
+module T = Report.Tabular
+module Model = Sketchmodel.Model
+module Rounds = Sketchmodel.Rounds
+
+type gspec =
+  | Gnp of { n : int; p : float }
+  | Path of int
+  | Cycle of int
+  | Complete of int
+  | Star of int
+
+type spec = { protocol : string; graph : gspec; seed : int }
+
+let graph_rng seed = Stdx.Prng.split (Stdx.Prng.create seed) 1
+let coins seed = Sketchmodel.Public_coins.create seed
+
+let graph_of_spec { graph; seed; _ } =
+  match graph with
+  | Gnp { n; p } -> Dgraph.Gen.gnp (graph_rng seed) n p
+  | Path n -> Dgraph.Gen.path n
+  | Cycle n -> Dgraph.Gen.cycle n
+  | Complete n -> Dgraph.Gen.complete n
+  | Star n -> Dgraph.Gen.star n
+
+let json_of_gspec = function
+  | Gnp { n; p } -> T.Jobj [ ("kind", T.Jstr "gnp"); ("n", T.Jint n); ("p", T.Jfloat p) ]
+  | Path n -> T.Jobj [ ("kind", T.Jstr "path"); ("n", T.Jint n) ]
+  | Cycle n -> T.Jobj [ ("kind", T.Jstr "cycle"); ("n", T.Jint n) ]
+  | Complete n -> T.Jobj [ ("kind", T.Jstr "complete"); ("n", T.Jint n) ]
+  | Star n -> T.Jobj [ ("kind", T.Jstr "star"); ("n", T.Jint n) ]
+
+let gspec_of_json j =
+  let int k = match T.member k j with Some (T.Jint i) -> Some i | _ -> None in
+  let num k =
+    match T.member k j with
+    | Some (T.Jfloat f) -> Some f
+    | Some (T.Jint i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match (T.member "kind" j, int "n") with
+  | Some (T.Jstr "gnp"), Some n -> (
+      match num "p" with
+      | Some p when p >= 0. && p <= 1. && n >= 0 -> Ok (Gnp { n; p })
+      | _ -> Error "gnp needs a probability field \"p\" in [0,1]")
+  | Some (T.Jstr "path"), Some n -> Ok (Path n)
+  | Some (T.Jstr "cycle"), Some n -> Ok (Cycle n)
+  | Some (T.Jstr "complete"), Some n -> Ok (Complete n)
+  | Some (T.Jstr "star"), Some n -> Ok (Star n)
+  | Some (T.Jstr k), None -> Error (Printf.sprintf "graph kind %S needs an integer field \"n\"" k)
+  | Some (T.Jstr k), _ -> Error (Printf.sprintf "unknown graph kind %S" k)
+  | _ -> Error "graph spec needs a string field \"kind\""
+
+(* ------------------------------------------------------------------ *)
+(* The protocol catalogue                                              *)
+
+let protocols =
+  [
+    ("trivial-mm", "full neighbourhoods, referee solves MM exactly (one round)");
+    ("trivial-mis", "full neighbourhoods, referee solves MIS exactly (one round)");
+    ("local-minima", "one-bit local-minima MIS attempt (one round; rarely maximal)");
+    ("two-round-mm", "Lattanzi-style filtering MM (two rounds, O~(sqrt n))");
+    ("two-round-mis", "random-prefix greedy MIS (two rounds, O~(sqrt n))");
+  ]
+
+let mm_output g m =
+  let v = Dgraph.Matching.verify g m in
+  T.Jobj
+    [
+      ("kind", T.Jstr "matching");
+      ("size", T.Jint (Dgraph.Matching.size m));
+      ("edges_exist", T.Jbool v.Dgraph.Matching.edges_exist);
+      ("disjoint", T.Jbool v.Dgraph.Matching.disjoint);
+      ("maximal", T.Jbool v.Dgraph.Matching.maximal);
+    ]
+
+let mis_output g s =
+  let v = Dgraph.Mis.verify g s in
+  T.Jobj
+    [
+      ("kind", T.Jstr "mis");
+      ("size", T.Jint (List.length s));
+      ("independent", T.Jbool v.Dgraph.Mis.independent);
+      ("maximal", T.Jbool v.Dgraph.Mis.maximal);
+    ]
+
+let one_round_stats (s : Model.stats) =
+  T.Jobj
+    [
+      ("rounds", T.Jint 1);
+      ("players", T.Jint s.Model.players);
+      ("max_bits", T.Jint s.Model.max_bits);
+      ("total_bits", T.Jint s.Model.total_bits);
+      ("avg_bits", T.Jfloat s.Model.avg_bits);
+    ]
+
+let two_round_stats (s : Rounds.stats) =
+  T.Jobj
+    [
+      ("rounds", T.Jint 2);
+      ("max_bits", T.Jint s.Rounds.max_bits);
+      ("round1_max", T.Jint s.Rounds.round1_max);
+      ("round2_max", T.Jint s.Rounds.round2_max);
+      ("broadcast_bits", T.Jint s.Rounds.broadcast_bits);
+      ("total_bits", T.Jint s.Rounds.total_bits);
+    ]
+
+let run spec =
+  let g = graph_of_spec spec in
+  let coins = coins spec.seed in
+  let output, stats =
+    match spec.protocol with
+    | "trivial-mm" ->
+        let m, s = Model.run Protocols.Trivial.mm g coins in
+        (mm_output g m, one_round_stats s)
+    | "trivial-mis" ->
+        let mis, s = Model.run Protocols.Trivial.mis g coins in
+        (mis_output g mis, one_round_stats s)
+    | "local-minima" ->
+        let mis, s = Model.run Protocols.One_round_mis.local_minima g coins in
+        (mis_output g mis, one_round_stats s)
+    | "two-round-mm" ->
+        let m, s = Protocols.Two_round_mm.run g coins in
+        (mm_output g m, two_round_stats s)
+    | "two-round-mis" ->
+        let mis, s = Protocols.Two_round_mis.run g coins in
+        (mis_output g mis, two_round_stats s)
+    | other -> invalid_arg (Printf.sprintf "Simulate.run: unknown protocol %S" other)
+  in
+  [
+    ("protocol", T.Jstr spec.protocol);
+    ("graph", json_of_gspec spec.graph);
+    ("seed", T.Jint spec.seed);
+    ("vertices", T.Jint (Dgraph.Graph.n g));
+    ("edges", T.Jint (Dgraph.Graph.m g));
+    ("output", output);
+    ("stats", stats);
+  ]

@@ -1,0 +1,42 @@
+(** The [simulate] endpoint: run a named sketching protocol on a generated
+    graph and report its exact per-player bit accounting.
+
+    Determinism contract (what makes simulate responses cacheable and
+    testable): for a [spec] with seed [s], the graph generator is
+    [Stdx.Prng.split (Stdx.Prng.create s) 1] and the public coins are
+    [Sketchmodel.Public_coins.create s]. An in-process
+    [Sketchmodel.Model.run] (or [Rounds.run]) of the same protocol over
+    {!graph_of_spec} with {!coins} produces {e exactly} the [max_bits] /
+    [total_bits] the response reports. *)
+
+module T = Report.Tabular
+
+type gspec =
+  | Gnp of { n : int; p : float }
+  | Path of int
+  | Cycle of int
+  | Complete of int
+  | Star of int
+
+type spec = { protocol : string; graph : gspec; seed : int }
+
+val graph_rng : int -> Stdx.Prng.t
+(** The generator a seed derives for graph construction. *)
+
+val coins : int -> Sketchmodel.Public_coins.t
+(** The public coins a seed derives for the protocol run. *)
+
+val graph_of_spec : spec -> Dgraph.Graph.t
+
+val json_of_gspec : gspec -> T.json
+val gspec_of_json : T.json -> (gspec, string) result
+
+val protocols : (string * string) list
+(** [(name, doc)] for every runnable protocol: [trivial-mm], [trivial-mis],
+    [local-minima], [two-round-mm], [two-round-mis]. *)
+
+val run : spec -> (string * T.json) list
+(** Execute the simulation; the response body's fields ([protocol], [graph],
+    [seed], [vertices], [edges], [output], [stats]). Raises
+    [Invalid_argument] on an unknown protocol name — the service layer
+    validates first via {!protocols}. *)

@@ -1,0 +1,107 @@
+(* The sketchd wire format: length-prefixed JSON frames over a stream.
+
+   A frame is a LEB128 varint byte count followed by that many payload
+   bytes (UTF-8 JSON text). Both halves go through [Stdx.Bitbuf] — the
+   varint is [Writer.uvarint] (8-bit groups, so on the wire it is standard
+   LEB128) and the payload is [Writer.string] — which keeps the server's
+   framing on the same bit-exact codec the protocol sketches use, and lets
+   the qcheck suites fuzz one buffer implementation for both.
+
+   Misbehaving peers are first-class: a header longer than [max_header]
+   groups or a declared length over [max_frame] raises before any payload
+   allocation, and a connection that dies mid-frame surfaces as [Closed]
+   (clean boundary) or [Malformed] (mid-frame). *)
+
+module W = Stdx.Bitbuf.Writer
+module R = Stdx.Bitbuf.Reader
+
+exception Closed
+exception Malformed of string
+exception Oversized of int
+
+(* 16 MiB: far above any table payload, far below a memory-exhaustion
+   attack. A 9-group LEB128 header can claim up to 2^63 bytes; the check
+   runs on the declared length, before allocating. *)
+let max_frame = 16 * 1024 * 1024
+let max_header = 9
+
+let encode payload =
+  let w = W.create () in
+  W.uvarint w (String.length payload);
+  W.string w payload;
+  let data, len_bits = W.contents w in
+  assert (len_bits mod 8 = 0);
+  Bytes.unsafe_to_string data
+
+(* Decode one frame from [s] at byte offset [off]. Returns the payload and
+   the offset one past the frame. Raises [Malformed]/[Oversized] like the
+   socket path; [Closed] if [off] is exactly the end. *)
+let decode s ~off =
+  let len = String.length s in
+  if off >= len then raise Closed;
+  let rec header_end i groups =
+    if groups > max_header then raise (Malformed "header too long")
+    else if i >= len then raise (Malformed "truncated header")
+    else if Char.code s.[i] land 0x80 = 0 then i + 1
+    else header_end (i + 1) (groups + 1)
+  in
+  let hend = header_end off 1 in
+  let r = R.of_string (String.sub s off (hend - off)) in
+  let n = R.uvarint r in
+  (* [n < 0]: a 9-group varint can overflow the 63-bit int — treat as huge. *)
+  if n < 0 || n > max_frame then raise (Oversized n);
+  if hend + n > len then raise (Malformed "truncated payload");
+  (String.sub s hend n, hend + n)
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let s = encode payload in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> None
+    | _ -> Some (Bytes.get b 0)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let rec read_exact fd buf off len =
+  if len > 0 then
+    match Unix.read fd buf off len with
+    | 0 -> raise (Malformed "truncated payload")
+    | n -> read_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+
+let read_frame fd =
+  (* Header: LEB128 groups, one byte at a time (at most [max_header]), then
+     decoded through the same [Bitbuf.Reader] the pure codec uses. *)
+  let hdr = Buffer.create 4 in
+  let rec read_header () =
+    if Buffer.length hdr >= max_header then raise (Malformed "header too long");
+    match read_byte fd with
+    | None -> if Buffer.length hdr = 0 then raise Closed else raise (Malformed "truncated header")
+    | Some c ->
+        Buffer.add_char hdr c;
+        if Char.code c land 0x80 <> 0 then read_header ()
+  in
+  read_header ();
+  let n = R.uvarint (R.of_string (Buffer.contents hdr)) in
+  (* [n < 0]: a 9-group varint can overflow the 63-bit int — treat as huge. *)
+  if n < 0 || n > max_frame then raise (Oversized n);
+  let buf = Bytes.create n in
+  read_exact fd buf 0 n;
+  Bytes.unsafe_to_string buf

@@ -1,0 +1,38 @@
+(** The [sketchd] wire format: length-prefixed JSON frames.
+
+    A frame is a LEB128 varint byte count followed by that many payload
+    bytes (UTF-8 JSON text). Both halves are built and parsed with
+    {!Stdx.Bitbuf}, the same bit-exact buffers protocol sketches use.
+
+    The codec is defensive by design — the daemon must survive garbage:
+    a header longer than 9 varint groups raises {!Malformed}, a declared
+    length over {!max_frame} raises {!Oversized} {e before} any payload
+    allocation, and a peer dying mid-frame raises {!Malformed} (vs
+    {!Closed} at a clean frame boundary). *)
+
+exception Closed
+(** The peer closed the connection at a frame boundary (normal EOF). *)
+
+exception Malformed of string
+(** Garbage framing: over-long header, or EOF mid-header/mid-payload. *)
+
+exception Oversized of int
+(** A frame declaring more than {!max_frame} payload bytes. *)
+
+val max_frame : int
+(** Maximum accepted payload size (16 MiB). *)
+
+val encode : string -> string
+(** [encode payload] is the exact byte sequence of one frame. *)
+
+val decode : string -> off:int -> string * int
+(** [decode s ~off] parses one frame at byte offset [off] of [s]; returns
+    the payload and the offset one past the frame. Raises like the socket
+    path ({!Closed} when [off] is the end of [s]). Inverse of {!encode}:
+    [decode (encode p) ~off:0 = (p, String.length (encode p))]. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame (loops over partial writes). *)
+
+val read_frame : Unix.file_descr -> string
+(** Read one complete frame's payload. *)

@@ -43,6 +43,16 @@ module Writer = struct
     uvarint w (List.length l);
     List.iter (uvarint w) l
 
+  let string w s =
+    if w.len_bits mod 8 = 0 then begin
+      (* Aligned fast path: blit whole bytes. *)
+      let n = String.length s in
+      ensure w (8 * n);
+      Bytes.blit_string s 0 w.data (w.len_bits / 8) n;
+      w.len_bits <- w.len_bits + (8 * n)
+    end
+    else String.iter (fun c -> bits w (Char.code c) ~width:8) s
+
   let contents w = (Bytes.sub w.data 0 ((w.len_bits + 7) / 8), w.len_bits)
 end
 
@@ -54,6 +64,8 @@ module Reader = struct
   let of_writer w =
     let data, len_bits = Writer.contents w in
     { data; len_bits; pos = 0 }
+
+  let of_string s = { data = Bytes.of_string s; len_bits = 8 * String.length s; pos = 0 }
 
   let remaining_bits r = r.len_bits - r.pos
 
@@ -82,4 +94,15 @@ module Reader = struct
   let int_list r =
     let n = uvarint r in
     List.init n (fun _ -> uvarint r)
+
+  let string r ~len =
+    if len < 0 then invalid_arg "Bitbuf.Reader.string: len";
+    if remaining_bits r < 8 * len then raise Underflow;
+    if r.pos mod 8 = 0 then begin
+      (* Aligned fast path: slice whole bytes. *)
+      let s = Bytes.sub_string r.data (r.pos / 8) len in
+      r.pos <- r.pos + (8 * len);
+      s
+    end
+    else String.init len (fun _ -> Char.chr (bits r ~width:8))
 end

@@ -27,6 +27,12 @@ module Writer : sig
   val int_list : t -> int list -> unit
   (** Length-prefixed list of non-negative integers, each as a [uvarint]. *)
 
+  val string : t -> string -> unit
+  (** [string w s] appends every byte of [s], 8 bits each, MSB first —
+      [8 * String.length s] bits at any alignment (whole-byte blit when the
+      writer is byte-aligned). The length is {e not} encoded; frame it
+      yourself (e.g. a [uvarint] prefix, as the [sketchd] wire codec does). *)
+
   val contents : t -> Bytes.t * int
   (** Raw bytes plus the exact bit length (the final byte may be partial). *)
 end
@@ -37,10 +43,17 @@ module Reader : sig
   val of_writer : Writer.t -> t
   (** A reader positioned at the first bit of a finished message. *)
 
+  val of_string : string -> t
+  (** A reader over raw bytes received from elsewhere (a socket, a file):
+      [8 * String.length s] bits, positioned at the first bit. *)
+
   val bit : t -> bool
   val bits : t -> width:int -> int
   val uvarint : t -> int
   val int_list : t -> int list
+
+  val string : t -> len:int -> string
+  (** [string r ~len] reads back [len] bytes written by {!Writer.string}. *)
 
   val remaining_bits : t -> int
 

@@ -59,3 +59,82 @@ let timed f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
+
+(* A persistent domain pool for long-lived services: [init] above spawns and
+   joins domains per call, which is right for one-shot table generation but
+   too expensive per request for a server. The pool keeps [workers] domains
+   alive, feeding them submitted thunks through one mutex-protected queue.
+
+   Scheduling order is FIFO but completion order is not deterministic —
+   unlike [init], the pool is for independent side-effecting jobs (each
+   server request carries its own result cell), not for value-returning
+   trial sharding. A job that raises is swallowed after running [on_error]:
+   a worker domain must never die with jobs still queued. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable domains : unit Domain.t array;
+    on_error : exn -> unit;
+    workers : int;
+  }
+
+  let worker_loop pool =
+    let rec next () =
+      Mutex.lock pool.mutex;
+      let rec wait () =
+        if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+        else if pool.closed then None
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          wait ()
+        end
+      in
+      let job = wait () in
+      Mutex.unlock pool.mutex;
+      match job with
+      | None -> ()
+      | Some job ->
+          (try job () with e -> pool.on_error e);
+          next ()
+    in
+    next ()
+
+  let create ?(on_error = fun _ -> ()) ~workers () =
+    if workers < 1 then invalid_arg "Parallel.Pool.create: workers";
+    let pool =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        domains = [||];
+        on_error;
+        workers;
+      }
+    in
+    pool.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    pool
+
+  let workers pool = pool.workers
+
+  let submit pool job =
+    Mutex.lock pool.mutex;
+    let accepted = not pool.closed in
+    if accepted then begin
+      Queue.push job pool.queue;
+      Condition.signal pool.nonempty
+    end;
+    Mutex.unlock pool.mutex;
+    accepted
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    let first = not pool.closed in
+    pool.closed <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    if first then Array.iter Domain.join pool.domains
+end

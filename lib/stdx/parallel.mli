@@ -49,3 +49,33 @@ val timed : (unit -> 'a) -> 'a * float
 (** [timed f] runs [f ()] and also returns the elapsed wall-clock seconds
     (monotonic; safe across domains — [Sys.time] counts CPU seconds summed
     over every domain and would over-report parallel runs). *)
+
+(** A persistent worker-domain pool for long-lived services.
+
+    {!init} spawns and joins domains per call — right for one-shot table
+    generation, too expensive per request for a server. A [Pool.t] keeps its
+    domains alive and feeds them submitted thunks FIFO through one shared
+    queue. Jobs are independent side-effecting closures (a server request
+    carries its own result cell); completion order is unspecified, so the
+    pool is {e not} a substitute for {!init}'s deterministic sharding. Jobs
+    may themselves call {!init} (nested domain spawns are fine). *)
+module Pool : sig
+  type t
+
+  val create : ?on_error:(exn -> unit) -> workers:int -> unit -> t
+  (** [create ~workers ()] spawns [workers] domains ([>= 1] required).
+      A job that raises is passed to [on_error] (default: ignore) and the
+      worker keeps running — a worker domain never dies with jobs queued. *)
+
+  val workers : t -> int
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a job; [false] if {!shutdown} has begun (job not enqueued).
+      The pool's queue is unbounded — admission control (bounded depth,
+      load shedding) belongs to the caller, e.g. [Server.Scheduler]. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting jobs, drain the queue, and join every worker domain.
+      Blocks until all in-flight and queued jobs have finished. Idempotent
+      (second call returns immediately). *)
+end

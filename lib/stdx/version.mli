@@ -1,0 +1,12 @@
+(** Build identification.
+
+    One module owns the version string; every binary ([sketchlb], [sketchd],
+    [sketchctl]) and the daemon's [stats] RPC surface it, so a deployment or
+    a bug report can always name the exact build. *)
+
+val current : string
+(** The semantic version of this build, e.g. ["1.1.0"]. *)
+
+val describe : unit -> string
+(** Human-readable one-liner: version plus the OCaml compiler it was built
+    with. *)

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sketchd service: start the daemon on a
+# kernel-chosen port, fetch the catalogue, run the same experiment twice
+# (second response must be byte-identical and served from the cache),
+# check the stats counters say exactly that, then shut down cleanly and
+# require the process to actually exit.
+#
+# Run from the repo root after a build (`make serve-smoke` does both).
+set -euo pipefail
+
+SKETCHD=${SKETCHD:-./_build/default/bin/sketchd.exe}
+SKETCHCTL=${SKETCHCTL:-./_build/default/bin/sketchctl.exe}
+
+tmp=$(mktemp -d)
+daemon_pid=
+
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+"$SKETCHD" --port-file "$tmp/port" -q >"$tmp/daemon.out" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$tmp/port" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died on startup: $(cat "$tmp/daemon.out")"
+  sleep 0.1
+done
+[ -s "$tmp/port" ] || fail "daemon never wrote its port file"
+port=$(cat "$tmp/port")
+echo "serve-smoke: daemon pid $daemon_pid on port $port"
+
+# Catalogue: must be ok and list the experiment we are about to run.
+"$SKETCHCTL" list -p "$port" >"$tmp/list.json"
+grep -q '"claim31"' "$tmp/list.json" || fail "catalogue does not list claim31"
+
+# The determinism-and-cache pin: two identical runs, byte-identical
+# payloads, the second one a cache hit.
+"$SKETCHCTL" run claim31 --smoke --seed 1 -p "$port" >"$tmp/r1.json"
+"$SKETCHCTL" run claim31 --smoke --seed 1 -p "$port" >"$tmp/r2.json"
+diff "$tmp/r1.json" "$tmp/r2.json" >/dev/null || fail "cached response differs from computed one"
+grep -q '"ok":true' "$tmp/r1.json" || fail "run reported an error: $(cat "$tmp/r1.json")"
+
+"$SKETCHCTL" stats -p "$port" >"$tmp/stats.json"
+grep -q '"hits":1' "$tmp/stats.json" || fail "expected exactly one cache hit: $(cat "$tmp/stats.json")"
+grep -q '"misses":1' "$tmp/stats.json" || fail "expected exactly one cache miss"
+grep -q '"version":' "$tmp/stats.json" || fail "stats does not report a version"
+
+# Graceful shutdown: the RPC is acked and the process exits by itself.
+"$SKETCHCTL" shutdown -p "$port" >"$tmp/bye.json"
+grep -q '"ok":true' "$tmp/bye.json" || fail "shutdown not acked"
+for _ in $(seq 1 100); do
+  kill -0 "$daemon_pid" 2>/dev/null || { daemon_pid=; break; }
+  sleep 0.1
+done
+[ -z "$daemon_pid" ] || fail "daemon still running 10s after shutdown RPC"
+
+echo "serve-smoke: OK (byte-identical cached replay, clean shutdown)"

@@ -154,7 +154,81 @@ let qcheck_tests =
            List.iter (fun (width, v) -> W.bits w v ~width) fields;
            let r = R.of_writer w in
            List.for_all (fun (width, v) -> R.bits r ~width = v) fields));
+    (* Mixed-op sequences: every writer operation interleaved at arbitrary
+       (usually non-byte-aligned) positions must read back exactly, with
+       nothing left over. Strings in particular take both paths — the
+       aligned whole-byte blit and the bit-by-bit spill. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mixed op sequence roundtrip" ~count:500
+         QCheck.(
+           list
+             (oneof
+                [
+                  map (fun b -> `Bit b) bool;
+                  map
+                    (fun (width, v) -> `Bits (width, v land ((1 lsl width) - 1)))
+                    (pair (int_range 1 20) (int_bound ((1 lsl 20) - 1)));
+                  map (fun v -> `Uvarint v) (int_bound ((1 lsl 40) - 1));
+                  map (fun s -> `Str s) (string_gen_of_size Gen.(0 -- 12) Gen.char);
+                  map (fun l -> `IntList l) (list_of_size Gen.(0 -- 6) (int_bound 100000));
+                ]))
+         (fun ops ->
+           let w = W.create () in
+           List.iter
+             (function
+               | `Bit b -> W.bit w b
+               | `Bits (width, v) -> W.bits w v ~width
+               | `Uvarint v -> W.uvarint w v
+               | `Str s -> W.string w s
+               | `IntList l -> W.int_list w l)
+             ops;
+           let r = R.of_writer w in
+           List.for_all
+             (function
+               | `Bit b -> R.bit r = b
+               | `Bits (width, v) -> R.bits r ~width = v
+               | `Uvarint v -> R.uvarint r = v
+               | `Str s -> R.string r ~len:(String.length s) = s
+               | `IntList l -> R.int_list r = l)
+             ops
+           && R.remaining_bits r = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"string roundtrip at every bit offset" ~count:300
+         QCheck.(pair (int_bound 7) (string_gen_of_size Gen.(0 -- 16) Gen.char))
+         (fun (lead, s) ->
+           let w = W.create () in
+           for i = 1 to lead do
+             W.bit w (i mod 2 = 0)
+           done;
+           W.string w s;
+           let r = R.of_writer w in
+           for i = 1 to lead do
+             ignore (R.bit r);
+             ignore i
+           done;
+           R.string r ~len:(String.length s) = s && R.remaining_bits r = 0));
   ]
+
+let test_string_unaligned () =
+  (* One leading bit forces the per-byte spill path; no leading bit takes
+     the whole-byte blit; both must agree with [Reader.of_string] framing. *)
+  let s = "hello \x00\xff world" in
+  let aligned = W.create () in
+  W.string aligned s;
+  checki "aligned length" (8 * String.length s) (W.length_bits aligned);
+  checkb "aligned roundtrip" true (R.string (R.of_writer aligned) ~len:(String.length s) = s);
+  let spill = W.create () in
+  W.bit spill true;
+  W.string spill s;
+  let r = R.of_writer spill in
+  checkb "leading bit" true (R.bit r);
+  checkb "unaligned roundtrip" true (R.string r ~len:(String.length s) = s);
+  let r = R.of_string s in
+  checki "of_string bits" (8 * String.length s) (R.remaining_bits r);
+  checkb "of_string reads bytes back" true (R.string r ~len:(String.length s) = s);
+  let short = R.of_string "ab" in
+  checkb "string underflow" true
+    (match R.string short ~len:3 with _ -> false | exception R.Underflow -> true)
 
 let () =
   Alcotest.run "bitbuf"
@@ -172,6 +246,7 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_interleaved;
           Alcotest.test_case "growth" `Quick test_growth;
           Alcotest.test_case "partial byte" `Quick test_contents_partial_byte;
+          Alcotest.test_case "string unaligned" `Quick test_string_unaligned;
         ] );
       ("bitbuf-properties", qcheck_tests);
     ]

@@ -143,6 +143,79 @@ let test_row_roundtrip () =
   checkb "missing key fails" true
     (match missing () with _ -> false | exception T.Parse_error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Property: the renderer and the parser are exact inverses on the JSON
+   AST. [string_of_json] is what sketchd serves; a client parsing a
+   response with [json_of_string] must see the value the server built. *)
+
+let json_gen =
+  let open QCheck.Gen in
+  (* Full byte range: exercises '"', '\\', raw control chars (escaped as
+     \uXXXX on the way out) and non-ASCII bytes (passed through). *)
+  let any_string = string_size ~gen:char (0 -- 10) in
+  let scalar =
+    oneof
+      [
+        return T.Jnull;
+        map (fun b -> T.Jbool b) bool;
+        map (fun i -> T.Jint i) int;
+        (* Non-finite floats render as null by design, so they cannot
+           round-trip; keep the generator finite. *)
+        map (fun f -> T.Jfloat (if Float.is_finite f then f else 0.)) float;
+        map (fun s -> T.Jstr s) any_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> T.Jarr l) (list_size (0 -- 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun l -> T.Jobj l)
+                   (list_size (0 -- 4) (pair any_string (self (n / 2)))) );
+             ])
+
+let json_arb = QCheck.make ~print:T.string_of_json json_gen
+
+let json_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"string_of_json / json_of_string round-trip" ~count:1000 json_arb
+         (fun j -> T.json_of_string (T.string_of_json j) = j));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"json_escape round-trips arbitrary bytes" ~count:1000
+         QCheck.(string_gen QCheck.Gen.char)
+         (fun s -> T.json_of_string ("\"" ^ T.json_escape s ^ "\"") = T.Jstr s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float_repr survives the parser" ~count:1000
+         QCheck.(map (fun f -> if Float.is_finite f then f else 0.) float)
+         (fun f ->
+           match T.json_of_string (T.string_of_json (T.Jfloat f)) with
+           | T.Jfloat f' -> f' = f
+           | T.Jint i -> float_of_int i = f
+           | _ -> false));
+  ]
+
+let test_string_of_json_escapes () =
+  let open T in
+  checks "control chars" "\"a\\u0001b\"" (string_of_json (Jstr "a\x01b"));
+  checks "named escapes" "\"\\\"\\\\\\n\\r\\t\"" (string_of_json (Jstr "\"\\\n\r\t"));
+  checks "null and bools" "[null,true,false]" (string_of_json (Jarr [ Jnull; Jbool true; Jbool false ]));
+  checks "nonfinite floats are null" "null" (string_of_json (Jfloat nan));
+  checks "canonical object" "{\"a\":1,\"b\":[1.5,\"x\"]}"
+    (string_of_json (Jobj [ ("a", Jint 1); ("b", Jarr [ Jfloat 1.5; Jstr "x" ]) ]));
+  (* A \uXXXX escape parses to UTF-8 bytes, which re-render raw: one full
+     cycle ends on a fixed point. *)
+  let j = json_of_string "\"caf\\u00e9\"" in
+  checkb "unicode fixed point" true (json_of_string (string_of_json j) = j);
+  checkb "member finds fields" true
+    (member "b" (Jobj [ ("a", Jint 1); ("b", Jbool true) ]) = Some (Jbool true));
+  checkb "member on non-object" true (member "a" (Jint 3) = None)
+
 let () =
   Alcotest.run "report"
     [
@@ -163,5 +236,7 @@ let () =
         [
           Alcotest.test_case "json_of_string" `Quick test_parser;
           Alcotest.test_case "row round-trip" `Quick test_row_roundtrip;
+          Alcotest.test_case "string_of_json escapes" `Quick test_string_of_json_escapes;
         ] );
+      ("json-properties", json_property_tests);
     ]

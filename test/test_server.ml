@@ -1,0 +1,442 @@
+(* Tests for the sketchd server stack, bottom-up: wire framing (including
+   hostile headers), the LRU result cache, the bounded scheduler's drop
+   paths, the socket-free [Service] endpoints (cache determinism, param
+   validation, simulate-vs-library bit accounting), and a real [Daemon]
+   over loopback TCP surviving misbehaving clients without leaking worker
+   slots. *)
+
+module T = Report.Tabular
+module W = Server.Wire
+module S = Server.Service
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun payload ->
+      let frame = W.encode payload in
+      let decoded, off = W.decode frame ~off:0 in
+      checks "payload" payload decoded;
+      checki "offset" (String.length frame) off)
+    [ ""; "x"; "{\"op\":\"ping\"}"; String.make 300 'a'; String.init 256 Char.chr ]
+
+let test_wire_stream () =
+  (* Back-to-back frames decode by chasing the returned offset. *)
+  let frames = [ "one"; ""; "three" ] in
+  let s = String.concat "" (List.map W.encode frames) in
+  let rec take off acc =
+    if off = String.length s then List.rev acc
+    else
+      let p, off = W.decode s ~off in
+      take off (p :: acc)
+  in
+  checkb "stream decodes" true (take 0 [] = frames)
+
+let test_wire_hostile () =
+  let raises_closed s = match W.decode s ~off:0 with _ -> false | exception W.Closed -> true in
+  let raises_malformed s =
+    match W.decode s ~off:0 with _ -> false | exception W.Malformed _ -> true
+  in
+  let raises_oversized s =
+    match W.decode s ~off:0 with _ -> false | exception W.Oversized _ -> true
+  in
+  checkb "EOF at boundary is Closed" true (raises_closed "");
+  checkb "truncated payload" true (raises_malformed (String.sub (W.encode "hello") 0 3));
+  checkb "truncated header" true (raises_malformed "\xff");
+  (* 10 continuation groups: header longer than any length we accept. *)
+  checkb "over-long header" true (raises_malformed (String.make 10 '\xff'));
+  (* Declares max_frame + 1 bytes: rejected before any allocation. *)
+  let declare n =
+    let w = Stdx.Bitbuf.Writer.create () in
+    Stdx.Bitbuf.Writer.uvarint w n;
+    let bytes, _ = Stdx.Bitbuf.Writer.contents w in
+    Bytes.to_string bytes
+  in
+  checkb "oversized declaration" true (raises_oversized (declare (W.max_frame + 1)));
+  (* 9 groups of 0x7f payload bits = 2^63 - 1, which overflows OCaml's
+     63-bit int to a negative length; must not bypass the bound check. *)
+  checkb "int-overflow declaration" true (raises_oversized (String.make 8 '\xff' ^ "\x7f"))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_lru () =
+  let c = Server.Cache.create ~max_entries:2 ~max_bytes:1000 () in
+  Server.Cache.add c "a" "1";
+  Server.Cache.add c "b" "2";
+  checkb "a present" true (Server.Cache.find c "a" = Some "1");
+  (* "a" was just used, so inserting "c" evicts "b" (the LRU). *)
+  Server.Cache.add c "c" "3";
+  checkb "b evicted" true (Server.Cache.find c "b" = None);
+  checkb "a survives" true (Server.Cache.find c "a" = Some "1");
+  let s = Server.Cache.stats c in
+  checki "entries" 2 s.Server.Cache.entries;
+  checki "evictions" 1 s.Server.Cache.evictions;
+  checki "hits" 2 s.Server.Cache.hits;
+  checki "misses" 1 s.Server.Cache.misses
+
+let test_cache_bytes_bound () =
+  let c = Server.Cache.create ~max_entries:100 ~max_bytes:10 () in
+  Server.Cache.add c "a" "aaaaa";
+  Server.Cache.add c "b" "bbbbb";
+  Server.Cache.add c "c" "c";
+  (* 5 + 5 + 1 > 10: "a" (least recent) must have been evicted. *)
+  checkb "a evicted by byte bound" true (Server.Cache.find c "a" = None);
+  checkb "c present" true (Server.Cache.find c "c" = Some "c");
+  let s = Server.Cache.stats c in
+  checkb "bytes within bound" true (s.Server.Cache.bytes <= 10);
+  (* An entry alone bigger than the bound is not stored at all. *)
+  Server.Cache.add c "huge" (String.make 64 'x');
+  checkb "oversize entry skipped" true (Server.Cache.find c "huge" = None)
+
+let test_cache_replace () =
+  let c = Server.Cache.create ~max_entries:4 ~max_bytes:1000 () in
+  Server.Cache.add c "k" "old";
+  Server.Cache.add c "k" "new";
+  checkb "replaced" true (Server.Cache.find c "k" = Some "new");
+  checki "one entry" 1 (Server.Cache.stats c).Server.Cache.entries
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+let test_scheduler_basic () =
+  let s = Server.Scheduler.create ~workers:2 ~capacity:4 () in
+  checkb "computes" true (Server.Scheduler.run s (fun () -> 6 * 7) = Ok 42);
+  checkb "exception becomes Failed" true
+    (match Server.Scheduler.run s (fun () -> failwith "boom") with
+    | Error (Server.Scheduler.Failed msg) -> msg = "Failure(\"boom\")" || String.length msg > 0
+    | _ -> false);
+  (* The pool survives a failed job. *)
+  checkb "still computes after failure" true (Server.Scheduler.run s (fun () -> 1) = Ok 1);
+  checkb "past deadline dropped" true
+    (Server.Scheduler.run s ~deadline:(Unix.gettimeofday () -. 1.) (fun () -> 1)
+    = Error Server.Scheduler.Deadline_exceeded);
+  checkb "cancelled dropped" true
+    (Server.Scheduler.run s ~cancelled:(fun () -> true) (fun () -> 1)
+    = Error Server.Scheduler.Cancelled);
+  let st = Server.Scheduler.stats s in
+  checki "deadline drops counted" 1 st.Server.Scheduler.deadline_drops;
+  checki "cancel drops counted" 1 st.Server.Scheduler.cancelled_drops;
+  checki "idle depth" 0 st.Server.Scheduler.depth;
+  Server.Scheduler.shutdown s;
+  checkb "after shutdown" true
+    (Server.Scheduler.run s (fun () -> 1) = Error Server.Scheduler.Shutting_down)
+
+let test_scheduler_load_shed () =
+  let s = Server.Scheduler.create ~workers:1 ~capacity:1 () in
+  let m = Mutex.create () in
+  let cond = Condition.create () in
+  let started = ref false in
+  let release = ref false in
+  let blocker () =
+    Mutex.lock m;
+    started := true;
+    Condition.broadcast cond;
+    while not !release do
+      Condition.wait cond m
+    done;
+    Mutex.unlock m;
+    "done"
+  in
+  let result = ref (Error Server.Scheduler.Overloaded) in
+  let th = Thread.create (fun () -> result := Server.Scheduler.run s blocker) () in
+  (* Wait until the blocker actually occupies the only slot. *)
+  Mutex.lock m;
+  while not !started do
+    Condition.wait cond m
+  done;
+  Mutex.unlock m;
+  (* Slot taken, capacity 1: the next request is shed immediately. *)
+  checkb "overloaded" true
+    (Server.Scheduler.run s (fun () -> "never") = Error Server.Scheduler.Overloaded);
+  checki "shed counted" 1 (Server.Scheduler.stats s).Server.Scheduler.shed;
+  Mutex.lock m;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock m;
+  Thread.join th;
+  checkb "blocked request completed" true (!result = Ok "done");
+  checki "depth back to zero" 0 (Server.Scheduler.stats s).Server.Scheduler.depth;
+  Server.Scheduler.shutdown s
+
+(* ------------------------------------------------------------------ *)
+(* Service: socket-free endpoint behaviour                             *)
+
+let with_service ?(workers = 2) f =
+  let t = S.create ~workers ~capacity:8 () in
+  Fun.protect ~finally:(fun () -> S.shutdown t) (fun () -> f t)
+
+let payload t req = (S.handle t (T.string_of_json (T.Jobj req))).S.payload
+
+let json t req = T.json_of_string (payload t req)
+
+let is_ok j = T.member "ok" j = Some (T.Jbool true)
+
+let error_tag j = match T.member "error" j with Some (T.Jstr e) -> e | _ -> "?"
+let code_of j = match T.member "code" j with Some (T.Jint c) -> c | _ -> -1
+
+let test_service_ping_version () =
+  with_service (fun t ->
+      let j = json t [ ("op", T.Jstr "ping") ] in
+      checkb "ok" true (is_ok j);
+      checkb "version" true (T.member "version" j = Some (T.Jstr Stdx.Version.current)))
+
+let test_service_list () =
+  with_service (fun t ->
+      let j = json t [ ("op", T.Jstr "list") ] in
+      checkb "ok" true (is_ok j);
+      let ids =
+        match T.member "experiments" j with
+        | Some (T.Jarr es) ->
+            List.filter_map (fun e -> match T.member "id" e with Some (T.Jstr s) -> Some s | _ -> None) es
+        | _ -> []
+      in
+      checkb "catalogue has claim31" true (List.mem "claim31" ids);
+      checkb "catalogue matches registry" true
+        (List.length ids = List.length (Core.Exp_all.all ()));
+      match T.member "protocols" j with
+      | Some (T.Jarr ps) -> checki "protocol catalogue" (List.length Server.Simulate.protocols) (List.length ps)
+      | _ -> Alcotest.fail "no protocols field")
+
+let test_service_errors () =
+  with_service (fun t ->
+      let expect name req error code =
+        let j = json t req in
+        checkb (name ^ " not ok") false (is_ok j);
+        checks (name ^ " tag") error (error_tag j);
+        checki (name ^ " code") code (code_of j)
+      in
+      expect "unknown op" [ ("op", T.Jstr "frobnicate") ] "not-found" 404;
+      expect "missing op" [ ("x", T.Jint 1) ] "bad-request" 400;
+      expect "unknown id" [ ("op", T.Jstr "run"); ("id", T.Jstr "nope") ] "not-found" 404;
+      expect "unknown param"
+        [ ("op", T.Jstr "run"); ("id", T.Jstr "claim31"); ("params", T.Jobj [ ("zap", T.Jint 1) ]) ]
+        "bad-request" 400;
+      expect "wrong param type"
+        [ ("op", T.Jstr "run"); ("id", T.Jstr "claim31"); ("params", T.Jobj [ ("m", T.Jint 5) ]) ]
+        "bad-request" 400;
+      expect "unknown protocol" [ ("op", T.Jstr "simulate"); ("protocol", T.Jstr "psychic") ]
+        "not-found" 404;
+      expect "bad graph"
+        [ ("op", T.Jstr "simulate");
+          ("protocol", T.Jstr "trivial-mm");
+          ("graph", T.Jobj [ ("kind", T.Jstr "donut"); ("n", T.Jint 4) ]) ]
+        "bad-request" 400;
+      let j = T.json_of_string (S.handle t "this is not json").S.payload in
+      checks "garbage payload" "bad-request" (error_tag j))
+
+let smoke_run ?(extra = []) t =
+  payload t ([ ("op", T.Jstr "run"); ("id", T.Jstr "claim31"); ("smoke", T.Jbool true) ] @ extra)
+
+let test_service_cache_determinism () =
+  with_service (fun t ->
+      let p1 = smoke_run t in
+      let p2 = smoke_run t in
+      checkb "first ok" true (is_ok (T.json_of_string p1));
+      checks "byte-identical payloads" p1 p2;
+      let c = Server.Cache.stats (S.cache t) in
+      checki "one miss" 1 c.Server.Cache.misses;
+      checki "one hit" 1 c.Server.Cache.hits;
+      (* [jobs] only affects scheduling, never rows: it is excluded from
+         the cache key, so a different job count is a third hit. *)
+      let p3 = smoke_run ~extra:[ ("jobs", T.Jint 2) ] t in
+      checks "jobs does not change the payload" p1 p3;
+      checki "jobs shares the entry" 2 (Server.Cache.stats (S.cache t)).Server.Cache.hits)
+
+let test_service_seed_precedence () =
+  with_service (fun t ->
+      let j = T.json_of_string (smoke_run ~extra:[ ("seed", T.Jint 3) ] t) in
+      match T.member "params" j with
+      | Some params -> checkb "explicit seed beats smoke" true (T.member "seed" params = Some (T.Jint 3))
+      | None -> Alcotest.fail "no params echoed")
+
+(* The acceptance pin: a served simulate response reports exactly the
+   max_bits/total_bits an in-process run of the same (protocol, graph,
+   coins) triple produces — the service adds caching and transport,
+   never arithmetic. *)
+let test_service_simulate_bits () =
+  with_service (fun t ->
+      let gspec = Server.Simulate.Gnp { n = 40; p = 0.15 } in
+      let seed = 11 in
+      List.iter
+        (fun (protocol, _) ->
+          let spec = { Server.Simulate.protocol; graph = gspec; seed } in
+          let g = Server.Simulate.graph_of_spec spec in
+          let coins = Server.Simulate.coins seed in
+          let expect_max, expect_total =
+            match protocol with
+            | "trivial-mm" ->
+                let _, s = Sketchmodel.Model.run Protocols.Trivial.mm g coins in
+                (s.Sketchmodel.Model.max_bits, s.Sketchmodel.Model.total_bits)
+            | "trivial-mis" ->
+                let _, s = Sketchmodel.Model.run Protocols.Trivial.mis g coins in
+                (s.Sketchmodel.Model.max_bits, s.Sketchmodel.Model.total_bits)
+            | "local-minima" ->
+                let _, s = Sketchmodel.Model.run Protocols.One_round_mis.local_minima g coins in
+                (s.Sketchmodel.Model.max_bits, s.Sketchmodel.Model.total_bits)
+            | "two-round-mm" ->
+                let _, s = Protocols.Two_round_mm.run g coins in
+                (s.Sketchmodel.Rounds.max_bits, s.Sketchmodel.Rounds.total_bits)
+            | "two-round-mis" ->
+                let _, s = Protocols.Two_round_mis.run g coins in
+                (s.Sketchmodel.Rounds.max_bits, s.Sketchmodel.Rounds.total_bits)
+            | p -> Alcotest.fail ("catalogue grew a protocol the test does not know: " ^ p)
+          in
+          let j =
+            json t
+              [
+                ("op", T.Jstr "simulate");
+                ("protocol", T.Jstr protocol);
+                ("graph", Server.Simulate.json_of_gspec gspec);
+                ("seed", T.Jint seed);
+              ]
+          in
+          checkb (protocol ^ " ok") true (is_ok j);
+          match T.member "stats" j with
+          | Some stats ->
+              checkb (protocol ^ " max_bits") true (T.member "max_bits" stats = Some (T.Jint expect_max));
+              checkb (protocol ^ " total_bits") true
+                (T.member "total_bits" stats = Some (T.Jint expect_total))
+          | None -> Alcotest.fail (protocol ^ ": no stats field"))
+        Server.Simulate.protocols)
+
+let test_service_shutdown_op () =
+  with_service (fun t ->
+      let reply = S.handle t "{\"op\":\"shutdown\"}" in
+      checkb "shutdown flagged" true reply.S.shutdown;
+      checkb "shutdown acked ok" true (is_ok (T.json_of_string reply.S.payload));
+      checkb "draining" true (S.draining t))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: real sockets, hostile clients                               *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let test_daemon_survives_abuse () =
+  let d = Server.Daemon.start ~workers:1 ~capacity:4 () in
+  let port = Server.Daemon.port d in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop ~abort_connections:true d;
+      Server.Daemon.wait d)
+    (fun () ->
+      (* 1. Garbage framing: nine 0xff bytes exhaust the header budget
+         with nothing left unread, so the server's one error frame and
+         FIN arrive cleanly (unread bytes would turn the close into an
+         RST that may discard the reply — that path is best-effort). *)
+      let fd = connect port in
+      send_all fd (String.make 9 '\xff');
+      (match W.read_frame fd with
+      | frame ->
+          checks "malformed tagged" "malformed-frame"
+            (error_tag (T.json_of_string frame))
+      | exception W.Closed -> Alcotest.fail "no error frame for garbage");
+      checkb "connection closed after garbage" true
+        (match W.read_frame fd with _ -> false | exception W.Closed -> true);
+      Unix.close fd;
+      (* 2. Oversized declaration: rejected before any payload is read. *)
+      let fd = connect port in
+      let w = Stdx.Bitbuf.Writer.create () in
+      Stdx.Bitbuf.Writer.uvarint w (W.max_frame + 1);
+      let bytes, _ = Stdx.Bitbuf.Writer.contents w in
+      send_all fd (Bytes.to_string bytes);
+      (match W.read_frame fd with
+      | frame -> checks "oversized tagged" "oversized-frame" (error_tag (T.json_of_string frame))
+      | exception W.Closed -> Alcotest.fail "no error frame for oversized");
+      Unix.close fd;
+      (* 3. Mid-request disconnect: half a frame, then vanish. *)
+      let fd = connect port in
+      let frame = W.encode "{\"op\":\"ping\"}" in
+      send_all fd (String.sub frame 0 (String.length frame - 3));
+      Unix.close fd;
+      (* 4. The daemon still serves, and no worker slot leaked. *)
+      let response =
+        Server.Client.with_connection ~port (fun c -> Server.Client.request c "{\"op\":\"stats\"}")
+      in
+      let j = T.json_of_string response in
+      checkb "still serving" true (is_ok j);
+      (match T.member "queue" j with
+      | Some q -> checkb "no leaked slots" true (T.member "depth" q = Some (T.Jint 0))
+      | None -> Alcotest.fail "no queue stats");
+      (* 5. A full well-formed cycle still round-trips byte-exactly. *)
+      let run () =
+        Server.Client.with_connection ~port (fun c ->
+            Server.Client.request c
+              (T.string_of_json
+                 (T.Jobj
+                    [ ("op", T.Jstr "run"); ("id", T.Jstr "claim31"); ("smoke", T.Jbool true) ])))
+      in
+      let p1 = run () and p2 = run () in
+      checks "served payloads byte-identical" p1 p2)
+
+let test_daemon_shutdown_rpc () =
+  let d = Server.Daemon.start ~workers:1 ~capacity:4 () in
+  let port = Server.Daemon.port d in
+  let reply =
+    Server.Client.with_connection ~port (fun c -> Server.Client.request c "{\"op\":\"shutdown\"}")
+  in
+  checkb "shutdown acked" true (is_ok (T.json_of_string reply));
+  (* wait must return: the accept loop wakes via the self-pipe even though
+     nothing ever connects again. *)
+  Server.Daemon.wait d;
+  checkb "port closed after shutdown" true
+    (match connect port with
+    | fd ->
+        (* A connect may still succeed in the accept backlog race; a read
+           must then see an immediate close. *)
+        let closed = match W.read_frame fd with _ -> false | exception _ -> true in
+        Unix.close fd;
+        closed
+    | exception Unix.Unix_error _ -> true)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "stream" `Quick test_wire_stream;
+          Alcotest.test_case "hostile input" `Quick test_wire_hostile;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "byte bound" `Quick test_cache_bytes_bound;
+          Alcotest.test_case "replace" `Quick test_cache_replace;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "drop paths" `Quick test_scheduler_basic;
+          Alcotest.test_case "load shedding" `Quick test_scheduler_load_shed;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "ping version" `Quick test_service_ping_version;
+          Alcotest.test_case "list catalogue" `Quick test_service_list;
+          Alcotest.test_case "error taxonomy" `Quick test_service_errors;
+          Alcotest.test_case "cache determinism" `Quick test_service_cache_determinism;
+          Alcotest.test_case "seed precedence" `Quick test_service_seed_precedence;
+          Alcotest.test_case "simulate = library bits" `Quick test_service_simulate_bits;
+          Alcotest.test_case "shutdown op" `Quick test_service_shutdown_op;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "survives hostile clients" `Quick test_daemon_survives_abuse;
+          Alcotest.test_case "shutdown rpc stops accept loop" `Quick test_daemon_shutdown_rpc;
+        ] );
+    ]
