@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json serve-smoke check bench bench-release clean
+.PHONY: all build test smoke smoke-json serve-smoke trace-smoke doc check bench bench-release clean
 
 all: build
 
@@ -27,7 +27,18 @@ smoke-json: build
 serve-smoke: build
 	bash scripts/serve_smoke.sh
 
-check: build test smoke smoke-json serve-smoke
+# Smoke of the tracing layer: --trace must leave table output
+# byte-identical and produce a valid Chrome trace_event JSON file with the
+# expected spans. See scripts/trace_smoke.sh.
+trace-smoke: build
+	bash scripts/trace_smoke.sh
+
+# The odoc API site (every lib/ module with its interface docs), rendered
+# to _build/default/_doc/_html. Needs odoc on the switch.
+doc:
+	dune build @doc
+
+check: build test smoke smoke-json serve-smoke trace-smoke
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
 # table: id, title, wall-clock, Gc.allocated_bytes, rows).

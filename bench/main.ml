@@ -17,11 +17,18 @@ module T = Report.Tabular
 
 (* Regenerate every registered table (text to stdout, as `run_all` always
    did) and seed BENCH_tables.json: one JSON line per table with its id,
-   wall-clock seconds and rows through the JSON renderer. *)
+   wall-clock seconds, rows through the JSON renderer, and a span-derived
+   per-phase breakdown so perf PRs can point at the exact phase they
+   moved. Tracing is always on for this pass; each table's events are
+   selected from the shared rings by their timestamp window. *)
 let tables ?(fast = false) ?jobs () =
   let jobs =
     match jobs with Some j when j > 0 -> j | Some _ | None -> Stdx.Parallel.default_jobs ()
   in
+  (* Larger rings than the default: a full Monte-Carlo table freezes one
+     graph per trial. Oldest events drop first, so the current table's
+     window is the best-preserved slice either way. *)
+  Stdx.Trace.enable ~capacity:(1 lsl 18) ();
   let oc = open_out "BENCH_tables.json" in
   let total = ref 0. in
   List.iter
@@ -31,19 +38,35 @@ let tables ?(fast = false) ?jobs () =
          the figure covers the main-domain share; at jobs=1 (the CI
          setting) it is the full allocation of the table. *)
       let alloc0 = Gc.allocated_bytes () in
+      let c0 = Stdx.Trace.now_us () in
       let tbl, wall = Stdx.Parallel.timed (fun () -> R.table e overrides) in
+      let c1 = Stdx.Trace.now_us () in
       let alloc = Gc.allocated_bytes () -. alloc0 in
       print_string (T.to_text tbl);
       Printf.printf "    [%s: %.2f s wall, %.2f MB alloc]\n%!" (R.title e) wall
         (alloc /. 1048576.);
       total := !total +. wall;
+      let phases =
+        Report.Trace_export.phase_totals ~since:c0 ~until:c1 (Stdx.Trace.dump ())
+      in
+      let phases_json =
+        "{"
+        ^ String.concat ","
+            (List.map (fun (name, s) -> Printf.sprintf "%S:%s" name (T.float_repr s)) phases)
+        ^ "}"
+      in
       let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
-      Printf.fprintf oc "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"alloc_bytes\":%.0f,\"rows\":[%s]}\n"
-        (R.id e) (R.title e) (T.float_repr wall) alloc (String.concat "," rows))
+      Printf.fprintf oc
+        "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"alloc_bytes\":%.0f,\"phases\":%s,\"rows\":[%s]}\n"
+        (R.id e) (R.title e) (T.float_repr wall) alloc phases_json (String.concat "," rows))
     (Core.Exp_all.all ());
   Printf.printf
     "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total
     jobs;
+  (let tr = Stdx.Trace.stats () in
+   if tr.Stdx.Trace.dropped > 0 then
+     Printf.printf "bench: trace rings dropped %d events; phase breakdowns undercount\n"
+       tr.Stdx.Trace.dropped);
   close_out oc;
   print_endline "bench: wrote BENCH_tables.json"
 
@@ -237,24 +260,28 @@ let run_benchmarks () =
     rows
 
 let () =
-  (* Usage: main.exe [tables|bench|all] [-j N]. [-j] shards the Monte-Carlo
-     tables over N domains; the printed tables are identical at any N. *)
+  (* Usage: main.exe [tables|bench|serve|all] [-j N] [--fast] [--trace FILE].
+     [-j] shards the Monte-Carlo tables over N domains; the printed tables
+     are identical at any N. [--trace] writes the whole run's span trace as
+     a Perfetto-loadable Chrome trace_event file. *)
   let args = Array.to_list Sys.argv in
-  let rec parse mode jobs fast = function
-    | [] -> (mode, jobs, fast)
-    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast rest
-    | "--fast" :: rest -> parse mode jobs true rest
-    | ("tables" | "bench" | "serve" | "all") as m :: rest -> parse m jobs fast rest
-    | _ :: rest -> parse mode jobs fast rest
+  let rec parse mode jobs fast trace = function
+    | [] -> (mode, jobs, fast, trace)
+    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast trace rest
+    | "--fast" :: rest -> parse mode jobs true trace rest
+    | "--trace" :: v :: rest -> parse mode jobs fast (Some v) rest
+    | ("tables" | "bench" | "serve" | "all") as m :: rest -> parse m jobs fast trace rest
+    | _ :: rest -> parse mode jobs fast trace rest
   in
-  let mode, jobs, fast = parse "all" None false (List.tl args) in
+  let mode, jobs, fast, trace = parse "all" None false None (List.tl args) in
   let jobs = match jobs with Some j when j > 0 -> Some j | Some _ | None -> None in
-  (match mode with
-  | "tables" -> tables ~fast ?jobs ()
-  | "bench" -> run_benchmarks ()
-  | "serve" -> serve_bench ~fast ()
-  | _ ->
-      tables ~fast ?jobs ();
-      run_benchmarks ();
-      serve_bench ~fast ());
+  Report.Trace_export.with_file trace (fun () ->
+      match mode with
+      | "tables" -> tables ~fast ?jobs ()
+      | "bench" -> run_benchmarks ()
+      | "serve" -> serve_bench ~fast ()
+      | _ ->
+          tables ~fast ?jobs ();
+          run_benchmarks ();
+          serve_bench ~fast ());
   print_endline "\nbench: done"

@@ -13,7 +13,11 @@
 
 open Cmdliner
 
-let serve host port workers capacity cache_entries cache_mb port_file quiet =
+let serve host port workers capacity cache_entries cache_mb port_file quiet trace =
+  (* --trace: record the daemon's whole life (accept → decode → cache →
+     schedule → compute → encode spans) and write the Perfetto-loadable
+     file when the drain completes. *)
+  Report.Trace_export.with_file trace @@ fun () ->
   let log =
     if quiet then fun _ -> ()
     else fun line ->
@@ -87,12 +91,22 @@ let port_file_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-request log lines on stderr.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Record a Chrome trace_event profile of the daemon's lifetime to $(docv) (written at \
+           shutdown; Perfetto-loadable)."
+        ~docv:"FILE")
+
 let () =
   let doc = "Concurrent sketch-service daemon with a deterministic result cache." in
   let info = Cmd.info "sketchd" ~version:Stdx.Version.current ~doc in
   let term =
     Term.(
       const serve $ host_arg $ port_arg $ workers_arg $ capacity_arg $ cache_entries_arg
-      $ cache_mb_arg $ port_file_arg $ quiet_arg)
+      $ cache_mb_arg $ port_file_arg $ quiet_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -22,6 +22,18 @@ let out_arg =
     & opt string "-"
     & info [ "out" ] ~doc:"Write rows to $(docv) instead of stdout (\"-\" = stdout)." ~docv:"FILE")
 
+(* Every command takes --trace FILE: enable Stdx.Trace for the whole run
+   and write a Chrome trace_event JSON file (load it in ui.perfetto.dev
+   or chrome://tracing). Tracing only writes to side buffers, so table
+   output is byte-identical with or without it (pinned by test_trace). *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"Record a Chrome trace_event profile of the run to $(docv) (Perfetto-loadable)."
+        ~docv:"FILE")
+
 (* SIGINT/SIGTERM during a long run (`all` especially) must not truncate a
    half-written --out file: the handler raises, [with_out]'s protector
    closes (= flushes) the channel with every completed row intact, and the
@@ -60,10 +72,12 @@ let emit_experiment e overrides format path =
 
 (* One subcommand per experiment, flags straight from its param spec. *)
 let exp_cmd e =
-  let run overrides format path = emit_experiment e overrides format path in
+  let run overrides format path trace =
+    Report.Trace_export.with_file trace (fun () -> emit_experiment e overrides format path)
+  in
   Cmd.v
     (Cmd.info (R.id e) ~doc:(R.doc e))
-    Term.(const run $ term_of_params (R.params e) $ format_arg $ out_arg)
+    Term.(const run $ term_of_params (R.params e) $ format_arg $ out_arg $ trace_arg)
 
 (* `run ID`: look an experiment up by id and run it at spec defaults,
    with only the uniform seed/jobs knobs (plus --smoke) exposed. *)
@@ -83,7 +97,7 @@ let run_cmd =
       & opt (some int) None
       & info [ "j"; "jobs" ] ~doc:"Worker domains for trial sharding." ~docv:"INT")
   in
-  let run id smoke seed jobs format path =
+  let run id smoke seed jobs format path trace =
     match Core.Exp_all.find id with
     | None ->
         `Error
@@ -97,12 +111,13 @@ let run_cmd =
           @ (match jobs with Some j -> [ ("jobs", R.Vint j) ] | None -> [])
           @ (if smoke then R.smoke e else [])
         in
-        emit_experiment e overrides format path;
+        Report.Trace_export.with_file trace (fun () -> emit_experiment e overrides format path);
         `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id at its default parameters.")
-    Term.(ret (const run $ id_arg $ smoke_arg $ seed_arg $ jobs_arg $ format_arg $ out_arg))
+    Term.(
+      ret (const run $ id_arg $ smoke_arg $ seed_arg $ jobs_arg $ format_arg $ out_arg $ trace_arg))
 
 (* `list`: the registry catalogue. *)
 let list_cmd =
@@ -124,15 +139,16 @@ let jobs_arg =
 let jobs_opt j = if j <= 0 then None else Some j
 
 let all_cmd =
-  let run fast jobs format path =
-    with_out path (fun out -> Core.Exp_all.run_all ~fast ?jobs:(jobs_opt jobs) ~format ~out ())
+  let run fast jobs format path trace =
+    Report.Trace_export.with_file trace (fun () ->
+        with_out path (fun out -> Core.Exp_all.run_all ~fast ?jobs:(jobs_opt jobs) ~format ~out ()))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at default sizes.")
     Term.(
       const run
       $ Arg.(value & flag & info [ "fast" ] ~doc:"Shrunk sizes (for smoke tests).")
-      $ jobs_arg $ format_arg $ out_arg)
+      $ jobs_arg $ format_arg $ out_arg $ trace_arg)
 
 let () =
   let doc =

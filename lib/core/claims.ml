@@ -37,6 +37,7 @@ type stats = {
 }
 
 let check dmm ?(orders = [ Lexicographic; Random 17; Random 43; Public_first ]) () =
+  Stdx.Trace.span "claims.check" @@ fun () ->
   let k = dmm.Hard_dist.k and r = Hard_dist.r dmm in
   let union_special = List.length (Hard_dist.surviving_special dmm) in
   let per_order =

@@ -100,10 +100,22 @@ let schema (module E : EXPERIMENT) = E.schema
 let smoke (module E : EXPERIMENT) = E.smoke
 let overrides_for ~fast (module E : EXPERIMENT) = if fast then E.fast_overrides else E.full_overrides
 
+(* Trace annotations for one experiment run: every (name, value) of the
+   merged parameter list, so a span in the viewer identifies the exact
+   configuration (seed included) that produced it. Built lazily — the
+   thunk is only evaluated when tracing is enabled. *)
+let trace_args ps () =
+  List.map
+    (fun (name, v) ->
+      match v with
+      | Vint i -> (name, Stdx.Trace.Int i)
+      | Vints l -> (name, Stdx.Trace.Str (String.concat "," (List.map string_of_int l))))
+    ps
+
 (* Run an experiment and package the result for any renderer. *)
 let table (module E : EXPERIMENT) overrides =
   let ps = merge E.params overrides in
-  let rows = E.run ps in
+  let rows = Stdx.Trace.span ~args:(trace_args ps) ("exp." ^ E.id) (fun () -> E.run ps) in
   {
     T.schema = E.schema;
     rows = List.map E.to_row rows;

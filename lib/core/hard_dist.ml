@@ -20,6 +20,7 @@ let r dmm = dmm.rs.Rs.r
 let t_count dmm = dmm.rs.Rs.t_count
 
 let make rs ~k ~j_star ~sigma ~kept =
+  Stdx.Trace.span "hard_dist.make" @@ fun () ->
   if k < 1 then invalid_arg "Hard_dist.make: k";
   let nn = Rs.n rs in
   let rr = rs.Rs.r in
@@ -78,6 +79,7 @@ let make rs ~k ~j_star ~sigma ~kept =
   { rs; k; j_star; sigma; graph; n; public_labels; unique_labels; copy_map; kept; rs_edges }
 
 let sample rs ?k rng =
+  Stdx.Trace.span "hard_dist.sample" @@ fun () ->
   let k = Option.value ~default:rs.Rs.t_count k in
   let nn = Rs.n rs in
   let rr = rs.Rs.r in

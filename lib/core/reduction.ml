@@ -11,6 +11,7 @@ let right dmm u = dmm.Hard_dist.n + u
    left x right), so the exactly-sized builder freezes without collapsing
    anything. *)
 let build_h dmm =
+  Stdx.Trace.span "reduction.build_h" @@ fun () ->
   let n = dmm.Hard_dist.n in
   let g = dmm.Hard_dist.graph in
   let public = dmm.Hard_dist.public_labels in

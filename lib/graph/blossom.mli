@@ -8,3 +8,5 @@ val maximum_matching : Graph.t -> Matching.t
 (** A maximum-cardinality matching. *)
 
 val maximum_matching_size : Graph.t -> int
+(** [List.length (maximum_matching g)], without materialising the list
+    twice. *)

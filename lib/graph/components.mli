@@ -6,6 +6,7 @@ val components : Graph.t -> int array * int
     [0 .. count-1]. *)
 
 val same_component : Graph.t -> int -> int -> bool
+(** Whether two vertices are connected by some path. *)
 
 val spanning_forest : Graph.t -> Graph.edge list
 (** A BFS forest: exactly [n - #components] edges, acyclic, spanning. *)

@@ -7,12 +7,19 @@ val random_bipartite : Stdx.Prng.t -> left:int -> right:int -> p:float -> Graph.
 (** Bipartite random graph; left vertices are [0 .. left-1]. *)
 
 val path : int -> Graph.t
+(** [path n]: vertices [0 .. n-1] joined in a line. *)
+
 val cycle : int -> Graph.t
+(** [cycle n]: {!path} plus the closing edge [(0, n-1)]. *)
+
 val complete : int -> Graph.t
+(** [complete n]: every pair joined — [K_n]. *)
+
 val star : int -> Graph.t
 (** [star n]: centre [0] joined to [1 .. n-1]. *)
 
 val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: [K_{a,b}], left side [0 .. a-1]. *)
 
 val perfect_matching : int -> Graph.t
 (** [perfect_matching k]: [2k] vertices, edges [(2i, 2i+1)]. *)

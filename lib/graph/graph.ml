@@ -31,10 +31,18 @@ let normalize_edge u v =
 let int_compare (a : int) b = compare a b
 
 (* Build from the first [len] entries of [keys] (destroyed by sorting);
-   duplicates are collapsed. *)
+   duplicates are collapsed. The three phases — sort, dedup into edge
+   columns, CSR fill — each run inside a trace span nested under
+   "graph.freeze", so a Perfetto view of any experiment shows where
+   graph-construction time goes. [begin_]/[end_] is safe here: freezes
+   happen on exactly one logical task per domain. *)
 let of_keys n keys len =
+  Stdx.Trace.begin_ "graph.freeze";
   let keys = if len = Array.length keys then keys else Array.sub keys 0 len in
+  Stdx.Trace.begin_ "graph.sort";
   Array.sort int_compare keys;
+  Stdx.Trace.end_ ();
+  Stdx.Trace.begin_ "graph.dedup";
   let m =
     let count = ref 0 and last = ref (-1) in
     Array.iter
@@ -57,10 +65,12 @@ let of_keys n keys len =
         last := key
       end)
     keys;
+  Stdx.Trace.end_ ();
   (* CSR fill: count degrees, prefix-sum, then scatter both directions.
      Scanning edges in lexicographic order appends, for every row w, first
      the smaller neighbours (edges (x, w), x ascending) and then the larger
      ones (edges (w, y), y ascending), so each row comes out sorted. *)
+  Stdx.Trace.begin_ "graph.csr-fill";
   let row_start = Array.make (n + 1) 0 in
   for i = 0 to m - 1 do
     row_start.(eu.(i) + 1) <- row_start.(eu.(i) + 1) + 1;
@@ -78,6 +88,8 @@ let of_keys n keys len =
     col.(cursor.(v)) <- u;
     cursor.(v) <- cursor.(v) + 1
   done;
+  Stdx.Trace.end_ ();
+  Stdx.Trace.end_ ();
   { n; m; row_start; col; eu; ev }
 
 module Builder = struct

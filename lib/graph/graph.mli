@@ -11,6 +11,8 @@
     {!of_edge_array} and {!of_sorted_csr}. *)
 
 type t
+(** A frozen graph: immutable once built, structurally comparable with
+    {!equal}. *)
 
 type edge = int * int
 (** Normalised: [(u, v)] with [u < v]. *)
@@ -69,6 +71,7 @@ val of_sorted_csr : n:int -> row_start:int array -> col:int array -> t
     checked; per-row sortedness/symmetry is trusted. *)
 
 val empty : int -> t
+(** [empty n] has [n] vertices and no edges. *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -91,13 +94,19 @@ val iter_neighbors : (int -> unit) -> t -> int -> unit
     order, without allocating. *)
 
 val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+(** Fold over the sorted neighbour row, without allocating. *)
 
 val exists_neighbor : (int -> bool) -> t -> int -> bool
 (** Short-circuiting exists over the sorted neighbour row. *)
 
 val degree : t -> int -> int
+(** Number of neighbours of a vertex; O(1). *)
+
 val max_degree : t -> int
+(** Largest {!degree} over all vertices. *)
+
 val mem_edge : t -> int -> int -> bool
+(** Edge test, order-insensitive; binary search in the shorter row. *)
 
 val edges : t -> edge list
 (** All edges, normalised, in lexicographic order.
@@ -114,11 +123,13 @@ val iter_edges : (int -> int -> unit) -> t -> unit
 (** Lexicographic, allocation-free scan over the flat edge columns. *)
 
 val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Lexicographic, allocation-free fold over the flat edge columns. *)
 
 val union : t -> t -> t
 (** Union of edge sets; both graphs must have the same vertex count. *)
 
 val union_all : int -> t list -> t
+(** [union_all n gs] unions every edge set over vertex set [\[0, n)]. *)
 
 val relabel : t -> int array -> t
 (** [relabel g sigma] renames vertex [v] to [sigma.(v)]; [sigma] must be a
@@ -133,4 +144,7 @@ val disjoint_union : t -> t -> t
     two CSR stores are concatenated directly, no re-sort. *)
 
 val equal : t -> t -> bool
+(** Same vertex count and same edge set. *)
+
 val pp : Format.formatter -> t -> unit
+(** Debug printer: vertex count plus the edge list. *)

@@ -7,7 +7,9 @@
     (c) not being maximal — each is reported separately. *)
 
 type t = Graph.edge list
+(** A (candidate) matching: a list of normalised edges. *)
 
+(** The three failure modes of §2.1, each reported separately. *)
 type verdict = {
   edges_exist : bool;  (** every listed edge is an edge of the graph *)
   disjoint : bool;  (** no two listed edges share an endpoint *)
@@ -15,6 +17,7 @@ type verdict = {
 }
 
 val size : t -> int
+(** Number of edges in the matching. *)
 
 val is_matching : Graph.t -> t -> bool
 (** Edges exist and are pairwise disjoint. *)
@@ -23,8 +26,10 @@ val is_maximal : Graph.t -> t -> bool
 (** [is_matching] and no extendable edge remains. *)
 
 val verify : Graph.t -> t -> verdict
+(** All three checks of {!verdict} in one pass. *)
 
 val matched_vertices : Graph.t -> t -> Stdx.Bitset.t
+(** The set of endpoints covered by the listed edges. *)
 
 val greedy : Graph.t -> ?order:Graph.edge array -> unit -> t
 (** Greedy maximal matching scanning edges in the given order (default:

@@ -6,15 +6,22 @@
     reported separately by {!verify}. *)
 
 type t = int list
+(** A (candidate) independent set: a list of vertices. *)
 
+(** The two MIS failure modes, reported separately. *)
 type verdict = {
   independent : bool;  (** no graph edge inside the set *)
   maximal : bool;  (** every vertex outside the set has a neighbour inside *)
 }
 
 val is_independent : Graph.t -> t -> bool
+(** No graph edge has both endpoints in the set. *)
+
 val is_maximal : Graph.t -> t -> bool
+(** [is_independent] and the set dominates every other vertex. *)
+
 val verify : Graph.t -> t -> verdict
+(** Both checks of {!verdict} in one pass. *)
 
 val greedy : Graph.t -> ?order:int array -> unit -> t
 (** Scan vertices in the given order (default [0 .. n-1]), adding each

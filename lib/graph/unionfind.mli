@@ -4,14 +4,24 @@
     the spanning-forest checkers. *)
 
 type t
+(** A partition of [\[0, n)] into disjoint classes; mutable (finds
+    compress paths). *)
 
 val create : int -> t
+(** [create n] is the discrete partition of [\[0, n)]: every element its
+    own class. *)
+
 val find : t -> int -> int
+(** Canonical representative of the element's class (compresses the
+    path it walks). *)
+
 val union : t -> int -> int -> bool
 (** [union uf a b] merges the two classes; returns [false] when they were
     already merged. *)
 
 val same : t -> int -> int -> bool
+(** Whether two elements share a class — [find uf a = find uf b]. *)
+
 val count : t -> int
 (** Number of distinct classes. *)
 

@@ -73,16 +73,24 @@ let evict_tail t =
       t.evictions <- t.evictions + 1
 
 let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some n ->
-          t.hits <- t.hits + 1;
-          unlink t n;
-          push_front t n;
-          Some n.payload
-      | None ->
-          t.misses <- t.misses + 1;
-          None)
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            t.hits <- t.hits + 1;
+            unlink t n;
+            push_front t n;
+            Some n.payload
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  (* Instants outside the cache mutex: the trace shows every probe's
+     outcome without stretching the critical section. *)
+  (match r with
+  | Some _ -> Stdx.Trace.instant "cache.hit"
+  | None -> Stdx.Trace.instant "cache.miss");
+  r
 
 let add t key payload =
   locked t (fun () ->

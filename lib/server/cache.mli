@@ -9,17 +9,23 @@
     entries evict first. Thread- and domain-safe (one internal mutex). *)
 
 type t
+(** A bounded cache; safe to share across threads and domains. *)
 
 val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
 (** Defaults: 512 entries, 64 MiB. An entry larger than [max_bytes] on its
     own is simply not stored. *)
 
 val find : t -> string -> string option
-(** Lookup; bumps recency and the hit/miss counters. *)
+(** Lookup; bumps recency and the hit/miss counters. Records a
+    ["cache.hit"]/["cache.miss"] trace instant when {!Stdx.Trace} is
+    enabled. *)
 
 val add : t -> string -> string -> unit
 (** Insert (or refresh) [key -> payload], evicting LRU entries as needed. *)
 
 type stats = { entries : int; bytes : int; hits : int; misses : int; evictions : int }
+(** Lifetime counters plus current occupancy — the `stats` RPC's [cache]
+    field. *)
 
 val stats : t -> stats
+(** A consistent snapshot of {!stats}. *)

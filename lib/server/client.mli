@@ -4,13 +4,17 @@
 module T = Report.Tabular
 
 type t
+(** One open connection; not thread-safe (one request at a time). *)
 
 exception Server_error of { code : int; error : string; msg : string }
+(** An [{"ok":false}] response, decoded: HTTP-flavoured [code],
+    machine-readable [error] tag, human-readable [msg]. *)
 
 val connect : ?host:string -> port:int -> unit -> t
 (** Default host ["127.0.0.1"]. *)
 
 val close : t -> unit
+(** Close the socket; the [t] must not be used afterwards. *)
 
 val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
 (** Connect, run, always close. *)

@@ -89,12 +89,17 @@ let serve_connection t fd =
            with _ -> ())
       | exception Unix.Unix_error _ -> ()
       | request ->
+          let t0 = Unix.gettimeofday () in
           let reply = Service.handle t.service ~cancelled:(client_gone fd) request in
           let written =
             match Wire.write_frame fd reply.Service.payload with
             | () -> true
             | exception (Unix.Unix_error _ | Sys_error _) -> false
           in
+          (* Whole-request envelope: dispatch + response write. The nested
+             "rpc.<op>" span (recorded by [Service.handle]) isolates the
+             dispatch, so the difference is wire time. *)
+          Stdx.Trace.complete ~t0 ~t1:(Unix.gettimeofday ()) "daemon.request";
           if reply.Service.shutdown then initiate_stop t
           else if written then loop ()
   in
@@ -103,6 +108,7 @@ let serve_connection t fd =
 let accept_one t =
   match Unix.accept t.listen_fd with
   | fd, _ ->
+      Stdx.Trace.instant "daemon.accept";
       Unix.setsockopt fd Unix.TCP_NODELAY true;
       let admitted =
         locked t (fun () ->

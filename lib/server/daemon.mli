@@ -7,6 +7,7 @@
     disconnect — costs its own connection and nothing else. *)
 
 type t
+(** A running daemon: listener, accept thread, connection threads. *)
 
 val start :
   ?host:string ->
@@ -24,7 +25,10 @@ val start :
     [SIGPIPE] ignore (a dead client mid-write must surface as [EPIPE]). *)
 
 val port : t -> int
+(** The bound TCP port (kernel-chosen when [start ~port:0]). *)
+
 val service : t -> Service.t
+(** The daemon's brain — exposed for in-process tests and stats. *)
 
 val stop : ?abort_connections:bool -> t -> unit
 (** Begin shutdown: close the listener (no new connections). With

@@ -3,8 +3,10 @@
     domain-safe (one internal mutex). *)
 
 type t
+(** A metrics accumulator; one per service. *)
 
 val create : unit -> t
+(** Fresh counters; uptime starts now. *)
 
 val record : t -> op:string -> ok:bool -> ms:float -> unit
 (** Count one request for [op] with wall latency [ms]; [ok = false] also
@@ -16,11 +18,12 @@ type snapshot = {
   errors : int;
   by_op : (string * int) list;  (** sorted by operation name *)
   latency_count : int;  (** requests the percentiles are over (≤ 1024) *)
-  p50_ms : float;
-  p90_ms : float;
-  p99_ms : float;
-  max_ms : float;
+  p50_ms : float;  (** Median request latency. *)
+  p90_ms : float;  (** 90th-percentile request latency. *)
+  p99_ms : float;  (** 99th-percentile request latency. *)
+  max_ms : float;  (** Slowest request in the ring. *)
 }
+(** One consistent reading of every counter — the `stats` RPC's source. *)
 
 val snapshot : t -> snapshot
 (** A consistent copy of all counters, percentiles computed on the spot. *)

@@ -85,21 +85,29 @@ let run t ?deadline ?(cancelled = fun () -> false) f =
         end)
   in
   match admitted with
-  | Error e -> Error e
+  | Error Overloaded as e ->
+      Stdx.Trace.instant "scheduler.shed";
+      e
+  | Error _ as e -> e
   | Ok () ->
+      (* Guarded: the depth read takes the mutex, don't pay it when off. *)
+      if Stdx.Trace.enabled () then
+        Stdx.Trace.counter "scheduler.depth" (locked t (fun () -> t.depth));
       let cell = { cmutex = Mutex.create (); cond = Condition.create (); result = None } in
       let job () =
         let outcome =
           if (match deadline with Some d -> Unix.gettimeofday () > d | None -> false) then begin
             locked t (fun () -> t.deadline_drops <- t.deadline_drops + 1);
+            Stdx.Trace.instant "scheduler.deadline-drop";
             Error Deadline_exceeded
           end
           else if cancelled () then begin
             locked t (fun () -> t.cancelled_drops <- t.cancelled_drops + 1);
+            Stdx.Trace.instant "scheduler.cancelled-drop";
             Error Cancelled
           end
           else
-            match f () with
+            match Stdx.Trace.span "scheduler.compute" f with
             | v -> Ok v
             | exception e -> Error (Failed (Printexc.to_string e))
         in

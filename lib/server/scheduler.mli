@@ -10,6 +10,7 @@
     Neither preempts running work. *)
 
 type t
+(** A scheduler: admission counter + worker pool. Safe to share. *)
 
 type error =
   | Overloaded  (** queue full at submission — load shed *)
@@ -22,6 +23,7 @@ val create : ?workers:int -> ?capacity:int -> unit -> t
 (** Defaults: 2 worker domains, capacity 16. *)
 
 val workers : t -> int
+(** Number of worker domains in the pool. *)
 
 val run : t -> ?deadline:float -> ?cancelled:(unit -> bool) -> (unit -> 'a) -> ('a, error) result
 (** Submit [f] and block until it completes or is dropped. [deadline] is an
@@ -37,11 +39,16 @@ type stats = {
   deadline_drops : int;
   cancelled_drops : int;
 }
+(** Live depth plus lifetime drop counters — the `stats` RPC's
+    [scheduler] field. *)
 
 val stats : t -> stats
+(** A consistent snapshot of {!stats}. *)
 
 val shutdown : t -> unit
 (** Refuse new work and block until everything already admitted finishes.
     Idempotent. *)
 
 val string_of_error : error -> string
+(** Stable machine-readable tag, e.g. ["overloaded"] — the wire
+    protocol's [error] field. *)

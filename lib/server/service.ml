@@ -207,6 +207,14 @@ let handle_stats t =
             ("p99", f m.Metrics.p99_ms);
             ("max", f m.Metrics.max_ms);
           ] );
+      ( "trace",
+        let tr = Stdx.Trace.stats () in
+        obj
+          [
+            ("enabled", string_of_bool tr.Stdx.Trace.tracing);
+            ("events", string_of_int tr.Stdx.Trace.events);
+            ("dropped", string_of_int tr.Stdx.Trace.dropped);
+          ] );
     ]
 
 (* Consult the cache under [key]; on a miss compute the payload on a worker
@@ -216,7 +224,15 @@ let cached_compute t ~key ~deadline ~cancelled compute =
   match Cache.find t.cache key with
   | Some payload -> (payload, true)
   | None -> (
-      match Scheduler.run t.scheduler ?deadline ?cancelled:(Some cancelled) compute with
+      (* The "service.schedule" span covers queueing + compute on the
+         worker; the nested "scheduler.compute" span isolates the compute
+         part, so the gap between the two is time spent waiting for a
+         worker slot. Recorded with [complete] because connection threads
+         share domains and may interleave. *)
+      let t0 = Unix.gettimeofday () in
+      let outcome = Scheduler.run t.scheduler ?deadline ?cancelled:(Some cancelled) compute in
+      Stdx.Trace.complete ~t0 ~t1:(Unix.gettimeofday ()) "service.schedule";
+      match outcome with
       | Ok payload ->
           Cache.add t.cache key payload;
           (payload, false)
@@ -349,8 +365,17 @@ let handle t ?(cancelled = fun () -> false) payload =
               true )
         | Some op -> ("bad-op", not_found (Printf.sprintf "unknown op %S" op), false))
   in
-  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let t1 = Unix.gettimeofday () in
+  let ms = (t1 -. t0) *. 1000. in
   let ok = String.length response >= 11 && String.sub response 0 11 = "{\"ok\":true," in
+  (* One span per request, named by op. [complete] (not begin_/end_):
+     connection threads share a domain, so a stack would mis-pair. The
+     args guard avoids building the list when tracing is off. *)
+  if Stdx.Trace.enabled () then
+    Stdx.Trace.complete
+      ~args:[ ("ok", Stdx.Trace.Bool ok) ]
+      ~t0 ~t1
+      ("rpc." ^ op);
   Metrics.record t.metrics ~op ~ok ~ms;
   t.log (Printf.sprintf "op=%s status=%s ms=%.2f" op (if ok then "ok" else "error") ms);
   { payload = response; shutdown }

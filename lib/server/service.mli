@@ -12,9 +12,15 @@
     {!Scheduler}; errors come back as
     [{"ok":false,"error":...,"code":...,"msg":...}] with HTTP-flavoured
     codes (400 bad request, 404 unknown id/op, 429 overloaded, 499 client
-    cancelled, 500 failed, 503 shutting down, 504 deadline exceeded). *)
+    cancelled, 500 failed, 503 shutting down, 504 deadline exceeded).
+
+    The [stats] response includes a [trace] object (enabled flag, buffered
+    and dropped event counts) reflecting the process-wide {!Stdx.Trace}
+    state. The full request/response schema of every operation is specified
+    in [PROTOCOL.md] at the repository root. *)
 
 type t
+(** One service instance: scheduler + cache + metrics + registry. *)
 
 val create :
   ?workers:int ->
@@ -29,7 +35,10 @@ val create :
     (and per cache decision). *)
 
 val scheduler : t -> Scheduler.t
+(** The bounded scheduler behind [run]/[simulate]. *)
+
 val cache : t -> Cache.t
+(** The result cache — exposed for tests and stats. *)
 
 type reply = { payload : string; shutdown : bool }
 (** [shutdown] is [true] exactly when the request was an accepted

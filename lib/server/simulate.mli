@@ -11,6 +11,7 @@
 
 module T = Report.Tabular
 
+(** A generated input graph, named as on the wire ([{"kind":"gnp",...}]). *)
 type gspec =
   | Gnp of { n : int; p : float }
   | Path of int
@@ -19,6 +20,7 @@ type gspec =
   | Star of int
 
 type spec = { protocol : string; graph : gspec; seed : int }
+(** One simulation request: which protocol, on which graph, which seed. *)
 
 val graph_rng : int -> Stdx.Prng.t
 (** The generator a seed derives for graph construction. *)
@@ -27,9 +29,13 @@ val coins : int -> Sketchmodel.Public_coins.t
 (** The public coins a seed derives for the protocol run. *)
 
 val graph_of_spec : spec -> Dgraph.Graph.t
+(** Build the input graph from [spec.graph] using {!graph_rng}[ spec.seed]. *)
 
 val json_of_gspec : gspec -> T.json
+(** Wire encoding of a graph spec (canonical field order). *)
+
 val gspec_of_json : T.json -> (gspec, string) result
+(** Parse a wire graph spec; [Error] carries a human-readable reason. *)
 
 val protocols : (string * string) list
 (** [(name, doc)] for every runnable protocol: [trivial-mm], [trivial-mis],

@@ -66,8 +66,13 @@ let rec write_all fd buf off len =
   end
 
 let write_frame fd payload =
+  let t0 = Unix.gettimeofday () in
   let s = encode payload in
-  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s);
+  if Stdx.Trace.enabled () then
+    Stdx.Trace.complete
+      ~args:[ ("bytes", Stdx.Trace.Int (String.length s)) ]
+      ~t0 ~t1:(Unix.gettimeofday ()) "wire.encode"
 
 let read_byte fd =
   let b = Bytes.create 1 in
@@ -99,9 +104,16 @@ let read_frame fd =
         if Char.code c land 0x80 <> 0 then read_header ()
   in
   read_header ();
+  (* Clock from after the header arrived: the blocking wait for the first
+     byte is idle time between requests, not decode work. *)
+  let t0 = Unix.gettimeofday () in
   let n = R.uvarint (R.of_string (Buffer.contents hdr)) in
   (* [n < 0]: a 9-group varint can overflow the 63-bit int — treat as huge. *)
   if n < 0 || n > max_frame then raise (Oversized n);
   let buf = Bytes.create n in
   read_exact fd buf 0 n;
+  if Stdx.Trace.enabled () then
+    Stdx.Trace.complete
+      ~args:[ ("bytes", Stdx.Trace.Int n) ]
+      ~t0 ~t1:(Unix.gettimeofday ()) "wire.decode";
   Bytes.unsafe_to_string buf

@@ -5,15 +5,19 @@
     The writer records the exact number of bits appended; the model layer
     ([Sketchmodel]) charges that number as communication cost. *)
 
+(** Append-only bit stream; grows as needed. *)
 module Writer : sig
   type t
+  (** A mutable buffer of bits. *)
 
   val create : unit -> t
+  (** An empty writer. *)
 
   val length_bits : t -> int
   (** Exact number of bits written so far. *)
 
   val bit : t -> bool -> unit
+  (** Append one bit. *)
 
   val bits : t -> int -> width:int -> unit
   (** [bits w v ~width] appends the low [width] bits of [v], most significant
@@ -37,8 +41,11 @@ module Writer : sig
   (** Raw bytes plus the exact bit length (the final byte may be partial). *)
 end
 
+(** Sequential consumer of a bit stream; each read advances the
+    position and raises {!Reader.Underflow} past the end. *)
 module Reader : sig
   type t
+  (** A cursor over a finished bit stream. *)
 
   val of_writer : Writer.t -> t
   (** A reader positioned at the first bit of a finished message. *)
@@ -48,14 +55,22 @@ module Reader : sig
       [8 * String.length s] bits, positioned at the first bit. *)
 
   val bit : t -> bool
+  (** Read one bit. *)
+
   val bits : t -> width:int -> int
+  (** Read back [width] bits written by {!Writer.bits}, MSB first. *)
+
   val uvarint : t -> int
+  (** Read back one {!Writer.uvarint}. *)
+
   val int_list : t -> int list
+  (** Read back one {!Writer.int_list}. *)
 
   val string : t -> len:int -> string
   (** [string r ~len] reads back [len] bytes written by {!Writer.string}. *)
 
   val remaining_bits : t -> int
+  (** Bits left between the cursor and the end of the stream. *)
 
   exception Underflow
   (** Raised when reading past the end of the message. *)

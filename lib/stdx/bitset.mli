@@ -1,26 +1,51 @@
-(** Compact fixed-capacity sets of small integers. *)
+(** Compact fixed-capacity sets of small integers.
+
+    One bit per universe element, packed into an [int array] — the
+    working set representation of the matching/MIS algorithms and the
+    hard-distribution bookkeeping. All operations are unchecked-fast
+    except that out-of-range elements raise [Invalid_argument]. *)
 
 type t
+(** A mutable set over the universe [\[0, n)] fixed at {!create}. *)
 
 val create : int -> t
 (** [create n] is the empty set over universe [\[0, n)]. *)
 
 val capacity : t -> int
+(** The universe size [n] the set was created with. *)
 
 val mem : t -> int -> bool
+(** Membership test; O(1). *)
+
 val add : t -> int -> unit
+(** Insert an element; idempotent. *)
+
 val remove : t -> int -> unit
+(** Delete an element; a no-op if absent. *)
+
 val cardinal : t -> int
+(** Number of members, by popcount over the words. *)
+
 val is_empty : t -> bool
+(** [cardinal s = 0], without counting past the first set bit. *)
+
 val clear : t -> unit
+(** Remove every member, keeping the capacity. *)
+
 val copy : t -> t
+(** An independent snapshot with the same members and capacity. *)
 
 val iter : (int -> unit) -> t -> unit
 (** Visits members in increasing order. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over members in increasing order. *)
+
 val to_list : t -> int list
+(** Members in increasing order. *)
+
 val of_list : int -> int list -> t
+(** [of_list n elems] is the set over [\[0, n)] containing [elems]. *)
 
 val union_into : t -> t -> unit
 (** [union_into dst src] adds every member of [src] to [dst]. The two sets
@@ -30,3 +55,4 @@ val inter_cardinal : t -> t -> int
 (** Size of the intersection, without materialising it. *)
 
 val equal : t -> t -> bool
+(** Same capacity and same members. *)

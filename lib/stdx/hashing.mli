@@ -13,8 +13,10 @@ val sample : Prng.t -> universe:int -> buckets:int -> t
     \[0, buckets)]. Requires [universe < 2^31] (field-size constraint). *)
 
 val apply : t -> int -> int
+(** [apply h x] evaluates the function; [x] must lie in the universe. *)
 
 val buckets : t -> int
+(** The size of the function's range. *)
 
 val mix64 : int -> int
 (** A fixed SplitMix64-style bijective mixer on 62-bit integers; handy for

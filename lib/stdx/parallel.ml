@@ -20,20 +20,31 @@ let init ?jobs n f =
   if n = 0 then [||]
   else begin
     let slots = Array.make n None in
-    (if jobs = 1 then fill_range slots f 0 n
+    (* Each chunk fill runs inside a "parallel.chunk" trace span — one per
+       worker domain — so a trace shows exactly how the index range was
+       sharded and how balanced the shards were. *)
+    let traced_fill lo hi =
+      Trace.begin_ "parallel.chunk";
+      match fill_range slots f lo hi with
+      | () -> Trace.end_ ()
+      | exception e ->
+          Trace.end_ ();
+          raise e
+    in
+    (if jobs = 1 then traced_fill 0 n
      else begin
        let chunk = (n + jobs - 1) / jobs in
        let bounds w = (w * chunk, min n ((w + 1) * chunk)) in
        let workers =
          Array.init (jobs - 1) (fun i ->
              let lo, hi = bounds (i + 1) in
-             Domain.spawn (fun () -> fill_range slots f lo hi))
+             Domain.spawn (fun () -> traced_fill lo hi))
        in
        (* The calling domain takes the first chunk instead of idling. *)
        let first_error =
          let lo, hi = bounds 0 in
          try
-           fill_range slots f lo hi;
+           traced_fill lo hi;
            None
          with e -> Some e
        in
@@ -97,7 +108,9 @@ module Pool = struct
       match job with
       | None -> ()
       | Some job ->
-          (try job () with e -> pool.on_error e);
+          (* Stack-free span: pool workers are domains running systhread-free
+             loops, but [span] is the safe default and exception-tight. *)
+          (try Trace.span "pool.job" job with e -> pool.on_error e);
           next ()
     in
     next ()

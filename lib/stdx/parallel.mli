@@ -27,7 +27,11 @@
     - within a chunk, indices are evaluated in increasing order.
 
     Nothing enforces the purity of [f]; feeding it a shared mutable
-    generator silently breaks both determinism and memory safety. *)
+    generator silently breaks both determinism and memory safety.
+
+    When {!Trace} is enabled, each chunk fill records a ["parallel.chunk"]
+    span and each pool job a ["pool.job"] span, so a trace shows the
+    sharding and its balance. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the runtime's estimate of how
@@ -61,6 +65,7 @@ val timed : (unit -> 'a) -> 'a * float
     may themselves call {!init} (nested domain spawns are fine). *)
 module Pool : sig
   type t
+  (** A running pool; owns its worker domains until {!shutdown}. *)
 
   val create : ?on_error:(exn -> unit) -> workers:int -> unit -> t
   (** [create ~workers ()] spawns [workers] domains ([>= 1] required).
@@ -68,6 +73,7 @@ module Pool : sig
       worker keeps running — a worker domain never dies with jobs queued. *)
 
   val workers : t -> int
+  (** The worker count the pool was created with. *)
 
   val submit : t -> (unit -> unit) -> bool
   (** Enqueue a job; [false] if {!shutdown} has begun (job not enqueued).

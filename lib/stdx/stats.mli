@@ -1,29 +1,40 @@
-(** Summary statistics for experiment outputs. *)
+(** Summary statistics for experiment outputs.
+
+    Small, exact helpers behind every "mean ± stddev" column the tables
+    print and the tail bounds the Claim 3.1 experiments check. *)
 
 type summary = {
-  count : int;
-  mean : float;
-  stddev : float;
-  min : float;
-  max : float;
-  p50 : float;
-  p90 : float;
+  count : int;  (** Number of samples. *)
+  mean : float;  (** Arithmetic mean; [nan] on empty input. *)
+  stddev : float;  (** Unbiased sample standard deviation. *)
+  min : float;  (** Smallest sample. *)
+  max : float;  (** Largest sample. *)
+  p50 : float;  (** Median ({!quantile} at 0.5). *)
+  p90 : float;  (** 90th percentile ({!quantile} at 0.9). *)
 }
+(** The descriptive statistics of one sample array. *)
 
 val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
 val variance : float array -> float
 (** Unbiased sample variance; [0.] for fewer than two points. *)
 
 val stddev : float array -> float
+(** Square root of {!variance}. *)
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [\[0, 1\]], linear interpolation between order
     statistics. Requires a non-empty array. *)
 
 val summarize : float array -> summary
+(** All of the above in one pass (plus a sort for the percentiles). *)
+
 val of_ints : int array -> float array
+(** Element-wise [float_of_int] — adapter for integer-valued trials. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** Renders a {!summary} as one human-readable line. *)
 
 val wilson_interval : successes:int -> trials:int -> z:float -> float * float
 (** Wilson score confidence interval for a binomial proportion. *)

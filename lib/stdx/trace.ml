@@ -1,0 +1,197 @@
+type arg = Int of int | Float of float | Str of string | Bool of bool
+type phase = Complete | Instant | Counter
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(* One open begin_/end_ frame. [name]/[t0] are captured at begin_ time. *)
+type frame = { f_name : string; f_t0 : float }
+
+(* Per-domain ring buffer. The mutex serialises systhreads sharing the
+   domain (daemon connection threads); cross-domain there is no sharing,
+   so recording never contends between domains. *)
+type buf = {
+  b_tid : int;
+  b_lock : Mutex.t;
+  mutable ring : event array;
+  mutable capacity : int;
+  mutable next : int; (* slot of the next write *)
+  mutable used : int; (* live events, <= capacity *)
+  mutable dropped : int;
+  mutable stack : frame list;
+}
+
+let on = Atomic.make false
+let default_capacity = 65536
+let requested_capacity = Atomic.make default_capacity
+
+(* Epoch: Unix.gettimeofday at first enable; timestamps are microseconds
+   since then. 0. means "not yet set". *)
+let epoch = Atomic.make 0.
+
+let registry : buf list ref = ref []
+let registry_lock = Mutex.create ()
+
+let dummy_event =
+  { name = ""; cat = ""; ph = Instant; ts_us = 0.; dur_us = 0.; tid = 0; args = [] }
+
+let make_buf () =
+  let capacity = max 1 (Atomic.get requested_capacity) in
+  let b =
+    {
+      b_tid = (Domain.self () :> int);
+      b_lock = Mutex.create ();
+      ring = Array.make capacity dummy_event;
+      capacity;
+      next = 0;
+      used = 0;
+      dropped = 0;
+      stack = [];
+    }
+  in
+  Mutex.lock registry_lock;
+  registry := b :: !registry;
+  Mutex.unlock registry_lock;
+  b
+
+let key = Domain.DLS.new_key make_buf
+let my_buf () = Domain.DLS.get key
+
+let enabled () = Atomic.get on
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity < 1";
+  Atomic.set requested_capacity capacity;
+  if Atomic.get epoch = 0. then Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+let to_us t = (t -. Atomic.get epoch) *. 1e6
+
+let cat_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Append under the buffer's lock; drop-oldest beyond capacity. *)
+let push b ev =
+  Mutex.lock b.b_lock;
+  b.ring.(b.next) <- ev;
+  b.next <- (b.next + 1) mod b.capacity;
+  if b.used < b.capacity then b.used <- b.used + 1
+  else b.dropped <- b.dropped + 1;
+  Mutex.unlock b.b_lock
+
+let record ?(args = []) ph ~ts_us ~dur_us name =
+  let b = my_buf () in
+  push b { name; cat = cat_of name; ph; ts_us; dur_us; tid = b.b_tid; args }
+
+let begin_ name =
+  if Atomic.get on then begin
+    let b = my_buf () in
+    Mutex.lock b.b_lock;
+    b.stack <- { f_name = name; f_t0 = Unix.gettimeofday () } :: b.stack;
+    Mutex.unlock b.b_lock
+  end
+
+let end_ () =
+  if Atomic.get on then begin
+    let b = my_buf () in
+    Mutex.lock b.b_lock;
+    (match b.stack with
+    | [] -> Mutex.unlock b.b_lock
+    | f :: rest ->
+        b.stack <- rest;
+        Mutex.unlock b.b_lock;
+        let t1 = Unix.gettimeofday () in
+        push b
+          {
+            name = f.f_name;
+            cat = cat_of f.f_name;
+            ph = Complete;
+            ts_us = to_us f.f_t0;
+            dur_us = (t1 -. f.f_t0) *. 1e6;
+            tid = b.b_tid;
+            args = [];
+          })
+  end
+
+let span ?args name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      let args = match args with None -> [] | Some mk -> mk () in
+      record ~args Complete ~ts_us:(to_us t0) ~dur_us:((t1 -. t0) *. 1e6) name
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let complete ?(args = []) ~t0 ~t1 name =
+  if Atomic.get on then
+    record ~args Complete ~ts_us:(to_us t0) ~dur_us:((t1 -. t0) *. 1e6) name
+
+let instant ?(args = []) name =
+  if Atomic.get on then record ~args Instant ~ts_us:(now_us ()) ~dur_us:0. name
+
+let counter name v =
+  if Atomic.get on then
+    record ~args:[ ("value", Int v) ] Counter ~ts_us:(now_us ()) ~dur_us:0. name
+
+let with_all_bufs f =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  List.iter f bufs
+
+let reset () =
+  with_all_bufs (fun b ->
+      Mutex.lock b.b_lock;
+      Array.fill b.ring 0 b.capacity dummy_event;
+      b.next <- 0;
+      b.used <- 0;
+      b.dropped <- 0;
+      b.stack <- [];
+      Mutex.unlock b.b_lock)
+
+type stats = { tracing : bool; events : int; dropped : int; domains : int }
+
+let stats () =
+  let events = ref 0 and dropped = ref 0 and domains = ref 0 in
+  with_all_bufs (fun b ->
+      Mutex.lock b.b_lock;
+      events := !events + b.used;
+      dropped := !dropped + b.dropped;
+      if b.used > 0 then incr domains;
+      Mutex.unlock b.b_lock);
+  { tracing = Atomic.get on; events = !events; dropped = !dropped; domains = !domains }
+
+let dump () =
+  let acc = ref [] in
+  with_all_bufs (fun b ->
+      Mutex.lock b.b_lock;
+      (* Oldest event lives at [next] when the ring has wrapped, at 0
+         otherwise; emit in write order so per-buffer order is preserved. *)
+      let start = if b.used = b.capacity then b.next else 0 in
+      for i = 0 to b.used - 1 do
+        acc := b.ring.((start + i) mod b.capacity) :: !acc
+      done;
+      Mutex.unlock b.b_lock);
+  List.stable_sort (fun a b -> compare a.ts_us b.ts_us) (List.rev !acc)

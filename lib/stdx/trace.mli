@@ -1,0 +1,144 @@
+(** Low-overhead, domain-safe span tracing with Chrome [trace_event] export.
+
+    Every layer of the system — the trial engine, the graph freeze
+    pipeline, the experiment registry, the whole sketchd request path —
+    records {e spans} (named intervals), {e instants} (point events) and
+    {e counters} (sampled values) into this module. The collected events
+    export to the Chrome [trace_event] JSON format (via
+    [Report.Trace_export]), loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}, so "where does the time go
+    inside one trial shard / CSR freeze / sketchd request?" has a visual
+    answer.
+
+    {2 Design constraints}
+
+    - {b Disabled is (almost) free.} Tracing starts disabled, and every
+      recording entry point first reads one [Atomic.t] flag and returns:
+      no allocation, no syscall, no lock. Hot loops (the per-trial shard
+      fill, [Graph.of_keys]) may therefore call {!begin_}/{!end_}
+      unconditionally; [test_trace.ml] pins the disabled path to zero
+      allocation per call.
+    - {b Domain-safe.} Each domain owns a private ring buffer (created
+      lazily through [Domain.DLS], registered globally); recording never
+      contends across domains. A per-buffer mutex serialises systhreads
+      that share a domain (the daemon's connection threads). {!dump}
+      merges all rings into one timestamp-ordered list.
+    - {b Bounded.} Rings hold {!enable}'s [capacity] events per domain;
+      beyond that the oldest events are overwritten and counted in
+      {!stats}' [dropped]. A runaway trace degrades, never OOMs.
+    - {b Inert.} Recording writes only to the side buffers — enabling
+      tracing cannot change any experiment output. [test_trace.ml]
+      asserts golden tables render byte-identically with tracing on. *)
+
+(** {1 Events} *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool  (** One annotation value attached to an event under a string key. *)
+
+(** The three Chrome [trace_event] phases this tracer records: [Complete]
+    is a span with a duration ([ph = "X"]), [Instant] a point event
+    ([ph = "i"]), [Counter] a sampled value ([ph = "C"]). *)
+type phase = Complete | Instant | Counter
+
+type event = {
+  name : string;  (** Span/event name, e.g. ["graph.freeze"]. *)
+  cat : string;
+      (** Chrome category (trace-viewer filtering). Derived from [name]'s
+          dot-prefix by the recording functions: ["graph.freeze"] gets
+          category ["graph"]. *)
+  ph : phase;  (** Event phase. *)
+  ts_us : float;
+      (** Start time in microseconds since the trace epoch (the first
+          {!enable} of the process). *)
+  dur_us : float;  (** Duration in microseconds; [0.] unless [ph = Complete]. *)
+  tid : int;  (** Recording domain's id ([Domain.self ()]). *)
+  args : (string * arg) list;  (** Annotations, shown by the trace viewer. *)
+}
+(** One recorded event, exposed so exporters and tests can consume traces
+    without going through JSON. *)
+
+(** {1 Lifecycle} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording. [capacity] (default [65536], min [1]) bounds each
+    domain's ring buffer; buffers already created keep their capacity.
+    The first [enable] of the process fixes the trace epoch — timestamps
+    stay monotonic across later {!disable}/[enable] cycles. Idempotent.
+    Raises [Invalid_argument] if [capacity < 1]. *)
+
+val disable : unit -> unit
+(** Stop recording. Already-recorded events are kept (visible to {!dump})
+    until {!reset}. Spans begun before [disable] and ended after it are
+    dropped (the {!end_} is ignored, never mis-paired). *)
+
+val enabled : unit -> bool
+(** Whether recording is on — one atomic load. Use to guard argument
+    construction that would itself allocate, e.g.
+    [if Trace.enabled () then Trace.instant ~args:[...] "x"]. *)
+
+val reset : unit -> unit
+(** Discard every recorded event, open-span stack and drop counter in
+    every domain's buffer. Recording state (enabled/disabled) is kept.
+    The bench harness calls this between tables. *)
+
+(** {1 Recording} *)
+
+val begin_ : string -> unit
+(** [begin_ name] opens a span. Zero-allocation when disabled; pairs with
+    the next {!end_} on the same domain (per-domain stack, so spans nest
+    and balance per domain). Only for code where a domain runs one
+    logical task at a time — systhreads sharing a domain must use {!span}
+    or {!complete} instead (the stack is per-domain, not per-thread). *)
+
+val end_ : unit -> unit
+(** Close the innermost open span of this domain and record it as a
+    [Complete] event. An unbalanced [end_] (empty stack — e.g. tracing
+    was enabled mid-span) is ignored. *)
+
+val span : ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a [Complete] span. Stack-free (the
+    interval lives in [span]'s own frame), hence safe from any thread;
+    exception-safe (the span is recorded even when [f] raises). [args]
+    is a thunk, evaluated only when tracing is enabled, at span end —
+    annotation construction costs nothing when disabled. When disabled,
+    [span name f] is exactly [f ()] plus one branch. *)
+
+val complete : ?args:(string * arg) list -> t0:float -> t1:float -> string -> unit
+(** [complete ~t0 ~t1 name] records an already-measured interval,
+    [t0]/[t1] in [Unix.gettimeofday] seconds. For call sites that
+    already clock themselves (the service's per-request timing) and for
+    multi-threaded contexts where {!begin_}/{!end_} would mis-pair. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** [instant name] records a point event (a cache hit, a shed request). *)
+
+val counter : string -> int -> unit
+(** [counter name v] records a sampled counter value; trace viewers plot
+    the series as a track. The value is stored under the [args] key
+    ["value"]. Zero-allocation when disabled. *)
+
+(** {1 Flushing} *)
+
+val dump : unit -> event list
+(** Merge every domain's ring into one list ordered by [ts_us].
+    Non-destructive: buffers keep their events (use {!reset} to clear).
+    Spans still open at [dump] time are not included. *)
+
+type stats = {
+  tracing : bool;  (** Recording currently enabled? *)
+  events : int;  (** Events currently buffered across all domains. *)
+  dropped : int;  (** Events lost to ring overwrite since the last {!reset}. *)
+  domains : int;  (** Domains that have recorded at least one event. *)
+}
+(** Cheap observability snapshot — the `stats` RPC's [trace] field. *)
+
+val stats : unit -> stats
+(** Current {!stats}, without copying any events. *)
+
+val now_us : unit -> float
+(** Current time in microseconds since the trace epoch — the clock
+    {!event}.[ts_us] is expressed in. Used to window {!dump} results
+    (e.g. the bench harness attributing events to one table). *)
