@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json serve-smoke trace-smoke doc check bench bench-release clean
+.PHONY: all build test smoke smoke-json serve-smoke trace-smoke cluster-smoke doc check bench bench-release clean
 
 all: build
 
@@ -33,12 +33,19 @@ serve-smoke: build
 trace-smoke: build
 	bash scripts/trace_smoke.sh
 
+# End-to-end smoke of the sketchproxy routing tier: 1 proxy + 2 backends,
+# simulate through the proxy, kill -9 the serving backend, failover must
+# be byte-identical and the cluster RPC must report the death. See
+# scripts/cluster_smoke.sh.
+cluster-smoke: build
+	bash scripts/cluster_smoke.sh
+
 # The odoc API site (every lib/ module with its interface docs), rendered
 # to _build/default/_doc/_html. Needs odoc on the switch.
 doc:
 	dune build @doc
 
-check: build test smoke smoke-json serve-smoke trace-smoke
+check: build test smoke smoke-json serve-smoke trace-smoke cluster-smoke
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
 # table: id, title, wall-clock, Gc.allocated_bytes, rows).

@@ -234,6 +234,82 @@ let serve_bench ?(fast = false) () =
   close_out oc;
   print_endline "bench: wrote BENCH_serve.json"
 
+(* End-to-end latency through the routing tier: one sketchproxy in front
+   of four in-process sketchd backends, all on loopback TCP, so every
+   request pays client -> proxy -> backend framing twice. Same mixes as
+   the single-daemon bench; tail percentiles (p50/p95/p99) land in
+   BENCH_cluster.json, one line per mix. *)
+let cluster_bench ?(fast = false) () =
+  print_endline "=== 1-proxy/4-backend cluster latency (loopback TCP, persistent connection) ===";
+  let backends = List.init 4 (fun _ -> Server.Daemon.start ~workers:1 ~capacity:32 ()) in
+  let addrs =
+    List.map (fun d -> Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port d)) backends
+  in
+  (* A long health interval keeps the background pinger out of the
+     latency samples; every request here probes health on its own. *)
+  let proxy = Server.Proxy.start ~health_interval_s:60. ~backends:addrs () in
+  let port = Server.Proxy.port proxy in
+  let iters = if fast then 25 else 200 in
+  let oc = open_out "BENCH_cluster.json" in
+  Server.Client.with_connection ~port (fun c ->
+      let time_one payload =
+        let response, s = Stdx.Parallel.timed (fun () -> Server.Client.request c payload) in
+        (match T.member "ok" (T.json_of_string response) with
+        | Some (T.Jbool true) -> ()
+        | _ -> failwith ("cluster bench: request failed: " ^ response));
+        s *. 1000.
+      in
+      let mix name payloads =
+        let samples = Array.of_list (List.map time_one payloads) in
+        let q p = Stdx.Stats.quantile samples p in
+        let total_s = Array.fold_left ( +. ) 0. samples /. 1000. in
+        let rps = float_of_int (Array.length samples) /. total_s in
+        Printf.printf "%-18s n=%-4d p50=%8.3f ms  p95=%8.3f ms  p99=%8.3f ms  %8.0f req/s\n%!"
+          name (Array.length samples) (q 0.5) (q 0.95) (q 0.99) rps;
+        Printf.fprintf oc
+          "{\"mix\":%S,\"n\":%d,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"throughput_rps\":%s}\n"
+          name (Array.length samples) (T.float_repr (q 0.5)) (T.float_repr (q 0.95))
+          (T.float_repr (q 0.99)) (T.float_repr rps)
+      in
+      let jobj fields = T.string_of_json (T.Jobj fields) in
+      let run_payload seed =
+        jobj
+          [
+            ("op", T.Jstr "run");
+            ("id", T.Jstr "claim31");
+            ("smoke", T.Jbool true);
+            ("seed", T.Jint seed);
+          ]
+      in
+      let simulate_payload =
+        jobj
+          [
+            ("op", T.Jstr "simulate");
+            ("protocol", T.Jstr "two-round-mm");
+            ("graph", T.Jobj [ ("kind", T.Jstr "gnp"); ("n", T.Jint 64); ("p", T.Jfloat 0.1) ]);
+            ("seed", T.Jint 7);
+          ]
+      in
+      mix "ping" (List.init iters (fun _ -> jobj [ ("op", T.Jstr "ping") ]));
+      (* Distinct seeds: every request misses its backend's cache and
+         computes; the ring spreads the seeds across all four shards. *)
+      mix "run-uncached" (List.init iters (fun i -> run_payload (1000 + i)));
+      (* One seed repeated: it routes to one backend whose cache serves
+         every request after the warm-up miss. *)
+      ignore (time_one (run_payload 1));
+      mix "run-cached" (List.init iters (fun _ -> run_payload 1));
+      ignore (time_one simulate_payload);
+      mix "simulate-cached" (List.init iters (fun _ -> simulate_payload)));
+  Server.Proxy.stop proxy;
+  Server.Proxy.wait proxy;
+  List.iter
+    (fun d ->
+      Server.Daemon.stop d;
+      Server.Daemon.wait d)
+    backends;
+  close_out oc;
+  print_endline "bench: wrote BENCH_cluster.json"
+
 let run_benchmarks () =
   print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -260,7 +336,7 @@ let run_benchmarks () =
     rows
 
 let () =
-  (* Usage: main.exe [tables|bench|serve|all] [-j N] [--fast] [--trace FILE].
+  (* Usage: main.exe [tables|bench|serve|cluster|all] [-j N] [--fast] [--trace FILE].
      [-j] shards the Monte-Carlo tables over N domains; the printed tables
      are identical at any N. [--trace] writes the whole run's span trace as
      a Perfetto-loadable Chrome trace_event file. *)
@@ -270,7 +346,8 @@ let () =
     | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast trace rest
     | "--fast" :: rest -> parse mode jobs true trace rest
     | "--trace" :: v :: rest -> parse mode jobs fast (Some v) rest
-    | ("tables" | "bench" | "serve" | "all") as m :: rest -> parse m jobs fast trace rest
+    | ("tables" | "bench" | "serve" | "cluster" | "all") as m :: rest ->
+        parse m jobs fast trace rest
     | _ :: rest -> parse mode jobs fast trace rest
   in
   let mode, jobs, fast, trace = parse "all" None false None (List.tl args) in
@@ -280,8 +357,10 @@ let () =
       | "tables" -> tables ~fast ?jobs ()
       | "bench" -> run_benchmarks ()
       | "serve" -> serve_bench ~fast ()
+      | "cluster" -> cluster_bench ~fast ()
       | _ ->
           tables ~fast ?jobs ();
           run_benchmarks ();
-          serve_bench ~fast ());
+          serve_bench ~fast ();
+          cluster_bench ~fast ());
   print_endline "\nbench: done"

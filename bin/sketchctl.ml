@@ -54,6 +54,9 @@ let stats_cmd = simple_cmd "stats" ~doc:"Fetch server statistics (cache, queue, 
 let ping_cmd = simple_cmd "ping" ~doc:"Check liveness and version." "ping"
 let shutdown_cmd = simple_cmd "shutdown" ~doc:"Ask the server to drain and exit." "shutdown"
 
+let cluster_cmd =
+  simple_cmd "cluster" ~doc:"Fetch a sketchproxy's backend health table (proxy only)." "cluster"
+
 (* `run ID`: uniform seed/jobs/smoke knobs plus free-form -P name=v,... *)
 let run_cmd =
   let id_arg =
@@ -173,5 +176,8 @@ let simulate_cmd =
 let () =
   let doc = "Client for the sketchd sketch-service daemon." in
   let info = Cmd.info "sketchctl" ~version:Stdx.Version.current ~doc in
-  let group = Cmd.group info [ list_cmd; run_cmd; simulate_cmd; stats_cmd; ping_cmd; shutdown_cmd ] in
+  let group =
+    Cmd.group info
+      [ list_cmd; run_cmd; simulate_cmd; stats_cmd; cluster_cmd; ping_cmd; shutdown_cmd ]
+  in
   exit (Cmd.eval group)

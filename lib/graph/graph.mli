@@ -109,11 +109,13 @@ val mem_edge : t -> int -> int -> bool
 (** Edge test, order-insensitive; binary search in the shorter row. *)
 
 val edges : t -> edge list
+  [@@deprecated "use iter_edges/fold_edges (allocation-free) or edges_array"]
 (** All edges, normalised, in lexicographic order.
 
     @deprecated Thin compat shim that conses one list cell plus one tuple
-    per edge; kept for out-of-tree callers and goldens. Use
-    {!iter_edges} / {!fold_edges} (allocation-free) or {!edges_array}. *)
+    per edge; kept for out-of-tree callers (one pinned equivalence test
+    suppresses the alert in-tree). Use {!iter_edges} / {!fold_edges}
+    (allocation-free) or {!edges_array}. *)
 
 val edges_array : t -> edge array
 (** All edges, normalised, in lexicographic order, as a fresh array (safe

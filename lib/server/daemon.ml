@@ -17,7 +17,13 @@
    queued compute from running into the void. *)
 
 type t = {
-  service : Service.t;
+  (* The request brain, abstracted: [start] plugs in [Service.handle] of a
+     fresh service; [start_handler] (the proxy's entry point) plugs in any
+     payload -> reply function, reusing this whole TCP layer — accept
+     loop, connection threads, graceful drain — unchanged. *)
+  handle : cancelled:(unit -> bool) -> string -> Service.reply;
+  on_drain : unit -> unit;  (* run once by [wait] after the last connection *)
+  service : Service.t option;
   listen_fd : Unix.file_descr;
   port : int;
   mutex : Mutex.t;
@@ -90,7 +96,7 @@ let serve_connection t fd =
       | exception Unix.Unix_error _ -> ()
       | request ->
           let t0 = Unix.gettimeofday () in
-          let reply = Service.handle t.service ~cancelled:(client_gone fd) request in
+          let reply = t.handle ~cancelled:(client_gone fd) request in
           let written =
             match Wire.write_frame fd reply.Service.payload with
             | () -> true
@@ -140,8 +146,8 @@ let accept_loop t =
   loop ();
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?workers ?capacity ?cache_entries ?cache_bytes ?log
-    () =
+let start_handler ?(host = "127.0.0.1") ?(port = 0) ?(on_drain = fun () -> ())
+    ?service ~handle () =
   (* A dead client mid-write must surface as EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let addr = Unix.inet_addr_of_string host in
@@ -155,10 +161,11 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?workers ?capacity ?cache_entries ?c
   let port =
     match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
   in
-  let service = Service.create ?workers ?capacity ?cache_entries ?cache_bytes ?log () in
   let stop_r, stop_w = Unix.pipe () in
   let t =
     {
+      handle;
+      on_drain;
       service;
       listen_fd;
       port;
@@ -174,7 +181,18 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?workers ?capacity ?cache_entries ?c
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
-let service t = t.service
+let start ?host ?port ?workers ?capacity ?cache_entries ?cache_bytes ?log () =
+  let service = Service.create ?workers ?capacity ?cache_entries ?cache_bytes ?log () in
+  start_handler ?host ?port
+    ~on_drain:(fun () -> Service.shutdown service)
+    ~service
+    ~handle:(fun ~cancelled request -> Service.handle service ~cancelled request)
+    ()
+
+let service t =
+  match t.service with
+  | Some s -> s
+  | None -> invalid_arg "Daemon.service: handler daemon has no service"
 
 let stop ?(abort_connections = false) t =
   initiate_stop t;
@@ -191,4 +209,4 @@ let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
-  Service.shutdown t.service
+  t.on_drain ()

@@ -24,11 +24,27 @@ val start :
     ["127.0.0.1"]. The remaining knobs are {!Service.create}'s. Installs a
     [SIGPIPE] ignore (a dead client mid-write must surface as [EPIPE]). *)
 
+val start_handler :
+  ?host:string ->
+  ?port:int ->
+  ?on_drain:(unit -> unit) ->
+  ?service:Service.t ->
+  handle:(cancelled:(unit -> bool) -> string -> Service.reply) ->
+  unit ->
+  t
+(** {!start} generalised over the request brain: the same TCP layer —
+    accept loop, per-connection threads, framing-error handling, graceful
+    drain — around an arbitrary payload-to-reply function. This is how
+    {!Proxy} listens without duplicating any socket machinery. [handle]
+    must never raise (every failure should become an [ok:false] payload);
+    [on_drain] runs once inside {!wait} after the last connection ends. *)
+
 val port : t -> int
 (** The bound TCP port (kernel-chosen when [start ~port:0]). *)
 
 val service : t -> Service.t
-(** The daemon's brain — exposed for in-process tests and stats. *)
+(** The daemon's brain — exposed for in-process tests and stats. Raises
+    [Invalid_argument] on a {!start_handler} daemon started without one. *)
 
 val stop : ?abort_connections:bool -> t -> unit
 (** Begin shutdown: close the listener (no new connections). With

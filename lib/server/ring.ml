@@ -1,0 +1,100 @@
+(* Consistent-hash ring over backend addresses.
+
+   Each backend owns [vnodes] points on a 61-bit hash circle; a key routes
+   to the owner of the first point at or clockwise-after the key's hash.
+   Virtual nodes smooth the arc-length shares (the balance qcheck property
+   pins the bound); hashing each backend's points independently gives the
+   classic stability property exactly: removing a backend re-routes only
+   the keys it owned, every other key keeps its target.
+
+   Everything is deterministic — the hash is FNV-1a folded through
+   [Stdx.Hashing.mix64], no process randomness — so the same (backends,
+   key) pair routes identically in the proxy, the tests and any replica
+   of the proxy itself. *)
+
+type t = {
+  backends : string array;  (* configured order, duplicates rejected *)
+  point_hash : int array;  (* ring points, ascending *)
+  point_owner : int array;  (* index into [backends] per point *)
+  vnodes : int;
+}
+
+(* FNV-1a over the bytes, then SplitMix64-style finalisation: FNV alone is
+   weak in its low bits, which is exactly where ring comparisons look. *)
+let hash_key s =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter (fun c -> h := mul (logxor !h (of_int (Char.code c))) 0x100000001b3L) s;
+  Stdx.Hashing.mix64 (to_int !h)
+
+let backends t = Array.to_list t.backends
+let vnodes t = t.vnodes
+
+let create ?(vnodes = 128) backend_list =
+  if backend_list = [] then invalid_arg "Ring.create: no backends";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let sorted = List.sort_uniq compare backend_list in
+  if List.length sorted <> List.length backend_list then
+    invalid_arg "Ring.create: duplicate backend";
+  let backends = Array.of_list backend_list in
+  let n = Array.length backends in
+  let points = Array.make (n * vnodes) (0, 0) in
+  for b = 0 to n - 1 do
+    for v = 0 to vnodes - 1 do
+      points.((b * vnodes) + v) <- (hash_key (Printf.sprintf "%s#%d" backends.(b) v), b)
+    done
+  done;
+  (* Ties broken by backend index: a full-ring collision between two
+     backends' points is astronomically unlikely but must still be
+     deterministic. *)
+  Array.sort compare points;
+  {
+    backends;
+    point_hash = Array.map fst points;
+    point_owner = Array.map snd points;
+    vnodes;
+  }
+
+(* First point with hash >= h, wrapping to 0 past the last point. *)
+let successor_point t h =
+  let n = Array.length t.point_hash in
+  if h > t.point_hash.(n - 1) then 0
+  else begin
+    (* Invariant: point_hash.(hi) >= h, lo is the first candidate. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.point_hash.(mid) >= h then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let route t key = t.backends.(t.point_owner.(successor_point t (hash_key key)))
+
+(* Distinct backends in clockwise point order from the key's position —
+   the failover order. Walks at most every point once. *)
+let successors t key =
+  let n_points = Array.length t.point_hash in
+  let n_backends = Array.length t.backends in
+  let seen = Array.make n_backends false in
+  let start = successor_point t (hash_key key) in
+  let acc = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < n_backends && !i < n_points do
+    let owner = t.point_owner.((start + !i) mod n_points) in
+    if not seen.(owner) then begin
+      seen.(owner) <- true;
+      acc := t.backends.(owner) :: !acc;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !acc
+
+let remove t addr =
+  match Array.to_list t.backends |> List.filter (fun b -> b <> addr) with
+  | [] -> invalid_arg "Ring.remove: removing the last backend"
+  | rest when List.length rest = Array.length t.backends ->
+      invalid_arg "Ring.remove: unknown backend"
+  | rest -> create ~vnodes:t.vnodes rest

@@ -1,0 +1,44 @@
+(** Consistent-hash ring over backend addresses.
+
+    Each backend owns [vnodes] points on a 61-bit hash circle; a key
+    routes to the owner of the first point clockwise from the key's hash.
+    Fully deterministic (FNV-1a folded through {!Stdx.Hashing.mix64}, no
+    process randomness): the same (backends, key) pair routes identically
+    everywhere, which is what lets any proxy replica agree on placement
+    without coordination.
+
+    Stability contract, pinned by the qcheck suite in [test_proxy.ml]:
+    {!remove} re-routes {e only} keys the removed backend owned — every
+    other key keeps its target — and with the default [vnodes] the
+    per-backend key shares stay within a small constant of ideal. *)
+
+type t
+(** An immutable ring; share freely. *)
+
+val create : ?vnodes:int -> string list -> t
+(** [create backends] builds the ring. [vnodes] (default 128) is the
+    number of ring points per backend — more points, smoother balance.
+    Raises [Invalid_argument] on an empty or duplicate-bearing list, or
+    [vnodes < 1]. *)
+
+val backends : t -> string list
+(** The configured backends, in the order given to {!create}. *)
+
+val vnodes : t -> int
+(** Ring points per backend. *)
+
+val route : t -> string -> string
+(** [route t key] is the backend owning [key]. *)
+
+val successors : t -> string -> string list
+(** Distinct backends in clockwise ring order from [key]'s position —
+    head is {!route}[ t key], the rest is the failover order. Contains
+    every backend exactly once. *)
+
+val remove : t -> string -> t
+(** The ring without one backend; other backends' points are unchanged,
+    so only the removed backend's keys re-route. Raises
+    [Invalid_argument] if the backend is unknown or the last one. *)
+
+val hash_key : string -> int
+(** The ring's key hash (exposed for tests). Non-negative. *)

@@ -238,6 +238,83 @@ let cached_compute t ~key ~deadline ~cancelled compute =
           (payload, false)
       | Error e -> (of_scheduler_error e, false))
 
+(* Assemble and validate a [run] request's merged parameter list against
+   experiment [e]'s spec — shared by [handle_run] and [request_key] so the
+   proxy's routing key derivation is exactly the cache key derivation.
+   [Error] carries a ready-to-send error response. *)
+let merged_of_run_request e j =
+  match overrides_of_json j with
+  | Error msg -> Error (bad_request msg)
+  | Ok param_overrides -> (
+      (* [merge] keeps the first binding per name, so explicit request
+         fields come first and beat the --smoke defaults (same precedence
+         as the CLI's `run` subcommand). *)
+      let overrides =
+        param_overrides
+        @ (match int_field j "seed" with Some s -> [ ("seed", R.Vint s) ] | None -> [])
+        @ [ ("jobs", R.Vint (Option.value ~default:1 (int_field j "jobs"))) ]
+        @ (if bool_field j "smoke" = Some true then R.smoke e else [])
+      in
+      (* Server-side validation against the experiment's spec, before any
+         scheduling. *)
+      match R.merge (R.params e) overrides with
+      | exception R.Unknown_param p ->
+          Error (bad_request (Printf.sprintf "experiment %S has no parameter %S" (R.id e) p))
+      | exception R.Wrong_param_type p ->
+          Error (bad_request (Printf.sprintf "parameter %S has the wrong type" p))
+      | merged -> (
+          (* [merge] validates names only; shape mismatches would
+             otherwise surface mid-compute as a 500. Catch them here. *)
+          match
+            List.find_opt
+              (fun (p : R.param) ->
+                match (List.assoc p.R.name merged, p.R.default) with
+                | R.Vint _, R.Vint _ | R.Vints _, R.Vints _ -> false
+                | _ -> true)
+              (R.params e)
+          with
+          | Some bad ->
+              Error
+                (bad_request
+                   (Printf.sprintf "parameter %S has the wrong type (expected %s)" bad.R.name
+                      (match bad.R.default with
+                      | R.Vint _ -> "an integer"
+                      | R.Vints _ -> "an integer array")))
+          | None -> Ok merged))
+
+let simulate_key ~protocol ~graph ~seed =
+  Printf.sprintf "simulate?protocol=%s&graph=%s&seed=%d" protocol
+    (T.string_of_json (Simulate.json_of_gspec graph))
+    seed
+
+(* The canonical cache key a compute request will be stored under — what
+   the proxy consistent-hashes on, so every replica of a request lands on
+   the backend already holding (or about to hold) its cache entry.
+   [None] when the request is not a valid [run]/[simulate]: those never
+   reach a cache and may be routed anywhere. *)
+let request_key j =
+  match str_field j "op" with
+  | Some "run" -> (
+      match str_field j "id" with
+      | None -> None
+      | Some id -> (
+          match Core.Exp_all.find id with
+          | None -> None
+          | Some e -> (
+              match merged_of_run_request e j with
+              | Ok merged -> Some (canonical_key id merged)
+              | Error _ -> None)))
+  | Some "simulate" -> (
+      match (str_field j "protocol", T.member "graph" j) with
+      | Some protocol, Some gj when List.mem_assoc protocol Simulate.protocols -> (
+          match Simulate.gspec_of_json gj with
+          | Ok graph ->
+              let seed = Option.value ~default:7 (int_field j "seed") in
+              Some (simulate_key ~protocol ~graph ~seed)
+          | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
 let handle_run t ~cancelled j =
   match str_field j "id" with
   | None -> bad_request "run needs a string field \"id\""
@@ -245,67 +322,30 @@ let handle_run t ~cancelled j =
       match Core.Exp_all.find id with
       | None -> not_found (Printf.sprintf "unknown experiment %S; see `list`" id)
       | Some e -> (
-          match overrides_of_json j with
-          | Error msg -> bad_request msg
-          | Ok param_overrides -> (
-              (* [merge] keeps the first binding per name, so explicit
-                 request fields come first and beat the --smoke defaults
-                 (same precedence as the CLI's `run` subcommand). *)
-              let overrides =
-                param_overrides
-                @ (match int_field j "seed" with Some s -> [ ("seed", R.Vint s) ] | None -> [])
-                @ [ ("jobs", R.Vint (Option.value ~default:1 (int_field j "jobs"))) ]
-                @ (if bool_field j "smoke" = Some true then R.smoke e else [])
+          match merged_of_run_request e j with
+          | Error response -> response
+          | Ok merged ->
+              let key = canonical_key id merged in
+              let compute () =
+                let tbl = R.table e merged in
+                let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
+                ok_response
+                  [
+                    ("op", jstr "run");
+                    ("id", jstr id);
+                    ("title", jstr (R.title e));
+                    ("params", params_json merged);
+                    ("rows", arr rows);
+                  ]
               in
-              (* Server-side validation against the experiment's spec,
-                 before any scheduling. *)
-              match R.merge (R.params e) overrides with
-              | exception R.Unknown_param p ->
-                  bad_request (Printf.sprintf "experiment %S has no parameter %S" id p)
-              | exception R.Wrong_param_type p ->
-                  bad_request (Printf.sprintf "parameter %S has the wrong type" p)
-              (* [merge] validates names only; shape mismatches would
-                 otherwise surface mid-compute as a 500. Catch them here. *)
-              | merged
-                when List.exists
-                       (fun (p : R.param) ->
-                         match (List.assoc p.R.name merged, p.R.default) with
-                         | R.Vint _, R.Vint _ | R.Vints _, R.Vints _ -> false
-                         | _ -> true)
-                       (R.params e) ->
-                  let bad =
-                    List.find
-                      (fun (p : R.param) ->
-                        match (List.assoc p.R.name merged, p.R.default) with
-                        | R.Vint _, R.Vint _ | R.Vints _, R.Vints _ -> false
-                        | _ -> true)
-                      (R.params e)
-                  in
-                  bad_request
-                    (Printf.sprintf "parameter %S has the wrong type (expected %s)" bad.R.name
-                       (match bad.R.default with R.Vint _ -> "an integer" | R.Vints _ -> "an integer array"))
-              | merged ->
-                  let key = canonical_key id merged in
-                  let compute () =
-                    let tbl = R.table e merged in
-                    let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
-                    ok_response
-                      [
-                        ("op", jstr "run");
-                        ("id", jstr id);
-                        ("title", jstr (R.title e));
-                        ("params", params_json merged);
-                        ("rows", arr rows);
-                      ]
-                  in
-                  let payload, hit =
-                    cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
-                  in
-                  t.log
-                    (Printf.sprintf "op=run id=%s cache=%s key=%S" id
-                       (if hit then "hit" else "miss")
-                       key);
-                  payload)))
+              let payload, hit =
+                cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
+              in
+              t.log
+                (Printf.sprintf "op=run id=%s cache=%s key=%S" id
+                   (if hit then "hit" else "miss")
+                   key);
+              payload))
 
 let handle_simulate t ~cancelled j =
   match str_field j "protocol" with
@@ -321,11 +361,7 @@ let handle_simulate t ~cancelled j =
           | Ok graph ->
               let seed = Option.value ~default:7 (int_field j "seed") in
               let spec = { Simulate.protocol = name; graph; seed } in
-              let key =
-                Printf.sprintf "simulate?protocol=%s&graph=%s&seed=%d" name
-                  (T.string_of_json (Simulate.json_of_gspec graph))
-                  seed
-              in
+              let key = simulate_key ~protocol:name ~graph ~seed in
               let compute () =
                 let fields = Simulate.run spec in
                 ok_response

@@ -40,6 +40,15 @@ val scheduler : t -> Scheduler.t
 val cache : t -> Cache.t
 (** The result cache — exposed for tests and stats. *)
 
+val request_key : Report.Tabular.json -> string option
+(** The canonical cache key a parsed [run]/[simulate] request will be
+    stored under — exactly the key derivation the cache uses ([jobs]
+    excluded, merged params in spec order), exposed so the routing proxy
+    can consistent-hash requests onto the backend that already holds (or
+    is about to hold) the entry. [None] when the request is not a valid
+    compute request (bad op, unknown id/protocol, ill-typed params):
+    those never reach a cache and may be routed anywhere. *)
+
 type reply = { payload : string; shutdown : bool }
 (** [shutdown] is [true] exactly when the request was an accepted
     [shutdown] op — the daemon should reply, then drain and exit. *)

@@ -29,7 +29,8 @@ let test_neighbors_sorted () =
 
 let test_edges_normalized () =
   let g = G.create 4 [ (3, 1); (2, 0) ] in
-  Alcotest.(check (list (pair int int))) "normalized sorted" [ (0, 2); (1, 3) ] (G.edges g)
+  Alcotest.(check (array (pair int int)))
+    "normalized sorted" [| (0, 2); (1, 3) |] (G.edges_array g)
 
 let test_union () =
   let a = G.create 4 [ (0, 1) ] and b = G.create 4 [ (1, 2); (0, 1) ] in
@@ -227,12 +228,13 @@ let qcheck_tests =
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"m counts edges" ~count:300 small_graph_gen (fun (n, edges) ->
            let g = G.create n edges in
-           G.m g = List.length (G.edges g)));
+           G.m g = Array.length (G.edges_array g)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"mem_edge agrees with edges" ~count:200 small_graph_gen
          (fun (n, edges) ->
            let g = G.create n edges in
-           List.for_all (fun (u, v) -> G.mem_edge g u v && G.mem_edge g v u) (G.edges g)));
+           Array.for_all (fun (u, v) -> G.mem_edge g u v && G.mem_edge g v u)
+             (G.edges_array g)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"relabel by inverse is identity" ~count:200
          QCheck.(pair small_graph_gen (int_range 0 1000))
@@ -268,7 +270,11 @@ let qcheck_tests =
          (fun (n, edges) ->
            let g = G.create n edges in
            let via_iter = List.rev (G.fold_edges (fun u v acc -> (u, v) :: acc) g []) in
-           via_iter = G.edges g && via_iter = Array.to_list (G.edges_array g)));
+           (* The one in-tree user of the deprecated list shim: pinned
+              equivalent to the iterators for as long as out-of-tree
+              callers keep it alive. *)
+           via_iter = (G.edges g [@alert "-deprecated"])
+           && via_iter = Array.to_list (G.edges_array g)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"neighbor iterators agree with neighbors" ~count:300 small_graph_gen
          (fun (n, edges) ->

@@ -250,9 +250,9 @@ let qcheck_tests =
          (fun (m, seed) ->
            let dmm = sample ~m seed in
            G.n dmm.HD.graph = dmm.HD.n
-           && List.for_all
+           && Array.for_all
                 (fun (u, v) -> u >= 0 && v < dmm.HD.n && u <> v)
-                (G.edges dmm.HD.graph)));
+                (G.edges_array dmm.HD.graph)));
   ]
 
 let () =

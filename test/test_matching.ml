@@ -9,7 +9,7 @@ let checki = Alcotest.(check int)
 
 (* Brute-force maximum matching size by recursion over the edge list. *)
 let brute_max_matching g =
-  let edges = Array.of_list (G.edges g) in
+  let edges = G.edges_array g in
   let used = Stdx.Bitset.create (G.n g) in
   let rec go i =
     if i >= Array.length edges then 0
@@ -140,7 +140,7 @@ let qcheck_tests =
          (fun (n, seed) ->
            let rng = Stdx.Prng.create seed in
            let g = Dgraph.Gen.gnp rng n 0.3 in
-           let order = Array.of_list (G.edges g) in
+           let order = G.edges_array g in
            Stdx.Prng.shuffle rng order;
            M.is_maximal g (M.greedy g ~order ())));
   ]

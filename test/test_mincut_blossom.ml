@@ -23,7 +23,7 @@ let brute_min_cut g =
   end
 
 let brute_max_matching g =
-  let edges = Array.of_list (G.edges g) in
+  let edges = G.edges_array g in
   let used = Stdx.Bitset.create (G.n g) in
   let rec go i =
     if i >= Array.length edges then 0

@@ -404,6 +404,172 @@ let test_daemon_shutdown_rpc () =
         closed
     | exception Unix.Unix_error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Proxy vs. hostile backends                                          *)
+
+(* A scriptable fake backend: a raw listener handing each connection's fd
+   to [serve] on its own thread — for replies no honest sketchd would
+   send. The accept thread is not joined (closing a listening fd does not
+   reliably wake accept(2)); it idles harmlessly for the test process's
+   lifetime. *)
+let start_fake serve =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 16;
+  let port = match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false in
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | c, _ ->
+        ignore
+          (Thread.create
+             (fun () ->
+               (try serve c with _ -> ());
+               try Unix.close c with Unix.Unix_error _ -> ())
+             ());
+        accept_loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  ignore (Thread.create accept_loop ());
+  (Printf.sprintf "127.0.0.1:%d" port, fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+
+let sim_payload seed =
+  Printf.sprintf
+    "{\"op\":\"simulate\",\"protocol\":\"trivial-mm\",\"graph\":{\"kind\":\"path\",\"n\":8},\"seed\":%d}"
+    seed
+
+(* A seed whose ring successor order visits both fakes before the real
+   backend, so the failover chain is actually exercised. *)
+let seed_with_order ring order =
+  let rec go s =
+    if s > 20_000 then Alcotest.fail "no seed with the wanted successor order"
+    else
+      match Server.Service.request_key (T.json_of_string (sim_payload s)) with
+      | Some k when Server.Ring.successors ring k = order -> s
+      | _ -> go (s + 1)
+  in
+  go 0
+
+let test_proxy_truncated_backend () =
+  (* Both fakes read the request, then die mid-frame: a header declaring
+     100 bytes followed by 10 and a close. The proxy must fail over down
+     the chain and relay the real backend's response. *)
+  let truncate c =
+    match W.read_frame c with
+    | _ ->
+        let w = Stdx.Bitbuf.Writer.create () in
+        Stdx.Bitbuf.Writer.uvarint w 100;
+        let bytes, _ = Stdx.Bitbuf.Writer.contents w in
+        send_all c (Bytes.to_string bytes ^ String.make 10 'x')
+    | exception _ -> ()
+  in
+  let f1, stop1 = start_fake truncate in
+  let f2, stop2 = start_fake truncate in
+  let d = Server.Daemon.start ~workers:1 ~capacity:8 () in
+  let real = Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port d) in
+  let p = Server.Proxy.create ~backends:[ f1; f2; real ] () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Proxy.close p;
+      stop1 ();
+      stop2 ();
+      Server.Daemon.stop ~abort_connections:true d;
+      Server.Daemon.wait d)
+  @@ fun () ->
+  let seed = seed_with_order (Server.Proxy.ring p) [ f1; f2; real ] in
+  let r = (Server.Proxy.handle p (sim_payload seed)).S.payload in
+  checkb "relayed past two truncating backends" true (is_ok (T.json_of_string r));
+  checkb "first fake marked down" false (Server.Health.healthy (Server.Proxy.health p) f1);
+  checkb "second fake marked down" false (Server.Health.healthy (Server.Proxy.health p) f2);
+  checkb "real backend healthy" true (Server.Health.healthy (Server.Proxy.health p) real);
+  (* The survivor's answer is the canonical one. *)
+  let direct =
+    Server.Client.with_connection ~port:(Server.Daemon.port d) (fun c ->
+        Server.Client.request c (sim_payload seed))
+  in
+  checks "failover response is the canonical payload" direct r
+
+let test_proxy_oversized_backend_header () =
+  (* Ten 0xff continuation bytes exceed the frame header budget: the
+     proxy's client read must reject it as malformed, not stall or
+     over-allocate, and fail over. *)
+  let oversized c =
+    match W.read_frame c with
+    | _ -> send_all c (String.make 10 '\xff')
+    | exception _ -> ()
+  in
+  let f1, stop1 = start_fake oversized in
+  let d = Server.Daemon.start ~workers:1 ~capacity:8 () in
+  let real = Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port d) in
+  let p = Server.Proxy.create ~backends:[ f1; real ] () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Proxy.close p;
+      stop1 ();
+      Server.Daemon.stop ~abort_connections:true d;
+      Server.Daemon.wait d)
+  @@ fun () ->
+  let seed = seed_with_order (Server.Proxy.ring p) [ f1; real ] in
+  let r = (Server.Proxy.handle p (sim_payload seed)).S.payload in
+  checkb "served despite hostile header" true (is_ok (T.json_of_string r));
+  checkb "hostile backend marked down" false
+    (Server.Health.healthy (Server.Proxy.health p) f1);
+  (match List.assoc_opt f1 (Server.Health.snapshot (Server.Proxy.health p)) with
+  | Some s -> (
+      match s.Server.Health.last_error with
+      | Some e ->
+          checkb "failure reason mentions framing" true
+            (String.length e > 0
+            && (let lower = String.lowercase_ascii e in
+                let contains sub =
+                  let n = String.length lower and m = String.length sub in
+                  let rec at i = i + m <= n && (String.sub lower i m = sub || at (i + 1)) in
+                  at 0
+                in
+                contains "malformed" || contains "frame"))
+      | None -> Alcotest.fail "downed backend must keep its last error")
+  | None -> Alcotest.fail "backend missing from health snapshot")
+
+let test_proxy_429_storm_backoff () =
+  (* Every backend sheds on every request. The proxy must back off between
+     replicas (not hammer them in a tight loop), stay convinced they are
+     alive (shedding is load, not death), and relay the final 429. *)
+  let shed_response =
+    "{\"ok\":false,\"error\":\"overloaded\",\"code\":429,\"msg\":\"queue full; retry later\"}"
+  in
+  let shedding c =
+    let rec serve () =
+      match W.read_frame c with
+      | _ ->
+          W.write_frame c shed_response;
+          serve ()
+      | exception _ -> ()
+    in
+    serve ()
+  in
+  let f1, stop1 = start_fake shedding in
+  let f2, stop2 = start_fake shedding in
+  let backoff_ms = 40 in
+  let p = Server.Proxy.create ~shed_backoff_ms:backoff_ms ~backends:[ f1; f2 ] () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Proxy.close p;
+      stop1 ();
+      stop2 ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let r = (Server.Proxy.handle p (sim_payload 1)).S.payload in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let j = T.json_of_string r in
+  checks "storm relays the shed response" "overloaded" (error_tag j);
+  checki "storm relays 429" 429 (code_of j);
+  (* One backoff pause between the two replicas. *)
+  checkb "proxy backed off between replicas" true
+    (elapsed_ms >= float_of_int backoff_ms *. 0.9);
+  checkb "shedding backends stay healthy" true
+    (Server.Health.healthy (Server.Proxy.health p) f1
+    && Server.Health.healthy (Server.Proxy.health p) f2)
+
 let () =
   Alcotest.run "server"
     [
@@ -438,5 +604,14 @@ let () =
         [
           Alcotest.test_case "survives hostile clients" `Quick test_daemon_survives_abuse;
           Alcotest.test_case "shutdown rpc stops accept loop" `Quick test_daemon_shutdown_rpc;
+        ] );
+      ( "proxy-hostile",
+        [
+          Alcotest.test_case "truncated backend frames mid-failover" `Quick
+            test_proxy_truncated_backend;
+          Alcotest.test_case "oversized backend header" `Quick
+            test_proxy_oversized_backend_header;
+          Alcotest.test_case "429 storm backs off and relays" `Quick
+            test_proxy_429_storm_backoff;
         ] );
     ]
