@@ -165,9 +165,28 @@ let micro_tests () =
                   Dgraph.Matching.is_maximal dmm.Core.Hard_dist.graph out))));
     Test.make ~name:"T14:bcc-logn-mm(n=128)"
       (Staged.stage (fun () -> ignore (Protocols.Bcc_mm.run g128 coins)));
+    Test.make ~name:"T15:hyper-iterated-mm(n=400,m=300,k=3)"
+      (Staged.stage (fun () ->
+           let h = Dgraph.Hgen.uniform_random (fresh 1515) ~n:400 ~m:300 ~k:3 in
+           ignore (Protocols.Hyper_mm.run_iterated h coins)));
     Test.make ~name:"T2b:packed-rs(N=50,r=5)"
       (Staged.stage (fun () ->
            ignore (Rsgraph.Packed.achieved_t (Stdx.Prng.create 3) ~big_n:50 ~r:5 ~tries:500)));
+    (* The freeze pipeline's sort kernel, head-to-head: the LSD radix sort
+       Cset uses for packed edge keys against the stdlib comparison sort it
+       replaced, on the same 200k-key workload (~ a 450-vertex gnp(0.5)
+       freeze). The BENCH_tables.json `phases."graph.sort"` column shows
+       the same win in situ. *)
+    Test.make ~name:"cset:radix-sort(200k keys)"
+      (Staged.stage
+         (let keys = Array.init 200_000 (fun i -> (i * 2654435761) land 0x3FFFFFFF) in
+          fun () -> Cset.Columnar.radix_sort_nonneg (Array.copy keys)));
+    Test.make ~name:"cset:stdlib-sort(200k keys)"
+      (Staged.stage
+         (let keys = Array.init 200_000 (fun i -> (i * 2654435761) land 0x3FFFFFFF) in
+          fun () ->
+            let a = Array.copy keys in
+            Array.sort compare a));
   ]
 
 (* `serve`: end-to-end latency of the sketchd stack over loopback TCP —

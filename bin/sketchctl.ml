@@ -140,7 +140,8 @@ let simulate_cmd =
     Arg.(
       value
       & opt string "gnp"
-      & info [ "graph" ] ~doc:"Graph kind: gnp, path, cycle, complete or star." ~docv:"KIND")
+      & info [ "graph" ] ~doc:"Graph kind: gnp, path, cycle, complete, star or hyperk."
+          ~docv:"KIND")
   in
   let n_arg =
     Arg.(value & opt int 64 & info [ "n"; "vertices" ] ~doc:"Number of vertices." ~docv:"INT")
@@ -148,11 +149,25 @@ let simulate_cmd =
   let p_arg =
     Arg.(value & opt float 0.1 & info [ "prob" ] ~doc:"Edge probability (gnp only)." ~docv:"P")
   in
+  let m_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "m"; "edges" ] ~doc:"Number of hyperedges (hyperk only)." ~docv:"INT")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "k"; "arity" ] ~doc:"Pins per hyperedge (hyperk only)." ~docv:"INT")
+  in
   let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed." ~docv:"INT") in
-  let run host port protocol kind n p seed deadline =
+  let run host port protocol kind n p m k seed deadline =
     let graph =
       ("kind", T.Jstr kind) :: ("n", T.Jint n)
-      :: (if kind = "gnp" then [ ("p", T.Jfloat p) ] else [])
+      ::
+      (match kind with
+      | "gnp" -> [ ("p", T.Jfloat p) ]
+      | "hyperk" -> [ ("m", T.Jint m); ("k", T.Jint k) ]
+      | _ -> [])
     in
     let fields =
       [
@@ -170,8 +185,8 @@ let simulate_cmd =
        ~doc:"Run a named sketching protocol on a generated graph; exact bit accounting.")
     Term.(
       ret
-        (const run $ host_arg $ port_arg $ protocol_arg $ kind_arg $ n_arg $ p_arg $ seed_arg
-       $ deadline_arg))
+        (const run $ host_arg $ port_arg $ protocol_arg $ kind_arg $ n_arg $ p_arg $ m_arg
+       $ k_arg $ seed_arg $ deadline_arg))
 
 let () =
   let doc = "Client for the sketchd sketch-service daemon." in

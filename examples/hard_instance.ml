@@ -8,13 +8,21 @@
    paper's whole lower bound is the statement that no protocol can
    substitute for that oracle.
 
-   Run with: dune exec examples/hard_instance.exe *)
+   Run with: dune exec examples/hard_instance.exe
+   Pass `--trace out.json` for a Chrome trace_event export: sampling,
+   the Claim 3.1 check and the budget sweep are [example.*] spans. *)
+
+let trace_out =
+  match Array.to_list Sys.argv with _ :: "--trace" :: path :: _ -> Some path | _ -> None
+
+let stage name f = Stdx.Trace.span ("example." ^ name) f
 
 let () =
+  Report.Trace_export.with_file trace_out @@ fun () ->
   let m = 10 in
   let rs = Rsgraph.Rs_graph.bipartite m in
   let rng = Stdx.Prng.create 77 in
-  let dmm = Core.Hard_dist.sample rs rng in
+  let dmm = stage "sample-dmm" (fun () -> Core.Hard_dist.sample rs rng) in
 
   Printf.printf "RS graph: N=%d vertices, t=%d induced matchings of size r=%d (verified=%b)\n"
     (Rsgraph.Rs_graph.n rs) rs.Rsgraph.Rs_graph.t_count rs.Rsgraph.Rs_graph.r
@@ -36,7 +44,7 @@ let () =
 
   (* Claim 3.1 in action: even an adversarial maximal matching is forced to
      contain many unique-unique edges. *)
-  let stats = Core.Claims.check dmm () in
+  let stats = stage "claim31-check" (fun () -> Core.Claims.check dmm ()) in
   print_endline "Claim 3.1 — unique-unique edges in maximal matchings under various edge orders:";
   List.iter
     (fun (name, uu, _) -> Printf.printf "  %-16s %d (>= kr/4 = %.0f)\n" name uu stats.Core.Claims.claim_threshold)
@@ -46,6 +54,7 @@ let () =
      bits; the oracle protocol needs ~log n. *)
   print_endline "\nBudget-limited protocols (uniform edge sampling), per-player bits vs outcome:";
   let coins = Sketchmodel.Public_coins.create 4242 in
+  stage "budget-sweep" (fun () ->
   List.iter
     (fun budget ->
       let protocol =
@@ -59,7 +68,7 @@ let () =
         budget hit (List.length surviving)
         (Dgraph.Matching.is_maximal dmm.Core.Hard_dist.graph output)
         msg_stats.Sketchmodel.Model.max_bits)
-    [ 8; 32; 128; 512 ];
+    [ 8; 32; 128; 512 ]);
 
   print_endline
     "\nTheorem 1: any one-round protocol succeeding with probability 0.99 on D_MM needs\n\

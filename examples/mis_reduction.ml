@@ -8,14 +8,23 @@
    MIS of H hands the referee the hidden matching of G, and an efficient
    MIS sketch would contradict Theorem 1 (that is Theorem 2).
 
-   Run with: dune exec examples/mis_reduction.exe *)
+   Run with: dune exec examples/mis_reduction.exe
+   Pass `--trace out.json` for a Chrome trace_event export: sampling,
+   the H construction and the end-to-end run are [example.*] spans,
+   with the [graph.*] freeze spans of build_h nested inside. *)
+
+let trace_out =
+  match Array.to_list Sys.argv with _ :: "--trace" :: path :: _ -> Some path | _ -> None
+
+let stage name f = Stdx.Trace.span ("example." ^ name) f
 
 let () =
+  Report.Trace_export.with_file trace_out @@ fun () ->
   let rs = Rsgraph.Rs_graph.bipartite 5 in
   let rng = Stdx.Prng.create 3 in
-  let dmm = Core.Hard_dist.sample rs rng in
+  let dmm = stage "sample-dmm" (fun () -> Core.Hard_dist.sample rs rng) in
   let g = dmm.Core.Hard_dist.graph in
-  let h = Core.Reduction.build_h dmm in
+  let h = stage "build-h" (fun () -> Core.Reduction.build_h dmm) in
   Printf.printf "G ~ D_MM: n=%d, m=%d; doubled graph H: n=%d, m=%d\n" (Dgraph.Graph.n g)
     (Dgraph.Graph.m g) (Dgraph.Graph.n h) (Dgraph.Graph.m h);
 
@@ -49,7 +58,9 @@ let () =
   (* End-to-end with a real sketching protocol: every G-vertex simulates
      both of its H-copies, so per-player cost at most doubles. *)
   let coins = Sketchmodel.Public_coins.create 555 in
-  let verdict2, g_cost, h_cost = Core.Reduction.end_to_end_cost dmm Protocols.Trivial.mis coins in
+  let verdict2, g_cost, h_cost =
+    stage "end-to-end" (fun () -> Core.Reduction.end_to_end_cost dmm Protocols.Trivial.mis coins)
+  in
   Printf.printf
     "\nend-to-end with the trivial MIS sketch: complete=%b\n\
     \  per-H-player max %d bits -> per-G-player max %d bits (blow-up %.2fx <= 2)\n"

@@ -11,12 +11,21 @@
       neighbourhood — the only known one-round approach, per the paper's
       lower bound).
 
-   Run with: dune exec examples/quickstart.exe *)
+   Run with: dune exec examples/quickstart.exe
+   Pass `--trace out.json` to export a Chrome trace_event file of the run
+   (chrome://tracing or Perfetto): each stage below is an [example.*]
+   span, with the graph-freeze and protocol spans nested inside. *)
+
+let trace_out =
+  match Array.to_list Sys.argv with _ :: "--trace" :: path :: _ -> Some path | _ -> None
+
+let stage name f = Stdx.Trace.span ("example." ^ name) f
 
 let () =
+  Report.Trace_export.with_file trace_out @@ fun () ->
   let n = 96 in
   let rng = Stdx.Prng.create 2020 in
-  let g = Dgraph.Gen.gnp rng n 0.15 in
+  let g = stage "build-graph" (fun () -> Dgraph.Gen.gnp rng n 0.15) in
   Printf.printf "input graph: n=%d m=%d max_degree=%d\n\n" (Dgraph.Graph.n g) (Dgraph.Graph.m g)
     (Dgraph.Graph.max_degree g);
 
@@ -24,13 +33,13 @@ let () =
   let coins = Sketchmodel.Public_coins.create 42 in
 
   (* 1. Spanning forest from AGM sketches. *)
-  let forest, stats = Agm.Spanning_forest.run g coins in
+  let forest, stats = stage "agm-forest" (fun () -> Agm.Spanning_forest.run g coins) in
   Printf.printf "AGM spanning forest: %d edges, valid=%b\n" (List.length forest)
     (Dgraph.Components.is_spanning_forest g forest);
   Format.printf "  cost: %a@." Sketchmodel.Model.pp_stats stats;
 
   (* 2. (Delta+1)-coloring. *)
-  let outcome, stats = Coloring.Palette.run g coins in
+  let outcome, stats = stage "palette-coloring" (fun () -> Coloring.Palette.run g coins) in
   (match outcome.Coloring.Palette.coloring with
   | Some colors ->
       Printf.printf "palette coloring: proper=%b colors_used<=%d (Delta+1=%d)\n"
@@ -41,7 +50,9 @@ let () =
   Format.printf "  cost: %a@." Sketchmodel.Model.pp_stats stats;
 
   (* 3. Maximal matching the only way one round allows: send everything. *)
-  let matching, stats = Sketchmodel.Model.run Protocols.Trivial.mm g coins in
+  let matching, stats =
+    stage "trivial-mm" (fun () -> Sketchmodel.Model.run Protocols.Trivial.mm g coins)
+  in
   Printf.printf "trivial maximal matching: %d edges, maximal=%b\n" (List.length matching)
     (Dgraph.Matching.is_maximal g matching);
   Format.printf "  cost: %a@." Sketchmodel.Model.pp_stats stats;

@@ -6,12 +6,21 @@
    the CSV renderer — the same path `sketchlb run behrend --format csv`
    takes, minus the command line.
 
-   Run with: dune exec examples/registry_csv.exe *)
+   Run with: dune exec examples/registry_csv.exe
+   Pass `--trace out.json` for a Chrome trace_event export: the table
+   computation is an [example.run-table] span with the registry's own
+   [registry.*]/[trial.*] spans nested inside. *)
 
 module R = Core.Exp_registry
 module T = Report.Tabular
 
+let trace_out =
+  match Array.to_list Sys.argv with _ :: "--trace" :: path :: _ -> Some path | _ -> None
+
+let stage name f = Stdx.Trace.span ("example." ^ name) f
+
 let () =
+  Report.Trace_export.with_file trace_out @@ fun () ->
   let id = "behrend" in
   let e =
     match Core.Exp_all.find id with
@@ -22,7 +31,7 @@ let () =
 
   (* [R.smoke] is the registry's own tiny-parameter set (the one the test
      suite uses); any `params` entry can be overridden the same way. *)
-  let table = R.table e (R.smoke e) in
+  let table = stage "run-table" (fun () -> R.table e (R.smoke e)) in
   T.emit ~format:T.Csv ~out:stdout table;
 
   (* The same table as JSON-lines, tagged with the experiment id — this is

@@ -9,25 +9,36 @@
    while the classical insertion-only greedy matching breaks the moment a
    matched edge is deleted.
 
-   Run with: dune exec examples/streaming.exe *)
+   Run with: dune exec examples/streaming.exe
+   Pass `--trace out.json` for a Chrome trace_event export of the run:
+   the stream build, the sketch feed and the decode are [example.*]
+   spans, with the [graph.*] freeze spans nested inside. *)
+
+let trace_out =
+  match Array.to_list Sys.argv with _ :: "--trace" :: path :: _ -> Some path | _ -> None
+
+let stage name f = Stdx.Trace.span ("example." ^ name) f
 
 let () =
+  Report.Trace_export.with_file trace_out @@ fun () ->
   let n = 48 in
   let rng = Stdx.Prng.create 2026 in
   let g = Dgraph.Gen.gnp rng n 0.12 in
   let coins = Sketchmodel.Public_coins.create 99 in
 
   (* A stream ending at g, with as many decoy edges as real ones. *)
-  let stream = Streams.Stream.with_decoys rng g ~decoys:(Dgraph.Graph.m g) in
+  let stream =
+    stage "build-stream" (fun () -> Streams.Stream.with_decoys rng g ~decoys:(Dgraph.Graph.m g))
+  in
   Printf.printf "final graph: n=%d m=%d; stream: %d events (%d of them deletions)\n" n
     (Dgraph.Graph.m g)
     (Streams.Stream.length stream)
     ((Streams.Stream.length stream - Dgraph.Graph.m g) / 2);
 
   let proc = Streams.Sketch_stream.create ~n coins in
-  Streams.Sketch_stream.feed_all proc stream;
+  stage "feed-sketches" (fun () -> Streams.Sketch_stream.feed_all proc stream);
 
-  let forest = Streams.Sketch_stream.spanning_forest proc in
+  let forest = stage "decode-forest" (fun () -> Streams.Sketch_stream.spanning_forest proc) in
   Printf.printf "streamed AGM sketches: %d bits of state, forest valid = %b\n"
     (Streams.Sketch_stream.space_bits proc)
     (Dgraph.Components.is_spanning_forest g forest);

@@ -28,6 +28,7 @@ let experiments : R.experiment list =
     Exp_estimate_info.experiment;
     Exp_yao.experiment;
     Exp_bcc.experiment;
+    Exp_hyper_mm.experiment;
     Exp_speedup.experiment;
   ]
 

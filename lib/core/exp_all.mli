@@ -1,0 +1,28 @@
+(** The experiment catalogue: every DESIGN.md §4 table, registered at
+    module-initialisation time in the canonical [run_all] order — any
+    code that touches this module (the CLI, the bench driver, the tests)
+    sees a fully-populated {!Exp_registry}, and because the list is an
+    explicit value the linker can never drop an experiment module. *)
+
+val experiments : Exp_registry.experiment list
+(** The canonical ordered catalogue (registered as a side effect of
+    module initialisation). *)
+
+val find : string -> Exp_registry.experiment option
+(** Look an experiment up by id; {!Exp_registry.find} with the
+    catalogue guaranteed populated. *)
+
+val all : unit -> Exp_registry.experiment list
+(** Every registered experiment in registration order. *)
+
+val run_all :
+  ?fast:bool ->
+  ?jobs:int ->
+  ?format:Report.Tabular.format ->
+  ?out:out_channel ->
+  unit ->
+  unit
+(** Run every experiment at its [all] (or [all --fast]) sizes. Text
+    format interleaves tables with wall-time lines on [out] (classic
+    [run_all] output); CSV/JSON keep [out] clean — rows only, each
+    stamped with its experiment id — and push timing lines to stderr. *)

@@ -44,7 +44,7 @@ val make :
 (** Deterministic constructor with all randomness injected — the
     information-accounting harness enumerates the whole sample space
     through this. [kept.(i).(e)] follows the edge order of
-    [Graph.edges rs.graph]; [sigma] must be a permutation of
+    [Graph.edges_array rs.graph]; [sigma] must be a permutation of
     [\[0, N - 2r + 2rk)]. *)
 
 val big_n : t -> int

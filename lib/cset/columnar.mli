@@ -1,0 +1,43 @@
+(** Columnar freeze primitives: key sorting, deduplication helpers and
+    CSR index fills.
+
+    These are the allocation-disciplined interior loops of
+    {!Store.freeze} (and, through it, [Dgraph.Graph.of_keys]): plain int
+    arrays in, plain int arrays out, no closures on the hot paths. *)
+
+val sort_keys : int array -> unit
+(** Sort non-negative int keys ascending, in place. Large arrays (length
+    [>= 512]) take an LSD base-256 radix sort whose pass count is the
+    byte-width of the largest key — on [u*n+v] edge keys this replaces
+    the generic comparison sort's [O(len log len)] compare calls with
+    [ceil(bits/8)] counting passes over the data (one scratch array of
+    the same length). Small arrays fall back to [Array.sort]. The result
+    is identical either way. *)
+
+val radix_sort_nonneg : int array -> unit
+(** The radix sort itself, without the small-array fallback — exposed for
+    tests pinning [sort_keys]'s equivalence to [Array.sort]. *)
+
+val count_distinct : int array -> int
+(** Number of distinct values in an ascending-sorted array (containing no
+    [min_int]). *)
+
+val iter_distinct : (int -> unit) -> int array -> unit
+(** Apply a function to each distinct value of an ascending-sorted array
+    (containing no [min_int]), in order. *)
+
+val neighbor_csr : n:int -> eu:int array -> ev:int array -> int array * int array
+(** [(row_start, col)] of the merged undirected neighbour CSR of the
+    normalised edge columns ([eu.(i) < ev.(i)], lexicographic order):
+    [row_start] has length [n+1], each row of [col] is sorted ascending.
+    One counting pass, one prefix sum, one scatter — no per-row sort. *)
+
+val incidence_of_fixed : cod_count:int -> int array -> int array * int array
+(** [(row_start, dom_ids)] of a fixed column's incidence index: for each
+    codomain element, the domain elements mapping to it, ascending. *)
+
+val incidence_of_segments :
+  cod_count:int -> seg_row:int array -> seg_val:int array -> int array * int array
+(** Incidence index of a variable column ([seg_row]/[seg_val] CSR over
+    domain elements): one entry per (row, value) occurrence, domain ids
+    ascending within each codomain row. *)

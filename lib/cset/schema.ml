@@ -1,0 +1,141 @@
+(* Schema descriptions for the columnar incidence store (DESIGN.md §11).
+
+   A schema names the *part kinds* of a structure (e.g. "vertex" and
+   "edge") and the *morphism columns* between them (e.g. "src"/"dst", or
+   a variable-arity "pins" column). Parts split into two roles derived
+   from the morphisms: a part that is the domain of at least one morphism
+   is a relation part (its elements are the rows fed to the freeze
+   pipeline); every other part is an object part (its element count is
+   fixed up front). The store itself lives in [Store]; this module is
+   pure description plus validation. *)
+
+type arity = Fixed | Variable
+
+type morphism = {
+  m_name : string;
+  m_dom : string;
+  m_cod : string;
+  m_arity : arity;
+  m_indexed : bool;
+}
+
+type t = {
+  parts : string array;
+  morphisms : morphism array;
+  part_morphisms : int array array;
+      (* per part: indices (in schema order) of the morphisms it is the
+         domain of — the columns of one row of that part *)
+}
+
+let fixed ?(indexed = false) ~dom ~cod name =
+  { m_name = name; m_dom = dom; m_cod = cod; m_arity = Fixed; m_indexed = indexed }
+
+let variable ?(indexed = false) ~dom ~cod name =
+  { m_name = name; m_dom = dom; m_cod = cod; m_arity = Variable; m_indexed = indexed }
+
+let find_part t name =
+  let rec go i =
+    if i >= Array.length t.parts then None else if t.parts.(i) = name then Some i else go (i + 1)
+  in
+  go 0
+
+let part_index t name =
+  match find_part t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.part_index: unknown part %S" name)
+
+let find_morphism t name =
+  let rec go i =
+    if i >= Array.length t.morphisms then None
+    else if t.morphisms.(i).m_name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let morphism_index t name =
+  match find_morphism t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.morphism_index: unknown morphism %S" name)
+
+let make ~parts ~morphisms =
+  let parts = Array.of_list parts in
+  let morphisms = Array.of_list morphisms in
+  if Array.length parts = 0 then invalid_arg "Schema.make: no parts";
+  Array.iteri
+    (fun i p ->
+      if p = "" then invalid_arg "Schema.make: empty part name";
+      for j = 0 to i - 1 do
+        if parts.(j) = p then invalid_arg (Printf.sprintf "Schema.make: duplicate part %S" p)
+      done)
+    parts;
+  let part_ix name =
+    let rec go i =
+      if i >= Array.length parts then
+        invalid_arg (Printf.sprintf "Schema.make: morphism references unknown part %S" name)
+      else if parts.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.iteri
+    (fun i m ->
+      if m.m_name = "" then invalid_arg "Schema.make: empty morphism name";
+      ignore (part_ix m.m_dom);
+      ignore (part_ix m.m_cod);
+      for j = 0 to i - 1 do
+        if morphisms.(j).m_name = m.m_name then
+          invalid_arg (Printf.sprintf "Schema.make: duplicate morphism %S" m.m_name)
+      done)
+    morphisms;
+  let part_morphisms =
+    Array.init (Array.length parts) (fun p ->
+        let out = ref [] in
+        Array.iteri (fun mi m -> if part_ix m.m_dom = p then out := mi :: !out) morphisms;
+        Array.of_list (List.rev !out))
+  in
+  (* One row of a relation part is its fixed columns followed by the tail
+     of at most one variable column: reject layouts the row encoding
+     cannot represent. *)
+  Array.iteri
+    (fun p ms ->
+      let saw_variable = ref false in
+      Array.iter
+        (fun mi ->
+          match morphisms.(mi).m_arity with
+          | Variable ->
+              if !saw_variable then
+                invalid_arg
+                  (Printf.sprintf
+                     "Schema.make: part %S has more than one variable-arity morphism" parts.(p));
+              saw_variable := true
+          | Fixed ->
+              if !saw_variable then
+                invalid_arg
+                  (Printf.sprintf
+                     "Schema.make: part %S declares a fixed morphism after a variable one"
+                     parts.(p)))
+        ms)
+    part_morphisms;
+  { parts; morphisms; part_morphisms }
+
+let parts t = Array.copy t.parts
+let n_parts t = Array.length t.parts
+let n_morphisms t = Array.length t.morphisms
+let part_name t i = t.parts.(i)
+let morphism t i = t.morphisms.(i)
+let morphisms_of_part t p = Array.copy t.part_morphisms.(p)
+let dom t mi = part_index t t.morphisms.(mi).m_dom
+let cod t mi = part_index t t.morphisms.(mi).m_cod
+let is_relation_part t p = Array.length t.part_morphisms.(p) > 0
+
+(* The variable morphism of a part, if any (always last in row order). *)
+let variable_morphism t p =
+  let ms = t.part_morphisms.(p) in
+  let k = Array.length ms in
+  if k > 0 && t.morphisms.(ms.(k - 1)).m_arity = Variable then Some ms.(k - 1) else None
+
+let fixed_morphisms t p =
+  let ms = t.part_morphisms.(p) in
+  match variable_morphism t p with
+  | None -> Array.copy ms
+  | Some _ -> Array.sub ms 0 (Array.length ms - 1)

@@ -1,0 +1,80 @@
+(** Schema descriptions for the columnar incidence store.
+
+    A schema names {e part kinds} (e.g. ["vertex"], ["edge"]) and typed
+    {e morphism columns} between them (e.g. ["src"]/["dst"] from edges to
+    vertices, or a variable-arity ["pins"] incidence column for
+    hypergraphs) — the C-set pattern specialised to what the freeze
+    pipeline needs. A part that is the domain of at least one morphism is
+    a {e relation part}: its elements are the rows the {!Store.Builder}
+    accumulates and {!Store.freeze} sorts and deduplicates. Every other
+    part is an {e object part} whose element count is fixed at build
+    time. Schemas are immutable descriptions; validation happens once in
+    {!make}. *)
+
+(** Column shape: [Fixed] stores exactly one codomain value per domain
+    element; [Variable] stores a sorted segment of values per domain
+    element (CSR-style). *)
+type arity = Fixed | Variable
+
+type morphism = {
+  m_name : string;  (** Column name, unique within the schema. *)
+  m_dom : string;  (** Domain part (the rows the column belongs to). *)
+  m_cod : string;  (** Codomain part (the values the column holds). *)
+  m_arity : arity;
+  m_indexed : bool;
+      (** Whether {!Store.freeze} builds the incident-lookup CSR index
+          (codomain element -> domain elements) for this column. *)
+}
+
+type t
+
+val fixed : ?indexed:bool -> dom:string -> cod:string -> string -> morphism
+(** [fixed ~dom ~cod name] declares a one-value-per-row column;
+    [indexed] (default [false]) requests the incidence index. *)
+
+val variable : ?indexed:bool -> dom:string -> cod:string -> string -> morphism
+(** [variable ~dom ~cod name] declares a variable-arity column — each row
+    carries a segment of codomain values (a hyperedge's pins). *)
+
+val make : parts:string list -> morphisms:morphism list -> t
+(** Validates and freezes a schema. Raises [Invalid_argument] on empty or
+    duplicate names, morphisms over unknown parts, more than one variable
+    column per part, or a fixed column declared after a variable one
+    (rows are encoded as all fixed values then the variable tail). *)
+
+val parts : t -> string array
+(** Part names, in declaration order (a fresh copy). *)
+
+val n_parts : t -> int
+val n_morphisms : t -> int
+
+val part_index : t -> string -> int
+(** Index of a part by name; raises [Invalid_argument] when unknown. *)
+
+val find_part : t -> string -> int option
+val part_name : t -> int -> string
+
+val morphism_index : t -> string -> int
+(** Index of a morphism by name; raises [Invalid_argument] when unknown. *)
+
+val find_morphism : t -> string -> int option
+val morphism : t -> int -> morphism
+
+val dom : t -> int -> int
+(** Domain part index of a morphism. *)
+
+val cod : t -> int -> int
+(** Codomain part index of a morphism. *)
+
+val morphisms_of_part : t -> int -> int array
+(** Morphism indices whose domain is the given part, in declaration order
+    — the columns of one row of that part. *)
+
+val is_relation_part : t -> int -> bool
+(** Whether the part is the domain of at least one morphism. *)
+
+val variable_morphism : t -> int -> int option
+(** The part's variable column, if it has one (always last in row order). *)
+
+val fixed_morphisms : t -> int -> int array
+(** The part's fixed columns, in row order. *)

@@ -1,0 +1,423 @@
+(* The schema-driven columnar incidence store (DESIGN.md §11).
+
+   A frozen store holds, per part, an element count, and per morphism
+   either one flat value column (Fixed) or a CSR segment pair (Variable),
+   plus — for morphisms the schema marks [indexed] — an incident-lookup
+   CSR from codomain elements back to the domain rows touching them.
+
+   All construction funnels through one sort+dedup+index pipeline
+   ([freeze] / [freeze_keys]): rows of a relation part are accumulated
+   mutably ([Builder]), sorted (packed-int radix sort when every column
+   of the part is Fixed and the row fits one native int; lexicographic
+   row sort otherwise), deduplicated, and split into immutable columns.
+   [Dgraph.Graph] instantiates this with parts vertex/edge and fixed
+   src/dst columns — its packed keys are exactly the historical
+   [u*n + v] encoding — and [Dgraph.Hypergraph] with a variable,
+   indexed pins column. The pipeline phases run inside trace spans
+   [<prefix>.sort] / [<prefix>.dedup] / [<prefix>.csr-fill], so every
+   instance shares one tracing/bench surface. *)
+
+module S = Schema
+
+type t = {
+  schema : S.t;
+  counts : int array;
+  fixed : int array array;  (* per morphism; [||] for Variable *)
+  seg_row : int array array;  (* per morphism; [||] for Fixed *)
+  seg_val : int array array;
+  inc_row : int array array;  (* per morphism; [||] unless indexed *)
+  inc_ids : int array array;
+}
+
+let schema t = t.schema
+let count t p = t.counts.(p)
+
+let fixed_column t mi =
+  match (S.morphism t.schema mi).S.m_arity with
+  | S.Fixed -> t.fixed.(mi)
+  | S.Variable -> invalid_arg "Store.fixed_column: variable-arity morphism"
+
+let segments t mi =
+  match (S.morphism t.schema mi).S.m_arity with
+  | S.Variable -> (t.seg_row.(mi), t.seg_val.(mi))
+  | S.Fixed -> invalid_arg "Store.segments: fixed-arity morphism"
+
+let incidence t mi =
+  if not (S.morphism t.schema mi).S.m_indexed then
+    invalid_arg "Store.incidence: morphism not indexed";
+  (t.inc_row.(mi), t.inc_ids.(mi))
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                             *)
+
+(* A relation part packs into single-int keys when all its columns are
+   Fixed and the row-major product of codomain counts fits a native int.
+   Strides are row-major so the packed order is lexicographic row order
+   — and so a graph edge (u, v) packs to the historical [u*n + v]. *)
+let packing schema counts p =
+  match S.variable_morphism schema p with
+  | Some _ -> None
+  | None ->
+      let ms = S.morphisms_of_part schema p in
+      let k = Array.length ms in
+      if k = 0 then None
+      else begin
+        let cods = Array.map (fun mi -> counts.(S.cod schema mi)) ms in
+        let ok = ref true in
+        let total = ref 1 in
+        (* A zero-count codomain packs trivially: no row can exist, so
+           [total] is 0 and [add_packed] rejects every key. *)
+        Array.iter
+          (fun c ->
+            if c = 0 || !total = 0 then total := 0
+            else if !total > max_int / c then ok := false
+            else total := !total * c)
+          cods;
+        if not !ok then None
+        else begin
+          let strides = Array.make k 1 in
+          for j = k - 2 downto 0 do
+            strides.(j) <- strides.(j + 1) * cods.(j + 1)
+          done;
+          Some (strides, cods, !total)
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Freezing                                                            *)
+
+(* Shared incidence pass: build the incident-lookup CSR of every indexed
+   morphism, inside one <prefix>.csr-fill span (emitted only when the
+   schema asks for at least one index). *)
+let build_incidence ~span_prefix schema counts fixed seg_row seg_val =
+  let nm = S.n_morphisms schema in
+  let inc_row = Array.make nm [||] and inc_ids = Array.make nm [||] in
+  let any = ref false in
+  for mi = 0 to nm - 1 do
+    if (S.morphism schema mi).S.m_indexed then any := true
+  done;
+  if !any then begin
+    Stdx.Trace.begin_ (span_prefix ^ ".csr-fill");
+    for mi = 0 to nm - 1 do
+      let m = S.morphism schema mi in
+      if m.S.m_indexed then begin
+        let cod_count = counts.(S.cod schema mi) in
+        let row, ids =
+          match m.S.m_arity with
+          | S.Fixed -> Columnar.incidence_of_fixed ~cod_count fixed.(mi)
+          | S.Variable ->
+              Columnar.incidence_of_segments ~cod_count ~seg_row:seg_row.(mi)
+                ~seg_val:seg_val.(mi)
+        in
+        inc_row.(mi) <- row;
+        inc_ids.(mi) <- ids
+      end
+    done;
+    Stdx.Trace.end_ ()
+  end;
+  (inc_row, inc_ids)
+
+(* Packed-part pipeline over a caller-owned key array (destroyed by
+   sorting) — the generalisation of the historical [Graph.of_keys]. *)
+let freeze_packed_part ~span_prefix schema counts p ~strides ~cods keys len =
+  let keys = if len = Array.length keys then keys else Array.sub keys 0 len in
+  Stdx.Trace.begin_ (span_prefix ^ ".sort");
+  Columnar.sort_keys keys;
+  Stdx.Trace.end_ ();
+  Stdx.Trace.begin_ (span_prefix ^ ".dedup");
+  let m = Columnar.count_distinct keys in
+  let ms = S.morphisms_of_part schema p in
+  let k = Array.length ms in
+  let cols = Array.init k (fun _ -> Array.make m 0) in
+  let i = ref 0 in
+  Columnar.iter_distinct
+    (fun key ->
+      for j = 0 to k - 1 do
+        cols.(j).(!i) <- key / strides.(j) mod cods.(j)
+      done;
+      incr i)
+    keys;
+  Stdx.Trace.end_ ();
+  counts.(p) <- m;
+  (ms, cols)
+
+(* Row-buffer pipeline: lexicographic sort of row indices, adjacent
+   dedup, then split into fixed columns plus the variable tail. *)
+let freeze_rows_part ~span_prefix schema counts p ~nfixed ~data ~offs ~rlen =
+  let row_len i = (if i + 1 < rlen then offs.(i + 1) else offs.(rlen)) - offs.(i) in
+  let compare_rows a b =
+    let la = row_len a and lb = row_len b in
+    let oa = offs.(a) and ob = offs.(b) in
+    let rec go j =
+      if j >= la || j >= lb then compare la lb
+      else
+        let c = compare (data.(oa + j) : int) data.(ob + j) in
+        if c <> 0 then c else go (j + 1)
+    in
+    go 0
+  in
+  let order = Array.init rlen (fun i -> i) in
+  Stdx.Trace.begin_ (span_prefix ^ ".sort");
+  Array.sort compare_rows order;
+  Stdx.Trace.end_ ();
+  Stdx.Trace.begin_ (span_prefix ^ ".dedup");
+  let keep = Array.make rlen false in
+  let m = ref 0 in
+  let total_var = ref 0 in
+  for i = 0 to rlen - 1 do
+    if i = 0 || compare_rows order.(i - 1) order.(i) <> 0 then begin
+      keep.(i) <- true;
+      incr m;
+      total_var := !total_var + row_len order.(i) - nfixed
+    end
+  done;
+  let m = !m in
+  let ms = S.morphisms_of_part schema p in
+  let has_var = S.variable_morphism schema p <> None in
+  let cols = Array.init nfixed (fun _ -> Array.make m 0) in
+  let seg_row = if has_var then Array.make (m + 1) 0 else [||] in
+  let seg_val = if has_var then Array.make !total_var 0 else [||] in
+  let out = ref 0 and vout = ref 0 in
+  for i = 0 to rlen - 1 do
+    if keep.(i) then begin
+      let r = order.(i) in
+      let o = offs.(r) and l = row_len r in
+      for j = 0 to nfixed - 1 do
+        cols.(j).(!out) <- data.(o + j)
+      done;
+      if has_var then begin
+        for j = nfixed to l - 1 do
+          seg_val.(!vout) <- data.(o + j);
+          incr vout
+        done;
+        seg_row.(!out + 1) <- !vout
+      end;
+      incr out
+    end
+  done;
+  Stdx.Trace.end_ ();
+  counts.(p) <- m;
+  (ms, cols, seg_row, seg_val)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+module Builder = struct
+  type store = t
+
+  type packed = {
+    strides : int array;
+    cods : int array;
+    total : int;
+    mutable keys : int array;
+    mutable len : int;
+  }
+
+  type rows = {
+    nfixed : int;
+    fixed_cods : int array;
+    var_cod : int;  (* -1 when the part has no variable column *)
+    mutable data : int array;
+    mutable dlen : int;
+    mutable offs : int array;
+    mutable rlen : int;
+  }
+
+  type repr = Packed of packed | Rows of rows
+
+  type t = { schema : S.t; counts : int array; reprs : repr option array }
+
+  let create ?(capacity = 16) schema ~counts =
+    if Array.length counts <> S.n_parts schema then
+      invalid_arg "Store.Builder.create: counts length mismatch";
+    Array.iter (fun c -> if c < 0 then invalid_arg "Store.Builder.create: negative count") counts;
+    let counts = Array.copy counts in
+    let capacity = max capacity 1 in
+    let reprs =
+      Array.init (S.n_parts schema) (fun p ->
+          if not (S.is_relation_part schema p) then None
+          else begin
+            counts.(p) <- 0;
+            match packing schema counts p with
+            | Some (strides, cods, total) ->
+                Some (Packed { strides; cods; total; keys = Array.make capacity 0; len = 0 })
+            | None ->
+                let fixed_ms = S.fixed_morphisms schema p in
+                let fixed_cods = Array.map (fun mi -> counts.(S.cod schema mi)) fixed_ms in
+                let var_cod =
+                  match S.variable_morphism schema p with
+                  | Some mi -> counts.(S.cod schema mi)
+                  | None -> -1
+                in
+                Some
+                  (Rows
+                     {
+                       nfixed = Array.length fixed_ms;
+                       fixed_cods;
+                       var_cod;
+                       data = Array.make (capacity * 4) 0;
+                       dlen = 0;
+                       offs = Array.make capacity 0;
+                       rlen = 0;
+                     })
+          end)
+    in
+    { schema; counts; reprs }
+
+  let repr b part =
+    match b.reprs.(part) with
+    | Some r -> r
+    | None -> invalid_arg "Store.Builder: not a relation part"
+
+  let length b ~part =
+    match repr b part with Packed p -> p.len | Rows r -> r.rlen
+
+  let push_key p key =
+    if p.len = Array.length p.keys then begin
+      let bigger = Array.make (2 * p.len) 0 in
+      Array.blit p.keys 0 bigger 0 p.len;
+      p.keys <- bigger
+    end;
+    p.keys.(p.len) <- key;
+    p.len <- p.len + 1
+    [@@inline]
+
+  let add_packed b ~part key =
+    match repr b part with
+    | Packed p ->
+        if key < 0 || key >= p.total then invalid_arg "Store.Builder.add_packed: key out of range";
+        push_key p key
+    | Rows _ -> invalid_arg "Store.Builder.add_packed: part is not packed"
+
+  let add_row b ~part vals =
+    match repr b part with
+    | Packed p ->
+        let k = Array.length p.strides in
+        if Array.length vals <> k then invalid_arg "Store.Builder.add_row: row width mismatch";
+        let key = ref 0 in
+        for j = 0 to k - 1 do
+          let v = vals.(j) in
+          if v < 0 || v >= p.cods.(j) then
+            invalid_arg "Store.Builder.add_row: value out of range";
+          key := !key + (v * p.strides.(j))
+        done;
+        push_key p !key
+    | Rows r ->
+        let l = Array.length vals in
+        if l < r.nfixed then invalid_arg "Store.Builder.add_row: row width mismatch";
+        if l > r.nfixed && r.var_cod < 0 then
+          invalid_arg "Store.Builder.add_row: row width mismatch";
+        for j = 0 to l - 1 do
+          let cod = if j < r.nfixed then r.fixed_cods.(j) else r.var_cod in
+          if vals.(j) < 0 || vals.(j) >= cod then
+            invalid_arg "Store.Builder.add_row: value out of range"
+        done;
+        if r.rlen = Array.length r.offs then begin
+          let bigger = Array.make (2 * r.rlen) 0 in
+          Array.blit r.offs 0 bigger 0 r.rlen;
+          r.offs <- bigger
+        end;
+        r.offs.(r.rlen) <- r.dlen;
+        r.rlen <- r.rlen + 1;
+        if r.dlen + l > Array.length r.data then begin
+          let bigger = Array.make (max (2 * Array.length r.data) (r.dlen + l)) 0 in
+          Array.blit r.data 0 bigger 0 r.dlen;
+          r.data <- bigger
+        end;
+        Array.blit vals 0 r.data r.dlen l;
+        r.dlen <- r.dlen + l
+
+  let freeze ?(span_prefix = "cset") b : store =
+    let schema = b.schema in
+    let nm = S.n_morphisms schema in
+    let counts = Array.copy b.counts in
+    let fixed = Array.make nm [||] in
+    let seg_row = Array.make nm [||] and seg_val = Array.make nm [||] in
+    Array.iteri
+      (fun p repr ->
+        match repr with
+        | None -> ()
+        | Some (Packed pk) ->
+            let ms, cols =
+              freeze_packed_part ~span_prefix schema counts p ~strides:pk.strides ~cods:pk.cods
+                pk.keys pk.len
+            in
+            Array.iteri (fun j mi -> fixed.(mi) <- cols.(j)) ms
+        | Some (Rows r) ->
+            (* Seal the offsets array so offs.(rlen) is the data length. *)
+            let offs =
+              if r.rlen < Array.length r.offs then r.offs
+              else begin
+                let bigger = Array.make (r.rlen + 1) 0 in
+                Array.blit r.offs 0 bigger 0 r.rlen;
+                bigger
+              end
+            in
+            offs.(r.rlen) <- r.dlen;
+            let ms, cols, srow, sval =
+              freeze_rows_part ~span_prefix schema counts p ~nfixed:r.nfixed ~data:r.data ~offs
+                ~rlen:r.rlen
+            in
+            Array.iteri
+              (fun j mi -> if j < r.nfixed then fixed.(mi) <- cols.(j))
+              ms;
+            (match S.variable_morphism schema p with
+            | Some mi ->
+                seg_row.(mi) <- srow;
+                seg_val.(mi) <- sval
+            | None -> ()))
+      b.reprs;
+    let inc_row, inc_ids = build_incidence ~span_prefix schema counts fixed seg_row seg_val in
+    { schema; counts; fixed; seg_row; seg_val; inc_row; inc_ids }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Direct entries                                                      *)
+
+let freeze_keys ?(span_prefix = "cset") schema ~part ~counts keys len =
+  if Array.length counts <> S.n_parts schema then
+    invalid_arg "Store.freeze_keys: counts length mismatch";
+  let counts = Array.copy counts in
+  for p = 0 to S.n_parts schema - 1 do
+    if p <> part && S.is_relation_part schema p then
+      invalid_arg "Store.freeze_keys: schema has other relation parts"
+  done;
+  match packing schema counts part with
+  | None -> invalid_arg "Store.freeze_keys: part is not packable"
+  | Some (strides, cods, _total) ->
+      let nm = S.n_morphisms schema in
+      let fixed = Array.make nm [||] in
+      let seg_row = Array.make nm [||] and seg_val = Array.make nm [||] in
+      let ms, cols =
+        freeze_packed_part ~span_prefix schema counts part ~strides ~cods keys len
+      in
+      Array.iteri (fun j mi -> fixed.(mi) <- cols.(j)) ms;
+      let inc_row, inc_ids = build_incidence ~span_prefix schema counts fixed seg_row seg_val in
+      { schema; counts; fixed; seg_row; seg_val; inc_row; inc_ids }
+
+type column = Fixed_col of int array | Seg_col of int array * int array
+
+let unsafe_of_columns schema ~counts ~columns =
+  if Array.length counts <> S.n_parts schema then
+    invalid_arg "Store.unsafe_of_columns: counts length mismatch";
+  if Array.length columns <> S.n_morphisms schema then
+    invalid_arg "Store.unsafe_of_columns: columns length mismatch";
+  let counts = Array.copy counts in
+  let nm = S.n_morphisms schema in
+  let fixed = Array.make nm [||] in
+  let seg_row = Array.make nm [||] and seg_val = Array.make nm [||] in
+  Array.iteri
+    (fun mi col ->
+      match (col, (S.morphism schema mi).S.m_arity) with
+      | Fixed_col vals, S.Fixed -> fixed.(mi) <- vals
+      | Seg_col (row, vals), S.Variable ->
+          seg_row.(mi) <- row;
+          seg_val.(mi) <- vals
+      | _ -> invalid_arg "Store.unsafe_of_columns: column shape mismatch")
+    columns;
+  let inc_row, inc_ids = build_incidence ~span_prefix:"cset" schema counts fixed seg_row seg_val in
+  { schema; counts; fixed; seg_row; seg_val; inc_row; inc_ids }
+
+let equal a b =
+  a.schema == b.schema && a.counts = b.counts && a.fixed = b.fixed && a.seg_row = b.seg_row
+  && a.seg_val = b.seg_val

@@ -1,0 +1,105 @@
+(** The schema-driven columnar incidence store.
+
+    A frozen store is a set of immutable flat int columns described by a
+    {!Schema.t}: per part an element count, per morphism either one value
+    column ([Fixed]) or a CSR segment pair ([Variable]), and — for
+    morphisms the schema marks [indexed] — an incident-lookup CSR from
+    codomain elements back to the domain rows touching them.
+
+    All construction funnels through one sort + dedup + index pipeline:
+    rows of a relation part accumulate in a mutable {!Builder}, then
+    {!Builder.freeze} sorts them (a packed-int radix sort when every
+    column of the part is [Fixed] and a row fits one native int — the
+    generalisation of the historical graph [u*n + v] key pipeline — or a
+    lexicographic row sort otherwise), collapses duplicates, and splits
+    the survivors into columns. The pipeline phases run inside trace
+    spans [<span_prefix>.sort] / [<span_prefix>.dedup] /
+    [<span_prefix>.csr-fill], so a graph, a hypergraph, and any future
+    instance share one tracing and benchmarking surface.
+    [Dgraph.Graph] and [Dgraph.Hypergraph] are the two in-tree
+    instances. *)
+
+type t
+(** A frozen store: immutable once built. *)
+
+val schema : t -> Schema.t
+
+val count : t -> int -> int
+(** Element count of a part (by schema index). For relation parts this is
+    the post-dedup row count. *)
+
+val fixed_column : t -> int -> int array
+(** The value column of a [Fixed] morphism (by schema index), length
+    [count t (dom)]. The returned array is the store's own — callers must
+    not mutate it. Raises [Invalid_argument] on a [Variable] morphism. *)
+
+val segments : t -> int -> int array * int array
+(** [(row, vals)] of a [Variable] morphism: row [i]'s values are
+    [vals.(row.(i)) .. vals.(row.(i+1)-1)]. Arrays are the store's own —
+    callers must not mutate them. Raises [Invalid_argument] on a [Fixed]
+    morphism. *)
+
+val incidence : t -> int -> int array * int array
+(** [(row, dom_ids)] of an [indexed] morphism's incident-lookup CSR:
+    for codomain element [v], the domain rows touching it are
+    [dom_ids.(row.(v)) .. dom_ids.(row.(v+1)-1)], ascending. Raises
+    [Invalid_argument] when the schema does not index the morphism. *)
+
+val equal : t -> t -> bool
+(** Same schema (physically), counts and columns. *)
+
+(** Mutable row accumulator for the relation parts of a schema. Create
+    with the object-part counts, [add_row] (or [add_packed]) in any
+    order — duplicate rows are fine — then [freeze] once. *)
+module Builder : sig
+  type store := t
+
+  type t
+
+  val create : ?capacity:int -> Schema.t -> counts:int array -> t
+  (** [create schema ~counts] is an empty builder; [counts] gives the
+      element count of every part by schema index (entries for relation
+      parts are ignored — their counts are determined at freeze).
+      [capacity] (default 16) pre-sizes the row stores. *)
+
+  val length : t -> part:int -> int
+  (** Rows added to a relation part so far (before deduplication). *)
+
+  val add_row : t -> part:int -> int array -> unit
+  (** Append one row: the part's [Fixed] column values in schema order,
+      then — when the part has a [Variable] column — its value tail.
+      Validates width and codomain ranges; raises [Invalid_argument]
+      otherwise, or when [part] is not a relation part. The array is
+      copied; the caller may reuse it. *)
+
+  val add_packed : t -> part:int -> int -> unit
+  (** Fast path for packable parts (all columns [Fixed], rows fitting one
+      native int): append a pre-packed row-major key — for a graph edge
+      part over [n] vertices, exactly the historical [u*n + v]. No
+      per-value validation beyond the key range; raises
+      [Invalid_argument] when the part is not packed. *)
+
+  val freeze : ?span_prefix:string -> t -> store
+  (** Sort + dedup every relation part and build the indexed morphisms'
+      incidence CSRs, inside [<span_prefix>.sort] / [.dedup] /
+      [.csr-fill] trace spans (default prefix ["cset"]). The builder is
+      consumed: using it after [freeze] is unspecified. *)
+end
+
+val freeze_keys :
+  ?span_prefix:string -> Schema.t -> part:int -> counts:int array -> int array -> int -> t
+(** [freeze_keys schema ~part ~counts keys len] runs the packed pipeline
+    directly over the first [len] entries of a caller-owned key array
+    (destroyed by sorting) — the zero-copy entry [Dgraph.Graph.of_keys]
+    feeds. [part] must be the schema's only relation part and packable
+    under [counts]; raises [Invalid_argument] otherwise. *)
+
+(** A pre-built column for {!unsafe_of_columns}, by morphism arity. *)
+type column = Fixed_col of int array | Seg_col of int array * int array
+
+val unsafe_of_columns : Schema.t -> counts:int array -> columns:column array -> t
+(** Adopt already-sorted, already-deduplicated columns without re-running
+    the pipeline (the [Graph.of_sorted_csr] / [disjoint_union] fast
+    paths). Only shapes are checked; row order and dedup are trusted, and
+    the arrays are adopted, not copied. Incidence CSRs of indexed
+    morphisms are still built. *)

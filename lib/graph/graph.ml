@@ -1,21 +1,27 @@
-(* Columnar graph core.
+(* Columnar graph core — the graph instance of the schema-driven
+   incidence store in [Cset] (DESIGN.md §8, §11).
 
-   The graph is frozen into two parallel columnar stores:
-   - a CSR neighbour store: [row_start] (length n+1) indexing into [col]
-     (length 2m), each row sorted ascending;
-   - a flat normalized edge store: [eu]/[ev] (length m each), the edges
-     (eu.(i), ev.(i)) with eu.(i) < ev.(i), in lexicographic order.
+   The underlying [Cset.Store.t] has parts "vertex" / "edge" and fixed
+   morphism columns "src" / "dst"; an edge (u, v) with u < v packs into
+   the single int key u*n + v (safe while n < 2^31 on 64-bit OCaml
+   ints), so the store's packed sort+dedup freeze pipeline is exactly
+   the historical one — radix-sorted key array, adjacent dedup, flat
+   normalized edge columns [eu]/[ev] in lexicographic order (aliases of
+   the store's src/dst columns, never copies). On top of the store the
+   graph keeps its one derived index: the merged CSR neighbour store
+   [row_start] (length n+1) indexing into [col] (length 2m), each row
+   sorted ascending.
 
-   Both are derived from one sorted, deduplicated key array where edge
-   (u, v), u < v, is encoded as the single int u*n + v (safe while
-   n < 2^31 on 64-bit OCaml ints). Construction funnels through
-   [of_keys]; [Builder] is the mutable front end for incremental
-   assembly, and [of_sorted_csr] / [disjoint_union] bypass the sort for
-   inputs that are already in CSR shape. *)
+   Construction funnels through [of_keys] (the store's [freeze_keys]
+   entry, under the same "graph.sort"/"graph.dedup"/"graph.csr-fill"
+   trace spans as ever); [Builder] is the mutable front end for
+   incremental assembly, and [of_sorted_csr] / [disjoint_union] adopt
+   already-CSR-shaped input without re-sorting. *)
 
 type edge = int * int
 
 type t = {
+  c : Cset.Store.t;
   n : int;
   m : int;
   row_start : int array;
@@ -24,73 +30,48 @@ type t = {
   ev : int array;
 }
 
+let schema =
+  Cset.Schema.make ~parts:[ "vertex"; "edge" ]
+    ~morphisms:
+      [
+        Cset.Schema.fixed ~dom:"edge" ~cod:"vertex" "src";
+        Cset.Schema.fixed ~dom:"edge" ~cod:"vertex" "dst";
+      ]
+
+let edge_part = 1
+let src_m = 0
+let dst_m = 1
+let cset g = g.c
+
 let normalize_edge u v =
   if u = v then invalid_arg "Graph.normalize_edge: self-loop";
   if u < v then (u, v) else (v, u)
 
-let int_compare (a : int) b = compare a b
+(* Wrap a frozen edge store with the graph-specific derived index (the
+   merged neighbour CSR). [begin_]/[end_] is safe here: freezes happen
+   on exactly one logical task per domain. *)
+let of_store c =
+  let n = Cset.Store.count c 0 and m = Cset.Store.count c edge_part in
+  let eu = Cset.Store.fixed_column c src_m and ev = Cset.Store.fixed_column c dst_m in
+  Stdx.Trace.begin_ "graph.csr-fill";
+  let row_start, col = Cset.Columnar.neighbor_csr ~n ~eu ~ev in
+  Stdx.Trace.end_ ();
+  { c; n; m; row_start; col; eu; ev }
 
 (* Build from the first [len] entries of [keys] (destroyed by sorting);
    duplicates are collapsed. The three phases — sort, dedup into edge
    columns, CSR fill — each run inside a trace span nested under
    "graph.freeze", so a Perfetto view of any experiment shows where
-   graph-construction time goes. [begin_]/[end_] is safe here: freezes
-   happen on exactly one logical task per domain. *)
+   graph-construction time goes. *)
 let of_keys n keys len =
   Stdx.Trace.begin_ "graph.freeze";
-  let keys = if len = Array.length keys then keys else Array.sub keys 0 len in
-  Stdx.Trace.begin_ "graph.sort";
-  Array.sort int_compare keys;
-  Stdx.Trace.end_ ();
-  Stdx.Trace.begin_ "graph.dedup";
-  let m =
-    let count = ref 0 and last = ref (-1) in
-    Array.iter
-      (fun key ->
-        if key <> !last then begin
-          incr count;
-          last := key
-        end)
-      keys;
-    !count
+  let c =
+    Cset.Store.freeze_keys ~span_prefix:"graph" schema ~part:edge_part ~counts:[| n; 0 |] keys
+      len
   in
-  let eu = Array.make m 0 and ev = Array.make m 0 in
-  let i = ref 0 and last = ref (-1) in
-  Array.iter
-    (fun key ->
-      if key <> !last then begin
-        eu.(!i) <- key / n;
-        ev.(!i) <- key mod n;
-        incr i;
-        last := key
-      end)
-    keys;
+  let g = of_store c in
   Stdx.Trace.end_ ();
-  (* CSR fill: count degrees, prefix-sum, then scatter both directions.
-     Scanning edges in lexicographic order appends, for every row w, first
-     the smaller neighbours (edges (x, w), x ascending) and then the larger
-     ones (edges (w, y), y ascending), so each row comes out sorted. *)
-  Stdx.Trace.begin_ "graph.csr-fill";
-  let row_start = Array.make (n + 1) 0 in
-  for i = 0 to m - 1 do
-    row_start.(eu.(i) + 1) <- row_start.(eu.(i) + 1) + 1;
-    row_start.(ev.(i) + 1) <- row_start.(ev.(i) + 1) + 1
-  done;
-  for v = 1 to n do
-    row_start.(v) <- row_start.(v) + row_start.(v - 1)
-  done;
-  let col = Array.make (2 * m) 0 in
-  let cursor = Array.sub row_start 0 (max n 1) in
-  for i = 0 to m - 1 do
-    let u = eu.(i) and v = ev.(i) in
-    col.(cursor.(u)) <- v;
-    cursor.(u) <- cursor.(u) + 1;
-    col.(cursor.(v)) <- u;
-    cursor.(v) <- cursor.(v) + 1
-  done;
-  Stdx.Trace.end_ ();
-  Stdx.Trace.end_ ();
-  { n; m; row_start; col; eu; ev }
+  g
 
 module Builder = struct
   type graph = t
@@ -168,7 +149,11 @@ let of_sorted_csr ~n ~row_start ~col =
     done
   done;
   if !i <> m then invalid_arg "Graph.of_sorted_csr: not a symmetric simple adjacency";
-  { n; m; row_start; col; eu; ev }
+  let c =
+    Cset.Store.unsafe_of_columns schema ~counts:[| n; m |]
+      ~columns:[| Cset.Store.Fixed_col eu; Cset.Store.Fixed_col ev |]
+  in
+  { c; n; m; row_start; col; eu; ev }
 
 let empty n = create n []
 
@@ -230,8 +215,6 @@ let fold_edges f g init =
   !acc
 
 let edges_array g = Array.init g.m (fun i -> (g.eu.(i), g.ev.(i)))
-
-let edges g = List.init g.m (fun i -> (g.eu.(i), g.ev.(i)))
 
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: vertex count mismatch";
@@ -308,7 +291,11 @@ let disjoint_union a b =
     eu.(a.m + i) <- b.eu.(i) + a.n;
     ev.(a.m + i) <- b.ev.(i) + a.n
   done;
-  { n; m = a.m + b.m; row_start; col; eu; ev }
+  let c =
+    Cset.Store.unsafe_of_columns schema ~counts:[| n; a.m + b.m |]
+      ~columns:[| Cset.Store.Fixed_col eu; Cset.Store.Fixed_col ev |]
+  in
+  { c; n; m = a.m + b.m; row_start; col; eu; ev }
 
 let equal a b = a.n = b.n && a.eu = b.eu && a.ev = b.ev
 

@@ -2,13 +2,15 @@
 
     This is the substrate every layer above shares: the RS construction, the
     hard distribution, the sketching protocols and the referee all exchange
-    values of this type. The representation is columnar (DESIGN.md §8): a
-    frozen CSR neighbour store (rows sorted ascending) plus a flat
-    normalized edge array in lexicographic order, so both neighbourhood
-    queries and whole-edge-set scans are cache-friendly, deterministic and
-    allocation-free. Graphs are assembled either through the legacy
-    list-taking {!create}, or — on hot paths — through {!Builder},
-    {!of_edge_array} and {!of_sorted_csr}. *)
+    values of this type. The representation is columnar (DESIGN.md §8,
+    §11): the graph is the two-part, two-morphism instance of the
+    schema-driven incidence store in {!Cset} — flat normalized src/dst
+    edge columns in lexicographic order — topped with one derived index,
+    a frozen CSR neighbour store (rows sorted ascending). Both
+    neighbourhood queries and whole-edge-set scans are cache-friendly,
+    deterministic and allocation-free. Graphs are assembled either
+    through the legacy list-taking {!create}, or — on hot paths —
+    through {!Builder}, {!of_edge_array} and {!of_sorted_csr}. *)
 
 type t
 (** A frozen graph: immutable once built, structurally comparable with
@@ -108,15 +110,6 @@ val max_degree : t -> int
 val mem_edge : t -> int -> int -> bool
 (** Edge test, order-insensitive; binary search in the shorter row. *)
 
-val edges : t -> edge list
-  [@@deprecated "use iter_edges/fold_edges (allocation-free) or edges_array"]
-(** All edges, normalised, in lexicographic order.
-
-    @deprecated Thin compat shim that conses one list cell plus one tuple
-    per edge; kept for out-of-tree callers (one pinned equivalence test
-    suppresses the alert in-tree). Use {!iter_edges} / {!fold_edges}
-    (allocation-free) or {!edges_array}. *)
-
 val edges_array : t -> edge array
 (** All edges, normalised, in lexicographic order, as a fresh array (safe
     to mutate, e.g. to shuffle into a greedy order). *)
@@ -147,6 +140,11 @@ val disjoint_union : t -> t -> t
 
 val equal : t -> t -> bool
 (** Same vertex count and same edge set. *)
+
+val cset : t -> Cset.Store.t
+(** The underlying frozen incidence store (parts ["vertex"]/["edge"],
+    fixed morphisms ["src"]/["dst"]); the edge columns are shared with
+    the graph, not copied. *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer: vertex count plus the edge list. *)

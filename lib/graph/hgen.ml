@@ -1,0 +1,77 @@
+(* Hypergraph generators, mirroring [Gen] for ordinary graphs. *)
+
+let uniform_random rng ~n ~m ~k =
+  if k < 2 || k > n then invalid_arg "Hgen.uniform_random: need 2 <= k <= n";
+  let b = Hypergraph.Builder.create ~capacity:(max m 1) n in
+  let pins = Array.make k 0 in
+  for _ = 1 to m do
+    (* Sample k distinct vertices by rejection — k is tiny next to n in
+       every workload we generate, so collisions are rare. *)
+    let filled = ref 0 in
+    while !filled < k do
+      let v = Stdx.Prng.int rng n in
+      let dup = ref false in
+      for j = 0 to !filled - 1 do
+        if pins.(j) = v then dup := true
+      done;
+      if not !dup then begin
+        pins.(!filled) <- v;
+        incr filled
+      end
+    done;
+    Hypergraph.Builder.add_edge b pins
+  done;
+  Hypergraph.Builder.freeze b
+
+let random_arity rng ~n ~m ~kmin ~kmax =
+  if kmin < 2 || kmax < kmin || kmax > n then invalid_arg "Hgen.random_arity: bad arity range";
+  let b = Hypergraph.Builder.create ~capacity:(max m 1) n in
+  for _ = 1 to m do
+    let k = kmin + Stdx.Prng.int rng (kmax - kmin + 1) in
+    let pins = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = Stdx.Prng.int rng n in
+      let dup = ref false in
+      for j = 0 to !filled - 1 do
+        if pins.(j) = v then dup := true
+      done;
+      if not !dup then begin
+        pins.(!filled) <- v;
+        incr filled
+      end
+    done;
+    Hypergraph.Builder.add_edge b pins
+  done;
+  Hypergraph.Builder.freeze b
+
+let blocks ~n ~k =
+  if k < 2 then invalid_arg "Hgen.blocks: need k >= 2";
+  let b = Hypergraph.Builder.create ~capacity:(max (n / k) 1) n in
+  let e = ref 0 in
+  while (!e + 1) * k <= n do
+    Hypergraph.Builder.add_edge b (Array.init k (fun j -> (!e * k) + j));
+    incr e
+  done;
+  Hypergraph.Builder.freeze b
+
+let sunflower ~petals ~core ~petal =
+  if core < 1 || petal < 1 || petals < 1 then invalid_arg "Hgen.sunflower: bad shape";
+  let n = core + (petals * petal) in
+  let b = Hypergraph.Builder.create ~capacity:petals n in
+  for p = 0 to petals - 1 do
+    let pins =
+      Array.init (core + petal) (fun j ->
+          if j < core then j else core + (p * petal) + (j - core))
+    in
+    Hypergraph.Builder.add_edge b pins
+  done;
+  Hypergraph.Builder.freeze b
+
+let tight_path ~n ~k =
+  if k < 2 || n < k then invalid_arg "Hgen.tight_path: need 2 <= k <= n";
+  let b = Hypergraph.Builder.create ~capacity:(n - k + 1) n in
+  for s = 0 to n - k do
+    Hypergraph.Builder.add_edge b (Array.init k (fun j -> s + j))
+  done;
+  Hypergraph.Builder.freeze b

@@ -1,0 +1,26 @@
+(** Hypergraph generators for tests, examples and workloads — the
+    {!Gen} counterpart for {!Hypergraph}. *)
+
+val uniform_random : Stdx.Prng.t -> n:int -> m:int -> k:int -> Hypergraph.t
+(** [m] hyperedges, each of [k] distinct vertices sampled uniformly from
+    [\[0, n)] (duplicate hyperedges collapse at freeze, so the realised
+    edge count can fall slightly short). Requires [2 <= k <= n]. *)
+
+val random_arity : Stdx.Prng.t -> n:int -> m:int -> kmin:int -> kmax:int -> Hypergraph.t
+(** Like {!uniform_random} with each hyperedge's arity drawn uniformly
+    from [\[kmin, kmax\]]. Requires [2 <= kmin <= kmax <= n]. *)
+
+val blocks : n:int -> k:int -> Hypergraph.t
+(** The disjoint partition workload: hyperedges [{ik .. ik+k-1}] for
+    consecutive blocks — the hypergraph analogue of
+    {!Gen.perfect_matching} (any maximal matching must take every
+    block). *)
+
+val sunflower : petals:int -> core:int -> petal:int -> Hypergraph.t
+(** A sunflower: [petals] hyperedges sharing the common core
+    [0 .. core-1], each adding [petal] private vertices. Any two edges
+    intersect, so a maximal matching has exactly one edge. *)
+
+val tight_path : n:int -> k:int -> Hypergraph.t
+(** The tight path: all [n-k+1] windows [{s .. s+k-1}] of width [k] —
+    the hypergraph analogue of {!Gen.path}. *)

@@ -1,0 +1,90 @@
+(* Hypergraph matchings: a matching is a set of pairwise vertex-disjoint
+   hyperedges, maximal when every hyperedge of the graph meets a covered
+   vertex. Edges are identified by id (lexicographic pin order). *)
+
+type t = int list
+
+type verdict = { edges_exist : bool; disjoint : bool; maximal : bool }
+
+let size = List.length
+
+let covered_vertices h ids =
+  let s = Stdx.Bitset.create (Hypergraph.n h) in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= Hypergraph.m h then invalid_arg "Hmatching: edge id out of range";
+      Hypergraph.iter_pins (fun v -> Stdx.Bitset.add s v) h e)
+    ids;
+  s
+
+let is_matching h ids =
+  let s = Stdx.Bitset.create (Hypergraph.n h) in
+  List.for_all
+    (fun e ->
+      e >= 0 && e < Hypergraph.m h
+      && begin
+           let clash = Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem s v) h e in
+           Hypergraph.iter_pins (fun v -> Stdx.Bitset.add s v) h e;
+           not clash
+         end)
+    ids
+
+let is_maximal_given h covered =
+  let ok = ref true in
+  for e = 0 to Hypergraph.m h - 1 do
+    if not (Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem covered v) h e) then ok := false
+  done;
+  !ok
+
+let is_maximal h ids = is_matching h ids && is_maximal_given h (covered_vertices h ids)
+
+let verify h ids =
+  let in_range = List.for_all (fun e -> e >= 0 && e < Hypergraph.m h) ids in
+  if not in_range then { edges_exist = false; disjoint = false; maximal = false }
+  else begin
+    let s = Stdx.Bitset.create (Hypergraph.n h) in
+    let disjoint =
+      List.for_all
+        (fun e ->
+          let clash = Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem s v) h e in
+          Hypergraph.iter_pins (fun v -> Stdx.Bitset.add s v) h e;
+          not clash)
+        ids
+    in
+    { edges_exist = true; disjoint; maximal = is_maximal_given h s }
+  end
+
+let greedy h ?order () =
+  let order = match order with Some o -> o | None -> Array.init (Hypergraph.m h) (fun e -> e) in
+  let covered = Stdx.Bitset.create (Hypergraph.n h) in
+  let out = ref [] in
+  Array.iter
+    (fun e ->
+      if not (Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem covered v) h e) then begin
+        Hypergraph.iter_pins (fun v -> Stdx.Bitset.add covered v) h e;
+        out := e :: !out
+      end)
+    order;
+  List.rev !out
+
+let augment_to_maximal h ids =
+  let covered = Stdx.Bitset.create (Hypergraph.n h) in
+  let kept = ref [] in
+  List.iter
+    (fun e ->
+      if
+        e >= 0
+        && e < Hypergraph.m h
+        && not (Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem covered v) h e)
+      then begin
+        Hypergraph.iter_pins (fun v -> Stdx.Bitset.add covered v) h e;
+        kept := e :: !kept
+      end)
+    ids;
+  for e = 0 to Hypergraph.m h - 1 do
+    if not (Hypergraph.exists_pin (fun v -> Stdx.Bitset.mem covered v) h e) then begin
+      Hypergraph.iter_pins (fun v -> Stdx.Bitset.add covered v) h e;
+      kept := e :: !kept
+    end
+  done;
+  List.rev !kept

@@ -1,0 +1,42 @@
+(** Hypergraph matchings: validity, maximality and greedy construction —
+    the {!Matching} counterpart for {!Hypergraph}.
+
+    A matching is a set of pairwise vertex-disjoint hyperedges, given by
+    edge ids (the frozen lexicographic order); it is maximal when every
+    hyperedge of the graph meets a covered vertex. The checkers mirror
+    the paper's error model: a protocol output can fail by naming a
+    non-edge, by overlapping, or by not being maximal — each reported
+    separately. *)
+
+type t = int list
+(** A (candidate) matching: a list of hyperedge ids. *)
+
+(** The three failure modes, each reported separately. *)
+type verdict = {
+  edges_exist : bool;  (** every listed id is an edge of the hypergraph *)
+  disjoint : bool;  (** no two listed edges share a pin *)
+  maximal : bool;  (** every hyperedge meets a covered vertex *)
+}
+
+val size : t -> int
+(** Number of hyperedges in the matching. *)
+
+val is_matching : Hypergraph.t -> t -> bool
+(** Ids in range and edges pairwise vertex-disjoint. *)
+
+val is_maximal : Hypergraph.t -> t -> bool
+(** [is_matching] and no extendable hyperedge remains. *)
+
+val verify : Hypergraph.t -> t -> verdict
+(** All three checks of {!verdict} in one pass. *)
+
+val covered_vertices : Hypergraph.t -> t -> Stdx.Bitset.t
+(** The set of vertices pinned by the listed hyperedges. *)
+
+val greedy : Hypergraph.t -> ?order:int array -> unit -> t
+(** Greedy maximal matching scanning hyperedges in the given order
+    (default: lexicographic edge ids). Always maximal. *)
+
+val augment_to_maximal : Hypergraph.t -> t -> t
+(** Extends a reported id list greedily to a maximal matching (keeping
+    only its in-range, non-overlapping edges first, in list order). *)

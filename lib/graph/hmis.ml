@@ -1,0 +1,63 @@
+(* Hypergraph independent sets, in the weak (covering) sense: a set S of
+   vertices is independent when no hyperedge has all its pins inside S,
+   and maximal when adding any outside vertex would complete some
+   hyperedge. For 2-uniform hypergraphs this is exactly graph MIS. *)
+
+type t = int list
+
+type verdict = { independent : bool; maximal : bool }
+
+let member_set h set =
+  let s = Stdx.Bitset.create (Hypergraph.n h) in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Hypergraph.n h then invalid_arg "Hmis: vertex out of range";
+      Stdx.Bitset.add s v)
+    set;
+  s
+
+let independent_given h s =
+  let ok = ref true in
+  for e = 0 to Hypergraph.m h - 1 do
+    if Hypergraph.for_all_pins (fun v -> Stdx.Bitset.mem s v) h e then ok := false
+  done;
+  !ok
+
+let is_independent h set = independent_given h (member_set h set)
+
+(* v is blocked by S when some incident hyperedge has every other pin in
+   S — adding v would then complete that edge. *)
+let blocked h s v =
+  Hypergraph.exists_incident
+    (fun e -> Hypergraph.for_all_pins (fun u -> u = v || Stdx.Bitset.mem s u) h e)
+    h v
+
+let maximal_given h s =
+  let ok = ref true in
+  for v = 0 to Hypergraph.n h - 1 do
+    if not (Stdx.Bitset.mem s v || blocked h s v) then ok := false
+  done;
+  !ok
+
+let is_maximal h set =
+  let s = member_set h set in
+  independent_given h s && maximal_given h s
+
+let verify h set =
+  let s = member_set h set in
+  { independent = independent_given h s; maximal = maximal_given h s }
+
+let greedy h ?order () =
+  let order =
+    match order with Some o -> o | None -> Array.init (Hypergraph.n h) (fun i -> i)
+  in
+  let s = Stdx.Bitset.create (Hypergraph.n h) in
+  let out = ref [] in
+  Array.iter
+    (fun v ->
+      if not (blocked h s v) then begin
+        Stdx.Bitset.add s v;
+        out := v :: !out
+      end)
+    order;
+  List.rev !out

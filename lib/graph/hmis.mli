@@ -1,0 +1,35 @@
+(** Hypergraph maximal independent sets (weak/covering sense) — the
+    {!Mis} counterpart for {!Hypergraph}.
+
+    A vertex set [S] is independent when no hyperedge has {e all} its
+    pins inside [S], and maximal when adding any outside vertex would
+    complete some hyperedge (the vertex is {e blocked}). On 2-uniform
+    hypergraphs this coincides with graph MIS. The two failure modes
+    are reported separately, mirroring the paper's error model. *)
+
+type t = int list
+(** A (candidate) independent set: a list of vertices. *)
+
+(** The two failure modes, reported separately. *)
+type verdict = {
+  independent : bool;  (** no hyperedge fully inside the set *)
+  maximal : bool;  (** every outside vertex is blocked *)
+}
+
+val is_independent : Hypergraph.t -> t -> bool
+(** No hyperedge has all pins in the set. *)
+
+val is_maximal : Hypergraph.t -> t -> bool
+(** [is_independent] and every outside vertex is blocked. *)
+
+val verify : Hypergraph.t -> t -> verdict
+(** Both checks of {!verdict} in one pass. *)
+
+val blocked : Hypergraph.t -> Stdx.Bitset.t -> int -> bool
+(** [blocked h s v]: some hyperedge incident to [v] has every other pin
+    in [s] — adding [v] to [s] would break independence. The greedy and
+    the protocol players share this predicate. *)
+
+val greedy : Hypergraph.t -> ?order:int array -> unit -> t
+(** Scan vertices in the given order (default [0 .. n-1]), adding each
+    vertex not blocked by the earlier choices. Always maximal. *)

@@ -1,0 +1,196 @@
+(* Hypergraphs on vertex set [0, n) — the second instance of the
+   schema-driven incidence store in [Cset] (DESIGN.md §11).
+
+   The schema has parts "vertex" / "edge" and a single variable-arity,
+   indexed morphism "pins" : edge -> vertex. A hyperedge is its sorted
+   set of distinct pins (arity >= 2); edges are deduplicated at freeze
+   by the store's lexicographic row pipeline, so edge ids enumerate the
+   distinct hyperedges in lexicographic pin order. Two frozen CSRs come
+   out: the pins segments (edge -> sorted vertices) and — because the
+   schema marks "pins" indexed — the incident-lookup index
+   (vertex -> incident edge ids, ascending). A graph is exactly the
+   2-uniform special case; [of_graph] embeds one. *)
+
+type t = {
+  c : Cset.Store.t;
+  n : int;
+  m : int;
+  pin_row : int array;  (* length m+1: edge e pins at pin_val.(pin_row.(e)..) *)
+  pin_val : int array;
+  inc_row : int array;  (* length n+1: vertex v edges at inc_val.(inc_row.(v)..) *)
+  inc_val : int array;
+}
+
+let schema =
+  Cset.Schema.make ~parts:[ "vertex"; "edge" ]
+    ~morphisms:[ Cset.Schema.variable ~indexed:true ~dom:"edge" ~cod:"vertex" "pins" ]
+
+let edge_part = 1
+let pins_m = 0
+let cset h = h.c
+
+let of_store c =
+  let n = Cset.Store.count c 0 and m = Cset.Store.count c edge_part in
+  let pin_row, pin_val = Cset.Store.segments c pins_m in
+  let inc_row, inc_val = Cset.Store.incidence c pins_m in
+  { c; n; m; pin_row; pin_val; inc_row; inc_val }
+
+(* Normalise one hyperedge in place of the caller's scratch: sort the
+   pins, drop duplicates, reject arity < 2 (the self-loop analogue) and
+   out-of-range vertices. Returns the normalised pins as a fresh array. *)
+let normalize_pins n pins =
+  let pins = Array.copy pins in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Hypergraph: pin out of range")
+    pins;
+  Array.sort compare pins;
+  let k = Array.length pins in
+  let distinct = ref 0 in
+  for i = 0 to k - 1 do
+    if i = 0 || pins.(i) <> pins.(i - 1) then begin
+      pins.(!distinct) <- pins.(i);
+      incr distinct
+    end
+  done;
+  if !distinct < 2 then invalid_arg "Hypergraph: hyperedge needs >= 2 distinct pins";
+  if !distinct = k then pins else Array.sub pins 0 !distinct
+
+module Builder = struct
+  type hypergraph = t
+
+  type t = { n : int; b : Cset.Store.Builder.t }
+
+  let create ?(capacity = 16) n =
+    if n < 0 then invalid_arg "Hypergraph.Builder.create: negative n";
+    { n; b = Cset.Store.Builder.create ~capacity schema ~counts:[| n; 0 |] }
+
+  let n b = b.n
+  let length b = Cset.Store.Builder.length b.b ~part:edge_part
+
+  let add_edge b pins =
+    Cset.Store.Builder.add_row b.b ~part:edge_part (normalize_pins b.n pins)
+
+  let freeze b : hypergraph =
+    Stdx.Trace.begin_ "hypergraph.freeze";
+    let c = Cset.Store.Builder.freeze ~span_prefix:"hypergraph" b.b in
+    let h = of_store c in
+    Stdx.Trace.end_ ();
+    h
+end
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Hypergraph.create: negative n";
+  let b = Builder.create ~capacity:(max (List.length edge_list) 1) n in
+  List.iter (fun pins -> Builder.add_edge b (Array.of_list pins)) edge_list;
+  Builder.freeze b
+
+let of_edge_array n edges =
+  if n < 0 then invalid_arg "Hypergraph.of_edge_array: negative n";
+  let b = Builder.create ~capacity:(max (Array.length edges) 1) n in
+  Array.iter (fun pins -> Builder.add_edge b pins) edges;
+  Builder.freeze b
+
+let of_graph g =
+  let b = Builder.create ~capacity:(max (Graph.m g) 1) (Graph.n g) in
+  Graph.iter_edges (fun u v -> Builder.add_edge b [| u; v |]) g;
+  Builder.freeze b
+
+let empty n = create n []
+
+let n h = h.n
+let m h = h.m
+let arity h e = h.pin_row.(e + 1) - h.pin_row.(e)
+let pins h e = Array.sub h.pin_val h.pin_row.(e) (arity h e)
+let pin h e j = h.pin_val.(h.pin_row.(e) + j)
+
+let iter_pins f h e =
+  for idx = h.pin_row.(e) to h.pin_row.(e + 1) - 1 do
+    f h.pin_val.(idx)
+  done
+
+let fold_pins f h e init =
+  let acc = ref init in
+  for idx = h.pin_row.(e) to h.pin_row.(e + 1) - 1 do
+    acc := f h.pin_val.(idx) !acc
+  done;
+  !acc
+
+let for_all_pins p h e =
+  let rec go idx = idx >= h.pin_row.(e + 1) || (p h.pin_val.(idx) && go (idx + 1)) in
+  go h.pin_row.(e)
+
+let exists_pin p h e =
+  let rec go idx = idx < h.pin_row.(e + 1) && (p h.pin_val.(idx) || go (idx + 1)) in
+  go h.pin_row.(e)
+
+let max_arity h =
+  let best = ref 0 in
+  for e = 0 to h.m - 1 do
+    if arity h e > !best then best := arity h e
+  done;
+  !best
+
+let degree h v = h.inc_row.(v + 1) - h.inc_row.(v)
+let incident h v = Array.sub h.inc_val h.inc_row.(v) (degree h v)
+
+let iter_incident f h v =
+  for idx = h.inc_row.(v) to h.inc_row.(v + 1) - 1 do
+    f h.inc_val.(idx)
+  done
+
+let fold_incident f h v init =
+  let acc = ref init in
+  for idx = h.inc_row.(v) to h.inc_row.(v + 1) - 1 do
+    acc := f h.inc_val.(idx) !acc
+  done;
+  !acc
+
+let exists_incident p h v =
+  let rec go idx = idx < h.inc_row.(v + 1) && (p h.inc_val.(idx) || go (idx + 1)) in
+  go h.inc_row.(v)
+
+let iter_edges f h =
+  for e = 0 to h.m - 1 do
+    f e
+  done
+
+(* Compare hyperedge [e]'s pins to a normalised pin array, in the
+   store's row order (lexicographic, shorter-prefix-first). *)
+let compare_pins h e pins =
+  let ka = arity h e and kb = Array.length pins in
+  let o = h.pin_row.(e) in
+  let rec go j =
+    if j >= ka || j >= kb then compare ka kb
+    else
+      let c = compare (h.pin_val.(o + j) : int) pins.(j) in
+      if c <> 0 then c else go (j + 1)
+  in
+  go 0
+
+let find_edge h pins_raw =
+  let pins = normalize_pins h.n pins_raw in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare_pins h mid pins in
+      if c = 0 then Some mid else if c < 0 then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  bsearch 0 h.m
+
+let mem_edge h pins = find_edge h pins <> None
+
+let equal a b = Cset.Store.equal a.c b.c
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hypergraph n=%d m=%d@," h.n h.m;
+  for e = 0 to h.m - 1 do
+    Format.fprintf ppf "{";
+    for j = 0 to arity h e - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" (pin h e j)
+    done;
+    Format.fprintf ppf "}@,"
+  done;
+  Format.fprintf ppf "@]"

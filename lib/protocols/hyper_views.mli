@@ -1,0 +1,67 @@
+(** The distributed sketching model over hypergraphs.
+
+    One player per vertex, as in {!Sketchmodel.Model}; a player's whole
+    input is the vertex/edge counts, its own id, and the full pin set of
+    every incident hyperedge (for 2-uniform hypergraphs this is the
+    graph view). {!run} executes one simultaneous round with exact bit
+    accounting; {!run_multi} is the adaptive extension the iterated
+    hypergraph protocols use — any number of sketch rounds, each
+    followed by one referee broadcast, every round wrapped in a
+    [protocol.round] trace span (with [round] and [protocol] args) so
+    Perfetto shows the round boundaries. *)
+
+type view = {
+  n : int;  (** number of vertices *)
+  m : int;  (** number of hyperedges *)
+  vertex : int;  (** this player's id *)
+  edges : int array array;  (** sorted pins of each incident hyperedge, ascending edge id *)
+}
+(** Everything a player is allowed to see. *)
+
+val views : Dgraph.Hypergraph.t -> view array
+(** The honest per-vertex views. *)
+
+type 'a protocol = {
+  name : string;
+  player : view -> Sketchmodel.Public_coins.t -> Stdx.Bitbuf.Writer.t;
+  referee :
+    n:int -> sketches:Stdx.Bitbuf.Reader.t array -> Sketchmodel.Public_coins.t -> 'a;
+}
+(** A one-round protocol; referee sees only sketches and coins. *)
+
+val run :
+  'a protocol -> Dgraph.Hypergraph.t -> Sketchmodel.Public_coins.t -> 'a * Sketchmodel.Model.stats
+(** One honest round; bit accounting as in {!Sketchmodel.Model.run}. *)
+
+type 'b multi = {
+  name : string;
+  rounds_limit : int;  (** fail-stop bound on rounds (convergence guard) *)
+  player : round:int -> view -> 'b -> Sketchmodel.Public_coins.t -> Stdx.Bitbuf.Writer.t;
+      (** The sketch of one vertex given the decoded broadcast state. *)
+  step :
+    round:int ->
+    n:int ->
+    state:'b ->
+    sketches:Stdx.Bitbuf.Reader.t array ->
+    Sketchmodel.Public_coins.t ->
+    'b * bool;
+      (** Referee transition: next broadcast state and whether to
+          continue. *)
+  encode_broadcast : 'b -> Stdx.Bitbuf.Writer.t;
+      (** How the broadcast would be serialised; only its length is
+          accounted. *)
+}
+(** A multi-round protocol: rounds of simultaneous sketches, each
+    followed by one broadcast of the referee state. *)
+
+type multi_stats = {
+  rounds : int;  (** rounds actually executed *)
+  max_bits : int;  (** worst-case per-player total across all rounds *)
+  total_bits : int;
+  broadcast_bits : int;  (** sum of all broadcast lengths *)
+}
+
+val run_multi :
+  'b multi -> Dgraph.Hypergraph.t -> init:'b -> Sketchmodel.Public_coins.t -> 'b * multi_stats
+(** Run until [step] stops (the final state is the output) or
+    [rounds_limit] is hit ([Failure]). *)

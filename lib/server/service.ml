@@ -308,10 +308,10 @@ let request_key j =
       match (str_field j "protocol", T.member "graph" j) with
       | Some protocol, Some gj when List.mem_assoc protocol Simulate.protocols -> (
           match Simulate.gspec_of_json gj with
-          | Ok graph ->
+          | Ok graph when Simulate.compatible ~protocol graph ->
               let seed = Option.value ~default:7 (int_field j "seed") in
               Some (simulate_key ~protocol ~graph ~seed)
-          | Error _ -> None)
+          | Ok _ | Error _ -> None)
       | _ -> None)
   | _ -> None
 
@@ -358,6 +358,10 @@ let handle_simulate t ~cancelled j =
       | Some gj -> (
           match Simulate.gspec_of_json gj with
           | Error msg -> bad_request msg
+          | Ok graph when not (Simulate.compatible ~protocol:name graph) ->
+              bad_request
+                (Printf.sprintf "protocol %S cannot run on a %s input" name
+                   (T.string_of_json (Simulate.json_of_gspec graph)))
           | Ok graph ->
               let seed = Option.value ~default:7 (int_field j "seed") in
               let spec = { Simulate.protocol = name; graph; seed } in

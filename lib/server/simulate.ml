@@ -22,6 +22,7 @@ type gspec =
   | Cycle of int
   | Complete of int
   | Star of int
+  | Hyperk of { n : int; m : int; k : int }
 
 type spec = { protocol : string; graph : gspec; seed : int }
 
@@ -35,6 +36,16 @@ let graph_of_spec { graph; seed; _ } =
   | Cycle n -> Dgraph.Gen.cycle n
   | Complete n -> Dgraph.Gen.complete n
   | Star n -> Dgraph.Gen.star n
+  | Hyperk _ -> invalid_arg "Simulate.graph_of_spec: hyperk is not a graph"
+
+(* Every gspec also names a hypergraph: [hyperk] directly (through the
+   same derived generator as {!graph_of_spec} uses), the graph kinds via
+   the 2-uniform embedding — so the hypergraph protocols run on every
+   input the graph protocols do. *)
+let hypergraph_of_spec ({ graph; seed; _ } as spec) =
+  match graph with
+  | Hyperk { n; m; k } -> Dgraph.Hgen.uniform_random (graph_rng seed) ~n ~m ~k
+  | _ -> Dgraph.Hypergraph.of_graph (graph_of_spec spec)
 
 let json_of_gspec = function
   | Gnp { n; p } -> T.Jobj [ ("kind", T.Jstr "gnp"); ("n", T.Jint n); ("p", T.Jfloat p) ]
@@ -42,6 +53,8 @@ let json_of_gspec = function
   | Cycle n -> T.Jobj [ ("kind", T.Jstr "cycle"); ("n", T.Jint n) ]
   | Complete n -> T.Jobj [ ("kind", T.Jstr "complete"); ("n", T.Jint n) ]
   | Star n -> T.Jobj [ ("kind", T.Jstr "star"); ("n", T.Jint n) ]
+  | Hyperk { n; m; k } ->
+      T.Jobj [ ("kind", T.Jstr "hyperk"); ("n", T.Jint n); ("m", T.Jint m); ("k", T.Jint k) ]
 
 let gspec_of_json j =
   let int k = match T.member k j with Some (T.Jint i) -> Some i | _ -> None in
@@ -60,6 +73,11 @@ let gspec_of_json j =
   | Some (T.Jstr "cycle"), Some n -> Ok (Cycle n)
   | Some (T.Jstr "complete"), Some n -> Ok (Complete n)
   | Some (T.Jstr "star"), Some n -> Ok (Star n)
+  | Some (T.Jstr "hyperk"), Some n -> (
+      match (int "m", int "k") with
+      | Some m, Some k when n >= 0 && m >= 0 && k >= 2 && k <= n -> Ok (Hyperk { n; m; k })
+      | Some _, Some _ -> Error "hyperk needs 2 <= k <= n and m >= 0"
+      | _ -> Error "hyperk needs integer fields \"m\" and \"k\"")
   | Some (T.Jstr k), None -> Error (Printf.sprintf "graph kind %S needs an integer field \"n\"" k)
   | Some (T.Jstr k), _ -> Error (Printf.sprintf "unknown graph kind %S" k)
   | _ -> Error "graph spec needs a string field \"kind\""
@@ -74,7 +92,22 @@ let protocols =
     ("local-minima", "one-bit local-minima MIS attempt (one round; rarely maximal)");
     ("two-round-mm", "Lattanzi-style filtering MM (two rounds, O~(sqrt n))");
     ("two-round-mis", "random-prefix greedy MIS (two rounds, O~(sqrt n))");
+    ("hyper-trivial-mm", "full incident pin sets, referee solves hypergraph MM (one round)");
+    ("hyper-iterated-mm", "proposal rounds to a maximal hypergraph matching (multi-round)");
+    ("hyper-local-minima-mis", "one-bit hypergraph MIS attempt (one round; rarely maximal)");
+    ("hyper-luby-mis", "Luby-style hypergraph MIS (multi-round, always maximal)");
   ]
+
+(* Graph protocols need a graph-shaped input; the hypergraph protocols
+   accept everything (graph kinds embed 2-uniformly). The service checks
+   this before computing, so a mismatch is a 400, not a crash. *)
+let compatible ~protocol graph =
+  match (protocol, graph) with
+  | ("hyper-trivial-mm" | "hyper-iterated-mm" | "hyper-local-minima-mis" | "hyper-luby-mis"), _
+    ->
+      true
+  | _, Hyperk _ -> false
+  | _, _ -> true
 
 let mm_output g m =
   let v = Dgraph.Matching.verify g m in
@@ -118,34 +151,92 @@ let two_round_stats (s : Rounds.stats) =
       ("total_bits", T.Jint s.Rounds.total_bits);
     ]
 
+let multi_round_stats (s : Protocols.Hyper_views.multi_stats) =
+  T.Jobj
+    [
+      ("rounds", T.Jint s.Protocols.Hyper_views.rounds);
+      ("max_bits", T.Jint s.Protocols.Hyper_views.max_bits);
+      ("total_bits", T.Jint s.Protocols.Hyper_views.total_bits);
+      ("broadcast_bits", T.Jint s.Protocols.Hyper_views.broadcast_bits);
+    ]
+
+(* A hypergraph matching arrives as pin sets (players cannot name frozen
+   edge ids); map them back through [find_edge] for the id-based
+   verdicts. An unmappable pin set is a fabricated edge. *)
+let hyper_mm_output h pin_sets =
+  let ids = List.map (fun pins -> Dgraph.Hypergraph.find_edge h pins) pin_sets in
+  let all_exist = List.for_all Option.is_some ids in
+  let known = List.filter_map Fun.id ids in
+  let v = Dgraph.Hmatching.verify h known in
+  T.Jobj
+    [
+      ("kind", T.Jstr "hyper-matching");
+      ("size", T.Jint (List.length pin_sets));
+      ("edges_exist", T.Jbool (all_exist && v.Dgraph.Hmatching.edges_exist));
+      ("disjoint", T.Jbool v.Dgraph.Hmatching.disjoint);
+      ("maximal", T.Jbool (all_exist && v.Dgraph.Hmatching.maximal));
+    ]
+
+let hyper_mis_output h s =
+  let v = Dgraph.Hmis.verify h s in
+  T.Jobj
+    [
+      ("kind", T.Jstr "hyper-mis");
+      ("size", T.Jint (List.length s));
+      ("independent", T.Jbool v.Dgraph.Hmis.independent);
+      ("maximal", T.Jbool v.Dgraph.Hmis.maximal);
+    ]
+
 let run spec =
-  let g = graph_of_spec spec in
+  if not (compatible ~protocol:spec.protocol spec.graph) then
+    invalid_arg (Printf.sprintf "Simulate.run: protocol %S needs a graph input" spec.protocol);
   let coins = coins spec.seed in
-  let output, stats =
+  let sizes, output, stats =
     match spec.protocol with
     | "trivial-mm" ->
+        let g = graph_of_spec spec in
         let m, s = Model.run Protocols.Trivial.mm g coins in
-        (mm_output g m, one_round_stats s)
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mm_output g m, one_round_stats s)
     | "trivial-mis" ->
+        let g = graph_of_spec spec in
         let mis, s = Model.run Protocols.Trivial.mis g coins in
-        (mis_output g mis, one_round_stats s)
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mis_output g mis, one_round_stats s)
     | "local-minima" ->
+        let g = graph_of_spec spec in
         let mis, s = Model.run Protocols.One_round_mis.local_minima g coins in
-        (mis_output g mis, one_round_stats s)
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mis_output g mis, one_round_stats s)
     | "two-round-mm" ->
+        let g = graph_of_spec spec in
         let m, s = Protocols.Two_round_mm.run g coins in
-        (mm_output g m, two_round_stats s)
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mm_output g m, two_round_stats s)
     | "two-round-mis" ->
+        let g = graph_of_spec spec in
         let mis, s = Protocols.Two_round_mis.run g coins in
-        (mis_output g mis, two_round_stats s)
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mis_output g mis, two_round_stats s)
+    | "hyper-trivial-mm" ->
+        let h = hypergraph_of_spec spec in
+        let m, s = Protocols.Hyper_mm.run_trivial h coins in
+        ((Dgraph.Hypergraph.n h, Dgraph.Hypergraph.m h), hyper_mm_output h m, one_round_stats s)
+    | "hyper-iterated-mm" ->
+        let h = hypergraph_of_spec spec in
+        let m, s = Protocols.Hyper_mm.run_iterated h coins in
+        ((Dgraph.Hypergraph.n h, Dgraph.Hypergraph.m h), hyper_mm_output h m, multi_round_stats s)
+    | "hyper-local-minima-mis" ->
+        let h = hypergraph_of_spec spec in
+        let mis, s = Protocols.Hyper_mis.run_local_minima h coins in
+        ((Dgraph.Hypergraph.n h, Dgraph.Hypergraph.m h), hyper_mis_output h mis, one_round_stats s)
+    | "hyper-luby-mis" ->
+        let h = hypergraph_of_spec spec in
+        let mis, s = Protocols.Hyper_mis.run_luby h coins in
+        ((Dgraph.Hypergraph.n h, Dgraph.Hypergraph.m h), hyper_mis_output h mis, multi_round_stats s)
     | other -> invalid_arg (Printf.sprintf "Simulate.run: unknown protocol %S" other)
   in
   [
     ("protocol", T.Jstr spec.protocol);
     ("graph", json_of_gspec spec.graph);
     ("seed", T.Jint spec.seed);
-    ("vertices", T.Jint (Dgraph.Graph.n g));
-    ("edges", T.Jint (Dgraph.Graph.m g));
+    ("vertices", T.Jint (fst sizes));
+    ("edges", T.Jint (snd sizes));
     ("output", output);
     ("stats", stats);
   ]

@@ -11,13 +11,16 @@
 
 module T = Report.Tabular
 
-(** A generated input graph, named as on the wire ([{"kind":"gnp",...}]). *)
+(** A generated input, named as on the wire ([{"kind":"gnp",...}]).
+    [Hyperk] is a random [k]-uniform hypergraph; the graph kinds double
+    as hypergraph inputs through the 2-uniform embedding. *)
 type gspec =
   | Gnp of { n : int; p : float }
   | Path of int
   | Cycle of int
   | Complete of int
   | Star of int
+  | Hyperk of { n : int; m : int; k : int }
 
 type spec = { protocol : string; graph : gspec; seed : int }
 (** One simulation request: which protocol, on which graph, which seed. *)
@@ -29,7 +32,14 @@ val coins : int -> Sketchmodel.Public_coins.t
 (** The public coins a seed derives for the protocol run. *)
 
 val graph_of_spec : spec -> Dgraph.Graph.t
-(** Build the input graph from [spec.graph] using {!graph_rng}[ spec.seed]. *)
+(** Build the input graph from [spec.graph] using {!graph_rng}[ spec.seed].
+    Raises [Invalid_argument] on [Hyperk] (not a graph). *)
+
+val hypergraph_of_spec : spec -> Dgraph.Hypergraph.t
+(** Build the input hypergraph: [Hyperk] through
+    [Dgraph.Hgen.uniform_random] over {!graph_rng}[ spec.seed], every
+    graph kind through [Dgraph.Hypergraph.of_graph] of
+    {!graph_of_spec}. *)
 
 val json_of_gspec : gspec -> T.json
 (** Wire encoding of a graph spec (canonical field order). *)
@@ -39,10 +49,18 @@ val gspec_of_json : T.json -> (gspec, string) result
 
 val protocols : (string * string) list
 (** [(name, doc)] for every runnable protocol: [trivial-mm], [trivial-mis],
-    [local-minima], [two-round-mm], [two-round-mis]. *)
+    [local-minima], [two-round-mm], [two-round-mis], plus the hypergraph
+    protocols [hyper-trivial-mm], [hyper-iterated-mm],
+    [hyper-local-minima-mis], [hyper-luby-mis] (PROTOCOL.md §4.5). *)
+
+val compatible : protocol:string -> gspec -> bool
+(** Whether the protocol can run on the input: graph protocols need a
+    graph kind, the [hyper-*] protocols accept every kind. The service
+    layer rejects incompatible pairs as a 400 before computing. *)
 
 val run : spec -> (string * T.json) list
 (** Execute the simulation; the response body's fields ([protocol], [graph],
     [seed], [vertices], [edges], [output], [stats]). Raises
-    [Invalid_argument] on an unknown protocol name — the service layer
-    validates first via {!protocols}. *)
+    [Invalid_argument] on an unknown protocol name or an incompatible
+    (protocol, input) pair — the service layer validates first via
+    {!protocols} and {!compatible}. *)

@@ -16,18 +16,37 @@ type stats = {
   total_bits : int;
 }
 
+(* Each of the two rounds is wrapped in a [protocol.round] trace span
+   (same name the multi-round hypergraph runner emits), so a trace of a
+   two-round run shows the round boundary: everything up to and
+   including [decide] is round 1, the response sketches and [finish] are
+   round 2. *)
+let round_span protocol r body =
+  Stdx.Trace.span
+    ~args:(fun () -> [ ("round", Stdx.Trace.Int r); ("protocol", Stdx.Trace.Str protocol.name) ])
+    "protocol.round" body
+
 let run protocol g coins =
   let n = Dgraph.Graph.n g in
   let player_views = Model.views g in
-  let writers1 = Array.map (fun view -> protocol.round1 view coins) player_views in
-  let sizes1 = Array.map Stdx.Bitbuf.Writer.length_bits writers1 in
-  let sketches1 = Array.map Stdx.Bitbuf.Reader.of_writer writers1 in
-  let broadcast = protocol.decide ~n ~sketches:sketches1 coins in
-  let broadcast_bits = Stdx.Bitbuf.Writer.length_bits (protocol.encode_broadcast broadcast) in
-  let writers2 = Array.map (fun view -> protocol.round2 view broadcast coins) player_views in
-  let sizes2 = Array.map Stdx.Bitbuf.Writer.length_bits writers2 in
-  let sketches2 = Array.map Stdx.Bitbuf.Reader.of_writer writers2 in
-  let output = protocol.finish ~n ~broadcast ~sketches:sketches2 coins in
+  let sizes1, broadcast, broadcast_bits =
+    round_span protocol 1 (fun () ->
+        let writers1 = Array.map (fun view -> protocol.round1 view coins) player_views in
+        let sizes1 = Array.map Stdx.Bitbuf.Writer.length_bits writers1 in
+        let sketches1 = Array.map Stdx.Bitbuf.Reader.of_writer writers1 in
+        let broadcast = protocol.decide ~n ~sketches:sketches1 coins in
+        let broadcast_bits =
+          Stdx.Bitbuf.Writer.length_bits (protocol.encode_broadcast broadcast)
+        in
+        (sizes1, broadcast, broadcast_bits))
+  in
+  let sizes2, output =
+    round_span protocol 2 (fun () ->
+        let writers2 = Array.map (fun view -> protocol.round2 view broadcast coins) player_views in
+        let sizes2 = Array.map Stdx.Bitbuf.Writer.length_bits writers2 in
+        let sketches2 = Array.map Stdx.Bitbuf.Reader.of_writer writers2 in
+        (sizes2, protocol.finish ~n ~broadcast ~sketches:sketches2 coins))
+  in
   let max2 a = Array.fold_left max 0 a in
   let per_player = Array.init n (fun v -> sizes1.(v) + sizes2.(v)) in
   ( output,

@@ -33,4 +33,8 @@ type stats = {
 }
 
 val run : ('b, 'a) protocol -> Dgraph.Graph.t -> Public_coins.t -> 'a * stats
+(** Run both rounds and account every bit. Each round is wrapped in a
+    [protocol.round] trace span (args [round], [protocol]) so traces show
+    the round boundary; tracing never changes the output or the stats. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -51,6 +51,7 @@ let captures =
       [ ("m", vi 5); ("budgets", vl [ 24 ]); ("instances", vi 4); ("seeds", vi 2); ("seed", vi 61) ]
     );
     ("bcc", [ ("m", vl [ 5 ]); ("trials", vi 2); ("seed", vi 67) ]);
+    ("hypergraph-mm", [ ("n", vi 60); ("m", vi 40); ("k", vl [ 2; 3 ]); ("seed", vi 71) ]);
   ]
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all

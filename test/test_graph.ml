@@ -266,15 +266,11 @@ let qcheck_tests =
          (fun (n, edges) ->
            G.equal (G.of_edge_array n (Array.of_list edges)) (G.create n edges)));
     QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~name:"iter_edges/edges_array/edges agree" ~count:300 small_graph_gen
+      (QCheck.Test.make ~name:"iter_edges/edges_array agree" ~count:300 small_graph_gen
          (fun (n, edges) ->
            let g = G.create n edges in
            let via_iter = List.rev (G.fold_edges (fun u v acc -> (u, v) :: acc) g []) in
-           (* The one in-tree user of the deprecated list shim: pinned
-              equivalent to the iterators for as long as out-of-tree
-              callers keep it alive. *)
-           via_iter = (G.edges g [@alert "-deprecated"])
-           && via_iter = Array.to_list (G.edges_array g)));
+           via_iter = Array.to_list (G.edges_array g)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"neighbor iterators agree with neighbors" ~count:300 small_graph_gen
          (fun (n, edges) ->
@@ -288,6 +284,30 @@ let qcheck_tests =
              if G.exists_neighbor (fun u -> not (Array.mem u row)) g v then ok := false
            done;
            !ok));
+    (* The graph IS a cset instance: the underlying store's columns must
+       be exactly the normalised edge list, and every construction path
+       must land on the same frozen store (same schema, counts, columns). *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cset store mirrors edges_array" ~count:300 small_graph_gen
+         (fun (n, edges) ->
+           let g = G.create n edges in
+           let c = G.cset g in
+           let module S = Cset.Store in
+           let schema = S.schema c in
+           let edge_part = Cset.Schema.part_index schema "edge" in
+           let src = S.fixed_column c (Cset.Schema.morphism_index schema "src") in
+           let dst = S.fixed_column c (Cset.Schema.morphism_index schema "dst") in
+           S.count c (Cset.Schema.part_index schema "vertex") = n
+           && S.count c edge_part = G.m g
+           && Array.to_list (G.edges_array g)
+              = List.init (G.m g) (fun i -> (src.(i), dst.(i)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"all build paths share one frozen store" ~count:200 small_graph_gen
+         (fun (n, edges) ->
+           let g = G.create n edges in
+           let b = G.Builder.create n in
+           List.iter (fun (u, v) -> G.Builder.add_edge b u v) edges;
+           Cset.Store.equal (G.cset g) (G.cset (G.Builder.freeze b))));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"disjoint_union fast path equals create" ~count:200
          QCheck.(pair small_graph_gen small_graph_gen)

@@ -227,6 +227,13 @@ let test_service_errors () =
           ("protocol", T.Jstr "trivial-mm");
           ("graph", T.Jobj [ ("kind", T.Jstr "donut"); ("n", T.Jint 4) ]) ]
         "bad-request" 400;
+      (* A graph protocol cannot run on a hypergraph input. *)
+      expect "incompatible input"
+        [ ("op", T.Jstr "simulate");
+          ("protocol", T.Jstr "trivial-mm");
+          ("graph",
+           T.Jobj [ ("kind", T.Jstr "hyperk"); ("n", T.Jint 9); ("m", T.Jint 4); ("k", T.Jint 3) ]) ]
+        "bad-request" 400;
       let j = T.json_of_string (S.handle t "this is not json").S.payload in
       checks "garbage payload" "bad-request" (error_tag j))
 
@@ -285,6 +292,22 @@ let test_service_simulate_bits () =
             | "two-round-mis" ->
                 let _, s = Protocols.Two_round_mis.run g coins in
                 (s.Sketchmodel.Rounds.max_bits, s.Sketchmodel.Rounds.total_bits)
+            | "hyper-trivial-mm" ->
+                let h = Server.Simulate.hypergraph_of_spec spec in
+                let _, s = Protocols.Hyper_mm.run_trivial h coins in
+                (s.Sketchmodel.Model.max_bits, s.Sketchmodel.Model.total_bits)
+            | "hyper-iterated-mm" ->
+                let h = Server.Simulate.hypergraph_of_spec spec in
+                let _, s = Protocols.Hyper_mm.run_iterated h coins in
+                (s.Protocols.Hyper_views.max_bits, s.Protocols.Hyper_views.total_bits)
+            | "hyper-local-minima-mis" ->
+                let h = Server.Simulate.hypergraph_of_spec spec in
+                let _, s = Protocols.Hyper_mis.run_local_minima h coins in
+                (s.Sketchmodel.Model.max_bits, s.Sketchmodel.Model.total_bits)
+            | "hyper-luby-mis" ->
+                let h = Server.Simulate.hypergraph_of_spec spec in
+                let _, s = Protocols.Hyper_mis.run_luby h coins in
+                (s.Protocols.Hyper_views.max_bits, s.Protocols.Hyper_views.total_bits)
             | p -> Alcotest.fail ("catalogue grew a protocol the test does not know: " ^ p)
           in
           let j =
@@ -304,6 +327,35 @@ let test_service_simulate_bits () =
                 (T.member "total_bits" stats = Some (T.Jint expect_total))
           | None -> Alcotest.fail (protocol ^ ": no stats field"))
         Server.Simulate.protocols)
+
+(* Cached replay of a hyperk simulate: the second request must be served
+   from the LRU byte-for-byte, so the hypergraph pipeline (sampling,
+   freeze, multi-round protocol) is fully deterministic under the
+   service's seed discipline. *)
+let test_service_simulate_hyperk_cached () =
+  with_service (fun t ->
+      let req =
+        [
+          ("op", T.Jstr "simulate");
+          ("protocol", T.Jstr "hyper-iterated-mm");
+          ("graph",
+           T.Jobj [ ("kind", T.Jstr "hyperk"); ("n", T.Jint 30); ("m", T.Jint 20); ("k", T.Jint 3) ]);
+          ("seed", T.Jint 5);
+        ]
+      in
+      let c0 = Server.Cache.stats (S.cache t) in
+      let p1 = payload t req in
+      let p2 = payload t req in
+      checkb "hyperk simulate ok" true (is_ok (T.json_of_string p1));
+      checks "cached replay byte-identical" p1 p2;
+      let c1 = Server.Cache.stats (S.cache t) in
+      checki "one miss" (c0.Server.Cache.misses + 1) c1.Server.Cache.misses;
+      checki "one hit" (c0.Server.Cache.hits + 1) c1.Server.Cache.hits;
+      match T.member "stats" (T.json_of_string p1) with
+      | Some stats ->
+          checkb "multi-round stats" true (T.member "rounds" stats <> None);
+          checkb "broadcast accounted" true (T.member "broadcast_bits" stats <> None)
+      | None -> Alcotest.fail "hyperk simulate: no stats field")
 
 let test_service_shutdown_op () =
   with_service (fun t ->
@@ -598,6 +650,8 @@ let () =
           Alcotest.test_case "cache determinism" `Quick test_service_cache_determinism;
           Alcotest.test_case "seed precedence" `Quick test_service_seed_precedence;
           Alcotest.test_case "simulate = library bits" `Quick test_service_simulate_bits;
+          Alcotest.test_case "hyperk simulate cached replay" `Quick
+            test_service_simulate_hyperk_cached;
           Alcotest.test_case "shutdown op" `Quick test_service_shutdown_op;
         ] );
       ( "daemon",
