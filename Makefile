@@ -23,7 +23,8 @@ smoke-json: build
 
 # End-to-end smoke of the sketchd service: random port, catalogue, a
 # cached-vs-uncached run pair (byte-identical payloads + a cache hit in
-# stats), graceful shutdown. See scripts/serve_smoke.sh.
+# stats), the cache RPC, graceful shutdown, then a 5000-idle-connection
+# herd on the poll engine. See scripts/serve_smoke.sh.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
 

@@ -195,12 +195,20 @@ let micro_tests () =
    every request computes), cached runs (one seed repeated, every request
    after the first is an LRU hit) and cached simulates. Percentiles per
    mix plus throughput, and a BENCH_serve.json line per mix. *)
-let serve_bench ?(fast = false) () =
+let serve_bench ?(fast = false) ?(connections = 0) () =
   print_endline "=== sketchd end-to-end latency (loopback TCP, persistent connection) ===";
-  let d = Server.Daemon.start ~workers:2 ~capacity:32 () in
+  (* With an idle herd the cap is exactly herd + the one active
+     connection, so the shed probe below must see 503 conn-limit frames. *)
+  let max_conns = if connections > 0 then connections + 1 else 8192 in
+  let d = Server.Daemon.start ~workers:2 ~capacity:32 ~max_conns () in
   let port = Server.Daemon.port d in
   let iters = if fast then 25 else 200 in
   let oc = open_out "BENCH_serve.json" in
+  (* Idle herd: [connections] open-but-quiet clients held for the whole
+     bench. The poll engine must carry every one (no FD_SETSIZE cliff,
+     no per-connection thread) while the active connection runs the
+     mixes at full speed. *)
+  let herd = Array.init connections (fun _ -> Server.Client.connect ~port ()) in
   Server.Client.with_connection ~port (fun c ->
       let time_one payload =
         let response, s = Stdx.Parallel.timed (fun () -> Server.Client.request c payload) in
@@ -247,7 +255,59 @@ let serve_bench ?(fast = false) () =
       ignore (time_one (run_payload 1));
       mix "run-cached" (List.init iters (fun _ -> run_payload 1));
       ignore (time_one simulate_payload);
-      mix "simulate-cached" (List.init iters (fun _ -> simulate_payload)));
+      mix "simulate-cached" (List.init iters (fun _ -> simulate_payload));
+      if connections > 0 then begin
+        (* Conn-limit shedding: each connect beyond the cap must be
+           answered with one 503 conn-limit frame, then closed. Raw
+           sockets here — the frame arrives unprompted at accept time. *)
+        let shed = ref 0 in
+        for _ = 1 to 8 do
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+             match T.member "error" (T.json_of_string (Server.Wire.read_frame fd)) with
+             | Some (T.Jstr "conn-limit") -> incr shed
+             | _ -> ()
+           with _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        done;
+        (* A sample of the herd must still answer after the mixes: idle
+           connections survive back-pressure and the shed probe. *)
+        let ping = jobj [ ("op", T.Jstr "ping") ] in
+        let step = max 1 (connections / 16) in
+        let alive = ref 0 and sampled = ref 0 in
+        let i = ref 0 in
+        while !i < connections do
+          incr sampled;
+          (match T.member "ok" (T.json_of_string (Server.Client.request herd.(!i) ping)) with
+          | Some (T.Jbool true) -> incr alive
+          | _ -> ()
+          | exception _ -> ());
+          i := !i + step
+        done;
+        let conn_field name =
+          match
+            T.member "connections"
+              (T.json_of_string (Server.Client.request c (jobj [ ("op", T.Jstr "stats") ])))
+          with
+          | Some (T.Jobj fields) -> (
+              match List.assoc_opt name fields with Some (T.Jint n) -> n | _ -> -1)
+          | _ -> -1
+        in
+        let open_now = conn_field "open" in
+        let accepted = conn_field "accepted" in
+        let rejected = conn_field "rejected" in
+        Printf.printf
+          "%-18s target=%d open=%d accepted=%d shed=%d (saw %d/8 conn-limit frames) \
+           herd-alive=%d/%d\n\
+           %!"
+          "connections" connections open_now accepted rejected !shed !alive !sampled;
+        Printf.fprintf oc
+          "{\"mix\":\"connections\",\"target\":%d,\"open\":%d,\"accepted\":%d,\"shed\":%d,\"shed_frames_seen\":%d,\"herd_sampled\":%d,\"herd_alive\":%d}\n"
+          connections open_now accepted rejected !shed !sampled !alive
+      end);
+  Array.iter Server.Client.close herd;
   Server.Daemon.stop d;
   Server.Daemon.wait d;
   close_out oc;
@@ -360,26 +420,28 @@ let () =
      are identical at any N. [--trace] writes the whole run's span trace as
      a Perfetto-loadable Chrome trace_event file. *)
   let args = Array.to_list Sys.argv in
-  let rec parse mode jobs fast trace = function
-    | [] -> (mode, jobs, fast, trace)
-    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast trace rest
-    | "--fast" :: rest -> parse mode jobs true trace rest
-    | "--trace" :: v :: rest -> parse mode jobs fast (Some v) rest
+  let rec parse mode jobs fast trace conns = function
+    | [] -> (mode, jobs, fast, trace, conns)
+    | ("-j" | "--jobs") :: v :: rest -> parse mode (int_of_string_opt v) fast trace conns rest
+    | "--fast" :: rest -> parse mode jobs true trace conns rest
+    | "--trace" :: v :: rest -> parse mode jobs fast (Some v) conns rest
+    | "--connections" :: v :: rest -> parse mode jobs fast trace (int_of_string_opt v) rest
     | ("tables" | "bench" | "serve" | "cluster" | "all") as m :: rest ->
-        parse m jobs fast trace rest
-    | _ :: rest -> parse mode jobs fast trace rest
+        parse m jobs fast trace conns rest
+    | _ :: rest -> parse mode jobs fast trace conns rest
   in
-  let mode, jobs, fast, trace = parse "all" None false None (List.tl args) in
+  let mode, jobs, fast, trace, conns = parse "all" None false None None (List.tl args) in
   let jobs = match jobs with Some j when j > 0 -> Some j | Some _ | None -> None in
+  let connections = match conns with Some n when n > 0 -> n | Some _ | None -> 0 in
   Report.Trace_export.with_file trace (fun () ->
       match mode with
       | "tables" -> tables ~fast ?jobs ()
       | "bench" -> run_benchmarks ()
-      | "serve" -> serve_bench ~fast ()
+      | "serve" -> serve_bench ~fast ~connections ()
       | "cluster" -> cluster_bench ~fast ()
       | _ ->
           tables ~fast ?jobs ();
           run_benchmarks ();
-          serve_bench ~fast ();
+          serve_bench ~fast ~connections ();
           cluster_bench ~fast ());
   print_endline "\nbench: done"

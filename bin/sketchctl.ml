@@ -57,6 +57,49 @@ let shutdown_cmd = simple_cmd "shutdown" ~doc:"Ask the server to drain and exit.
 let cluster_cmd =
   simple_cmd "cluster" ~doc:"Fetch a sketchproxy's backend health table (proxy only)." "cluster"
 
+(* `cache ACTION`: inspect or invalidate the server's result cache. *)
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", "stats"); ("keys", "keys"); ("invalidate", "invalidate") ]))
+          None
+      & info [] ~doc:"One of $(b,stats), $(b,keys) or $(b,invalidate)." ~docv:"ACTION")
+  in
+  let prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prefix" ]
+          ~doc:
+            "Key prefix to match. Optional for $(b,keys) (default: every entry); required for \
+             $(b,invalidate) — pass an explicit empty string to clear everything."
+          ~docv:"PREFIX")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~doc:"Maximum keys listed by $(b,keys) (server default 100)."
+          ~docv:"INT")
+  in
+  let run host port action prefix limit =
+    let fields =
+      [ ("op", T.Jstr "cache"); ("action", T.Jstr action) ]
+      @ (match prefix with Some p -> [ ("prefix", T.Jstr p) ] | None -> [])
+      @ match limit with Some l -> [ ("limit", T.Jint l) ] | None -> []
+    in
+    if action = "invalidate" && prefix = None then
+      `Error (false, "cache invalidate requires --prefix (\"\" clears everything)")
+    else roundtrip host port (jobj fields)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect the server's result cache (stats, keys by prefix) or invalidate entries by \
+          key prefix.")
+    Term.(ret (const run $ host_arg $ port_arg $ action_arg $ prefix_arg $ limit_arg))
+
 (* `run ID`: uniform seed/jobs/smoke knobs plus free-form -P name=v,... *)
 let run_cmd =
   let id_arg =
@@ -193,6 +236,9 @@ let () =
   let info = Cmd.info "sketchctl" ~version:Stdx.Version.current ~doc in
   let group =
     Cmd.group info
-      [ list_cmd; run_cmd; simulate_cmd; stats_cmd; cluster_cmd; ping_cmd; shutdown_cmd ]
+      [
+        list_cmd; run_cmd; simulate_cmd; stats_cmd; cache_cmd; cluster_cmd; ping_cmd;
+        shutdown_cmd;
+      ]
   in
   exit (Cmd.eval group)

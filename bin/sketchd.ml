@@ -13,7 +13,8 @@
 
 open Cmdliner
 
-let serve host port workers capacity cache_entries cache_mb port_file quiet trace =
+let serve host port workers capacity cache_entries cache_mb max_conns idle_timeout rate_limit
+    no_keepalive port_file quiet trace =
   (* --trace: record the daemon's whole life (accept → decode → cache →
      schedule → compute → encode spans) and write the Perfetto-loadable
      file when the drain completes. *)
@@ -26,7 +27,8 @@ let serve host port workers capacity cache_entries cache_mb port_file quiet trac
   let daemon =
     try
       Server.Daemon.start ~host ~port ~workers ~capacity ~cache_entries
-        ~cache_bytes:(cache_mb * 1024 * 1024) ~log ()
+        ~cache_bytes:(cache_mb * 1024 * 1024) ~max_conns ~idle_timeout_s:idle_timeout
+        ~rate_limit ~keepalive:(not no_keepalive) ~log ()
     with Unix.Unix_error (e, _, _) ->
       Printf.eprintf "sketchd: cannot listen on %s:%d: %s\n%!" host port (Unix.error_message e);
       exit 1
@@ -82,6 +84,35 @@ let cache_mb_arg =
     & opt int 64
     & info [ "cache-mb" ] ~doc:"Result-cache payload bound in MiB." ~docv:"INT")
 
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int 8192
+    & info [ "max-conns" ]
+        ~doc:"Concurrent-connection cap; excess connections get a 503 frame and a close."
+        ~docv:"INT")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "idle-timeout" ]
+        ~doc:"Evict connections idle longer than $(docv) seconds (0 disables)." ~docv:"SEC")
+
+let rate_limit_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "rate-limit" ]
+        ~doc:
+          "Per-connection request budget in requests/second; beyond it requests are answered \
+           429 (0 disables)."
+        ~docv:"RPS")
+
+let no_keepalive_arg =
+  Arg.(
+    value & flag & info [ "no-keepalive" ] ~doc:"Do not set SO_KEEPALIVE on accepted sockets.")
+
 let port_file_arg =
   Arg.(
     value
@@ -107,6 +138,7 @@ let () =
   let term =
     Term.(
       const serve $ host_arg $ port_arg $ workers_arg $ capacity_arg $ cache_entries_arg
-      $ cache_mb_arg $ port_file_arg $ quiet_arg $ trace_arg)
+      $ cache_mb_arg $ max_conns_arg $ idle_timeout_arg $ rate_limit_arg $ no_keepalive_arg
+      $ port_file_arg $ quiet_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -14,7 +14,8 @@
 
 open Cmdliner
 
-let serve host port backends vnodes health_interval port_file quiet trace =
+let serve host port backends vnodes health_interval max_conns idle_timeout rate_limit
+    no_keepalive port_file quiet trace =
   if backends = [] then begin
     Printf.eprintf "sketchproxy: need at least one --backend HOST:PORT\n%!";
     exit 2
@@ -26,7 +27,8 @@ let serve host port backends vnodes health_interval port_file quiet trace =
   in
   let proxy =
     try
-      Server.Proxy.start ~host ~port ~vnodes ~health_interval_s:health_interval ~log ~backends
+      Server.Proxy.start ~host ~port ~vnodes ~health_interval_s:health_interval ~max_conns
+        ~idle_timeout_s:idle_timeout ~rate_limit ~keepalive:(not no_keepalive) ~log ~backends
         ()
     with
     | Unix.Unix_error (e, _, _) ->
@@ -85,6 +87,35 @@ let health_interval_arg =
     & opt float 2.0
     & info [ "health-interval" ] ~doc:"Seconds between background ping sweeps." ~docv:"SEC")
 
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int 8192
+    & info [ "max-conns" ]
+        ~doc:"Concurrent-connection cap; excess connections get a 503 frame and a close."
+        ~docv:"INT")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "idle-timeout" ]
+        ~doc:"Evict connections idle longer than $(docv) seconds (0 disables)." ~docv:"SEC")
+
+let rate_limit_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "rate-limit" ]
+        ~doc:
+          "Per-connection request budget in requests/second; beyond it requests are answered \
+           429 (0 disables)."
+        ~docv:"RPS")
+
+let no_keepalive_arg =
+  Arg.(
+    value & flag & info [ "no-keepalive" ] ~doc:"Do not set SO_KEEPALIVE on accepted sockets.")
+
 let port_file_arg =
   Arg.(
     value
@@ -110,6 +141,7 @@ let () =
   let term =
     Term.(
       const serve $ host_arg $ port_arg $ backends_arg $ vnodes_arg $ health_interval_arg
-      $ port_file_arg $ quiet_arg $ trace_arg)
+      $ max_conns_arg $ idle_timeout_arg $ rate_limit_arg $ no_keepalive_arg $ port_file_arg
+      $ quiet_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

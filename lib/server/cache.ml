@@ -27,6 +27,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable invalidations : int;  (* removed via [invalidate_prefix] *)
 }
 
 let create ?(max_entries = 512) ?(max_bytes = 64 * 1024 * 1024) () =
@@ -42,6 +43,7 @@ let create ?(max_entries = 512) ?(max_bytes = 64 * 1024 * 1024) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    invalidations = 0;
   }
 
 let locked t f =
@@ -112,7 +114,53 @@ let add t key payload =
         done
       end)
 
-type stats = { entries : int; bytes : int; hits : int; misses : int; evictions : int }
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* Key listing for the `cache` RPC: sorted by key (deterministic — the
+   recency order depends on request arrival and would break the golden
+   pin), truncated to [limit] after the prefix filter. *)
+let keys ?(prefix = "") ?(limit = max_int) t =
+  let all =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun key n acc ->
+            if has_prefix ~prefix key then (key, String.length n.payload) :: acc else acc)
+          t.table [])
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  (List.length sorted, take limit sorted)
+
+(* Deliberate removal is not an eviction: it gets its own counter so the
+   LRU-pressure signal in `stats` stays meaningful. *)
+let invalidate_prefix t ~prefix =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun key n acc -> if has_prefix ~prefix key then n :: acc else acc)
+          t.table []
+      in
+      List.iter
+        (fun n ->
+          unlink t n;
+          Hashtbl.remove t.table n.key;
+          t.bytes <- t.bytes - entry_bytes n;
+          t.invalidations <- t.invalidations + 1)
+        doomed;
+      List.length doomed)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+}
 
 let stats t =
   locked t (fun () ->
@@ -122,4 +170,5 @@ let stats t =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
+        invalidations = t.invalidations;
       })

@@ -23,7 +23,27 @@ val find : t -> string -> string option
 val add : t -> string -> string -> unit
 (** Insert (or refresh) [key -> payload], evicting LRU entries as needed. *)
 
-type stats = { entries : int; bytes : int; hits : int; misses : int; evictions : int }
+val keys : ?prefix:string -> ?limit:int -> t -> int * (string * int) list
+(** [keys ~prefix ~limit t] lists cached entries whose key starts with
+    [prefix] (default: all) as [(key, payload_bytes)] pairs, sorted by
+    key (deterministic — recency order would depend on arrival order) and
+    truncated to [limit]. Returns [(matched, listed)] where [matched]
+    counts every match before truncation. Does not bump recency or the
+    hit/miss counters — inspection is not use. *)
+
+val invalidate_prefix : t -> prefix:string -> int
+(** Remove every entry whose key starts with [prefix]; returns how many
+    were removed. Counted as [invalidations], not [evictions] — deliberate
+    removal must not pollute the LRU-pressure signal. *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;  (** removed via {!invalidate_prefix} *)
+}
 (** Lifetime counters plus current occupancy — the `stats` RPC's [cache]
     field. *)
 

@@ -1,153 +1,552 @@
-(* sketchd's TCP layer: an accept loop on its own thread, one lightweight
-   thread per connection, the [Service] brain behind both. Threads (not
-   domains) carry connections — they only do blocking I/O and frame
-   parsing; the compute lands on the scheduler's worker domains.
+(* sketchd's TCP layer, rebuilt as an event engine: ONE thread owns every
+   socket — the listener, a wake pipe, and all client connections — via
+   poll(2) ([Poll], no FD_SETSIZE cliff), so thousands of idle clients
+   cost file descriptors, not threads. Compute still lands on the
+   [Scheduler]'s worker domains; replies come back to the event thread as
+   posted completions (action queue + wake pipe) and leave through a
+   buffered, non-blocking write path.
 
-   Lifecycle: [start] binds and accepts (port 0 = kernel-chosen, read back
-   with getsockname). [stop] closes the listener so no new connections
-   arrive; with [~abort_connections:true] (the signal path) it also shuts
-   down active sockets so idle readers wake up. [wait] blocks until the
-   listener is stopped and the last connection has finished, then drains
-   the scheduler — in-flight computations always complete.
+   Each connection is an explicit state machine owned by the event thread:
 
-   A misbehaving client costs its own connection, nothing else: garbage or
-   oversized frames get one best-effort error frame and a close; a peer
-   that vanishes mid-request surfaces as a Unix error that ends only that
-   connection thread, and the scheduler's cancellation probe keeps its
-   queued compute from running into the void. *)
+     readable --Decoder--> pending --pump--> in-flight --k--> outq --POLLOUT
+
+   Invariants: at most one request per connection is in flight, so replies
+   stay in request order and pipelining is safe; a connection with queued
+   output or a full pending queue is not read from (back-pressure — a
+   stalled or flooding reader blocks only itself); EOF is seen by the loop
+   the moment the peer closes, which flips the cancellation flag the
+   scheduler probes — replacing the old select(2)-based client_gone peek
+   that silently broke for fds >= FD_SETSIZE.
+
+   The hardening knobs live here, each observable via `stats` and a trace
+   instant: a max-connections cap (accept, best-effort 503 frame, close —
+   "daemon.conn-limit"), an idle-connection timeout (best-effort 408 frame
+   — "daemon.idle-timeout"), a per-connection token-bucket rate limit
+   (in-order 429 replies, connection kept — "daemon.rate-limited"), and
+   TCP keepalive on accepted sockets.
+
+   A misbehaving client still costs its own connection and nothing else:
+   garbage or oversized framing gets one best-effort error frame — after
+   the well-formed requests that preceded it on the stream — then the
+   close. *)
+
+(* Request handler in continuation style: the daemon calls [k] with the
+   reply whenever it is ready — possibly synchronously on the event
+   thread, possibly later from a worker domain or dispatch thread. *)
+type async_handle = cancelled:(unit -> bool) -> string -> (Service.reply -> unit) -> unit
+
+(* ------------------------------------------------------------------ *)
+(* A small thread pool for blocking handlers                           *)
+
+(* [start_handler]'s contract predates the event engine: [handle] is a
+   plain blocking function (the proxy's does socket I/O to its backends).
+   It must not run on the event thread, so a fixed pool of dispatch
+   threads carries those calls; [start]'s async service path never
+   touches this. *)
+module Dispatch = struct
+  type t = {
+    q : (unit -> unit) Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closing : bool;
+    mutable threads : Thread.t list;
+  }
+
+  let create ~threads =
+    let d =
+      { q = Queue.create (); m = Mutex.create (); c = Condition.create ();
+        closing = false; threads = [] }
+    in
+    let rec worker () =
+      Mutex.lock d.m;
+      while Queue.is_empty d.q && not d.closing do
+        Condition.wait d.c d.m
+      done;
+      if Queue.is_empty d.q then Mutex.unlock d.m
+      else begin
+        let f = Queue.pop d.q in
+        Mutex.unlock d.m;
+        (try f () with _ -> ());
+        worker ()
+      end
+    in
+    d.threads <- List.init (max 1 threads) (fun _ -> Thread.create worker ());
+    d
+
+  let submit d f =
+    Mutex.lock d.m;
+    if d.closing then begin
+      Mutex.unlock d.m;
+      (* Draining: run inline rather than drop a completion. *)
+      try f () with _ -> ()
+    end
+    else begin
+      Queue.add f d.q;
+      Condition.signal d.c;
+      Mutex.unlock d.m
+    end
+
+  let shutdown d =
+    Mutex.lock d.m;
+    d.closing <- true;
+    Condition.broadcast d.c;
+    Mutex.unlock d.m;
+    List.iter Thread.join d.threads
+end
+
+(* ------------------------------------------------------------------ *)
+(* Connection state                                                    *)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Wire.Decoder.t;
+  outq : string Queue.t;  (* encoded frames awaiting socket room *)
+  mutable out_off : int;  (* bytes of the head frame already written *)
+  pending : string Queue.t;  (* decoded requests not yet dispatched *)
+  mutable busy : bool;  (* one request is at the handler *)
+  mutable eof : bool;  (* no more reads; serve what's pending, then close *)
+  mutable closing : bool;  (* close as soon as outq drains *)
+  mutable dead : bool;  (* closed and removed; discard late completions *)
+  gone : bool Atomic.t;  (* the scheduler's cancellation probe reads this *)
+  mutable failure : string option;  (* framing-error frame, sent after pending *)
+  mutable last_activity : float;
+  mutable tokens : float;  (* rate-limit token bucket *)
+  mutable last_refill : float;
+  mutable req_t0 : float;  (* dispatch time of the in-flight request *)
+}
+
+type config = {
+  max_conns : int;
+  idle_timeout_s : float;  (* <= 0 disables *)
+  rate_limit : float;  (* requests/second per connection; <= 0 disables *)
+  keepalive : bool;
+}
 
 type t = {
-  (* The request brain, abstracted: [start] plugs in [Service.handle] of a
-     fresh service; [start_handler] (the proxy's entry point) plugs in any
-     payload -> reply function, reusing this whole TCP layer — accept
-     loop, connection threads, graceful drain — unchanged. *)
-  handle : cancelled:(unit -> bool) -> string -> Service.reply;
-  on_drain : unit -> unit;  (* run once by [wait] after the last connection *)
+  ahandle : async_handle;
+  on_drain : unit -> unit;  (* run once by [wait] after the loop exits *)
   service : Service.t option;
+  metrics : Metrics.t option;
+  cfg : config;
   listen_fd : Unix.file_descr;
   port : int;
-  mutex : Mutex.t;
-  idle : Condition.t;  (* signalled when a connection ends or stop begins *)
-  mutable active : Unix.file_descr list;
+  (* Cross-thread door into the loop: completions (and stop requests)
+     enqueue an action and write one byte into the wake pipe. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  amutex : Mutex.t;
+  actions : (unit -> unit) Queue.t;
   mutable stopping : bool;
-  mutable accept_thread : Thread.t option;
-  (* Self-pipe: closing a listening socket does NOT wake a thread blocked
-     in accept(2), so the accept loop selects on [listener; stop_r] and a
-     byte written to [stop_w] is the wake-up call. *)
-  stop_r : Unix.file_descr;
-  stop_w : Unix.file_descr;
+  mutable abort : bool;
+  mutable ev_thread : Thread.t option;
+  (* Event-thread-only state below. *)
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  dispatch : Dispatch.t option;
+  rbuf : Bytes.t;
+  pset : Poll.set;
+  mutable listener_open : bool;
 }
 
 let port t = t.port
 
+(* Decoded-but-undispatched requests one connection may hold before the
+   loop stops reading from it: bounds a pipelining flood the same way
+   queued output bounds a stalled reader. *)
+let pending_max = 64
+
 let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  Mutex.lock t.amutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.amutex) f
 
-(* "Has the client gone?" — probe without consuming: readable + zero-byte
-   peek means EOF. Pipelined request bytes make the peek positive, which
-   correctly reads as "still there". *)
-let client_gone fd () =
-  match Unix.select [ fd ] [] [] 0.0 with
-  | [], _, _ -> false
-  | _ -> (
-      match Unix.recv fd (Bytes.create 1) 0 1 [ Unix.MSG_PEEK ] with
-      | 0 -> true
-      | _ -> false
-      | exception Unix.Unix_error _ -> true)
-  | exception Unix.Unix_error _ -> true
+let wake_byte = Bytes.of_string "!"
 
-let frame_error ~error msg =
-  Printf.sprintf "{\"ok\":false,\"error\":%S,\"code\":400,\"msg\":%S}" error msg
+(* Nonblocking write; a full pipe already guarantees a wake-up. *)
+let wake t = try ignore (Unix.write t.wake_w wake_byte 0 1) with Unix.Unix_error _ -> ()
 
-(* Flip to stopping and wake the accept loop; idempotent, callable from a
-   connection thread (shutdown RPC) or a signal handler (via [stop]). *)
-let initiate_stop t =
-  locked t (fun () ->
-      if not t.stopping then begin
-        t.stopping <- true;
-        try ignore (Unix.write t.stop_w (Bytes.of_string "!") 0 1) with Unix.Unix_error _ -> ()
-      end;
-      Condition.broadcast t.idle)
+let post t f =
+  locked t (fun () -> Queue.add f t.actions);
+  wake t
 
-let serve_connection t fd =
-  let finish () =
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    locked t (fun () ->
-        t.active <- List.filter (fun fd' -> fd' != fd) t.active;
-        Condition.broadcast t.idle)
-  in
-  let rec loop () =
-    if locked t (fun () -> t.stopping) then ()
-    else
-      match Wire.read_frame fd with
-      | exception Wire.Closed -> ()
-      | exception Wire.Malformed msg ->
-          (* One best-effort complaint, then hang up: the stream position
-             is unrecoverable after garbage framing. *)
-          (try Wire.write_frame fd (frame_error ~error:"malformed-frame" msg)
-           with _ -> ())
-      | exception Wire.Oversized n ->
-          (try
-             Wire.write_frame fd
-               (frame_error ~error:"oversized-frame"
-                  (Printf.sprintf "declared %d bytes; max %d" n Wire.max_frame))
-           with _ -> ())
-      | exception Unix.Unix_error _ -> ()
-      | request ->
-          let t0 = Unix.gettimeofday () in
-          let reply = t.handle ~cancelled:(client_gone fd) request in
-          let written =
-            match Wire.write_frame fd reply.Service.payload with
-            | () -> true
-            | exception (Unix.Unix_error _ | Sys_error _) -> false
-          in
-          (* Whole-request envelope: dispatch + response write. The nested
-             "rpc.<op>" span (recorded by [Service.handle]) isolates the
-             dispatch, so the difference is wire time. *)
-          Stdx.Trace.complete ~t0 ~t1:(Unix.gettimeofday ()) "daemon.request";
-          if reply.Service.shutdown then initiate_stop t
-          else if written then loop ()
-  in
-  Fun.protect ~finally:finish loop
+let frame_error ~code ~error msg =
+  Printf.sprintf "{\"ok\":false,\"error\":%S,\"code\":%d,\"msg\":%S}" error code msg
 
-let accept_one t =
-  match Unix.accept t.listen_fd with
-  | fd, _ ->
-      Stdx.Trace.instant "daemon.accept";
-      Unix.setsockopt fd Unix.TCP_NODELAY true;
-      let admitted =
-        locked t (fun () ->
-            if t.stopping then false
-            else begin
-              t.active <- fd :: t.active;
-              true
-            end)
+let metric t f = match t.metrics with Some m -> f m | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Event-thread connection machinery                                   *)
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Atomic.set conn.gone true;
+    Hashtbl.remove t.conns conn.fd;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    metric t Metrics.conn_closed
+  end
+
+(* Push as much of the out-queue into the socket as it will take; stop at
+   the first partial write (POLLOUT finishes the job later). A write
+   error is a dead peer — close. *)
+let rec try_flush t conn =
+  if not conn.dead then
+    if Queue.is_empty conn.outq then begin
+      if
+        conn.closing
+        || (conn.eof && (not conn.busy) && Queue.is_empty conn.pending
+            && conn.failure = None)
+      then close_conn t conn
+    end
+    else begin
+      let head = Queue.peek conn.outq in
+      let len = String.length head - conn.out_off in
+      match Unix.write conn.fd (Bytes.unsafe_of_string head) conn.out_off len with
+      | n when n = len ->
+          ignore (Queue.pop conn.outq);
+          conn.out_off <- 0;
+          try_flush t conn
+      | n -> conn.out_off <- conn.out_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush t conn
+      | exception Unix.Unix_error _ -> close_conn t conn
+    end
+
+let enqueue_frame t conn payload =
+  Queue.add (Wire.encode payload) conn.outq;
+  try_flush t conn
+
+(* Dispatch the next pending request if the connection is quiet: nothing
+   in flight, nothing buffered for write. Called after every state change
+   that could unblock one. *)
+let rec pump t conn =
+  if (not conn.dead) && (not conn.busy) && (not conn.closing) && Queue.is_empty conn.outq
+  then
+    if Queue.is_empty conn.pending then begin
+      match conn.failure with
+      | Some frame ->
+          (* Framing garbage is reported only after every request that
+             preceded it on the stream has been answered, matching the
+             blocking daemon's frame-at-a-time order. *)
+          conn.failure <- None;
+          conn.closing <- true;
+          enqueue_frame t conn frame
+      | None -> if conn.eof then close_conn t conn
+    end
+    else if locked t (fun () -> t.stopping) then ()
+    else if t.cfg.rate_limit > 0. then begin
+      (* Token bucket: capacity = one second of burst, refilled
+         continuously. An empty bucket answers 429 in order and keeps the
+         connection — a client that slows down recovers. *)
+      let now = Unix.gettimeofday () in
+      let cap = Float.max 1. t.cfg.rate_limit in
+      conn.tokens <-
+        Float.min cap (conn.tokens +. ((now -. conn.last_refill) *. t.cfg.rate_limit));
+      conn.last_refill <- now;
+      if conn.tokens < 1. then begin
+        ignore (Queue.pop conn.pending);
+        metric t Metrics.rate_limited;
+        Stdx.Trace.instant "daemon.rate-limited";
+        enqueue_frame t conn
+          (frame_error ~code:429 ~error:"rate-limited"
+             "per-connection request rate exceeded; slow down");
+        pump t conn
+      end
+      else begin
+        conn.tokens <- conn.tokens -. 1.;
+        dispatch_one t conn
+      end
+    end
+    else dispatch_one t conn
+
+and dispatch_one t conn =
+  let request = Queue.pop conn.pending in
+  conn.busy <- true;
+  conn.req_t0 <- Unix.gettimeofday ();
+  let k reply = post t (fun () -> on_reply t conn reply) in
+  match t.ahandle ~cancelled:(fun () -> Atomic.get conn.gone) request k with
+  | () -> ()
+  | exception e ->
+      (* The handler contract says "never raise"; if one does anyway,
+         answer a 500 so the connection's reply order survives. *)
+      k
+        {
+          Service.payload = frame_error ~code:500 ~error:"failed" (Printexc.to_string e);
+          shutdown = false;
+        }
+
+and on_reply t conn reply =
+  if reply.Service.shutdown then locked t (fun () -> t.stopping <- true);
+  if not conn.dead then begin
+    conn.busy <- false;
+    conn.last_activity <- Unix.gettimeofday ();
+    enqueue_frame t conn reply.Service.payload;
+    (* Whole-request envelope: dispatch + compute + response write (a
+       buffered remainder drains via POLLOUT outside the span, much as
+       the blocking daemon's write_frame could block inside it). *)
+    Stdx.Trace.complete ~t0:conn.req_t0 ~t1:(Unix.gettimeofday ()) "daemon.request";
+    pump t conn
+  end
+
+(* Frame reassembly over freshly read bytes. A framing error parks one
+   error frame in [conn.failure] (served after the pending requests) and
+   stops all further reading — the stream position is unrecoverable. *)
+let feed_conn t conn n =
+  match Wire.Decoder.feed conn.decoder t.rbuf ~off:0 ~len:n with
+  | () ->
+      let rec drain () =
+        match Wire.Decoder.next conn.decoder with
+        | Some request ->
+            Queue.add request conn.pending;
+            drain ()
+        | None -> ()
       in
-      if admitted then ignore (Thread.create (fun () -> serve_connection t fd) ())
-      else (try Unix.close fd with Unix.Unix_error _ -> ())
-  (* Transient accept failure (ECONNABORTED, EMFILE, ...): drop this one. *)
-  | exception Unix.Unix_error _ -> ()
+      drain ()
+  | exception Wire.Malformed msg ->
+      conn.failure <- Some (frame_error ~code:400 ~error:"malformed-frame" msg);
+      conn.eof <- true
+  | exception Wire.Oversized n ->
+      conn.failure <-
+        Some
+          (frame_error ~code:400 ~error:"oversized-frame"
+             (Printf.sprintf "declared %d bytes; max %d" n Wire.max_frame));
+      conn.eof <- true
 
-let accept_loop t =
-  let rec loop () =
-    if locked t (fun () -> t.stopping) then ()
-    else
-      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
-      | ready, _, _ ->
-          if List.memq t.stop_r ready then ()
-          else begin
-            if List.memq t.listen_fd ready then accept_one t;
-            loop ()
-          end
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+let on_eof t conn =
+  conn.eof <- true;
+  Atomic.set conn.gone true;
+  (* Half-close semantics, same as the blocking daemon's: requests that
+     arrived before the FIN are still answered (the peer may be reading),
+     but their queued compute is flagged for cancellation. *)
+  if
+    (not conn.busy) && Queue.is_empty conn.pending && Queue.is_empty conn.outq
+    && conn.failure = None
+  then close_conn t conn
+
+let read_conn t conn =
+  let rec go budget =
+    if budget > 0 && (not conn.dead) && not conn.eof then
+      match Unix.read conn.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | 0 -> on_eof t conn
+      | n ->
+          conn.last_activity <- Unix.gettimeofday ();
+          feed_conn t conn n;
+          (* A full buffer means more may be waiting; a short read means
+             the socket drained. The budget keeps one firehose client
+             from starving the rest of the loop. *)
+          if n = Bytes.length t.rbuf && Queue.length conn.pending < pending_max then
+            go (budget - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go budget
+      | exception Unix.Unix_error _ -> close_conn t conn
+  in
+  go 4;
+  if not conn.dead then pump t conn
+
+(* ------------------------------------------------------------------ *)
+(* Accepting                                                           *)
+
+let admit t fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  if t.cfg.keepalive then
+    (try Unix.setsockopt fd Unix.SO_KEEPALIVE true with Unix.Unix_error _ -> ());
+  if locked t (fun () -> t.stopping) then (
+    try Unix.close fd with Unix.Unix_error _ -> ())
+  else if Hashtbl.length t.conns >= t.cfg.max_conns then begin
+    (* Accept-then-503: the client learns why instead of waiting in the
+       backlog. Best-effort single write — the frame is tiny and the
+       socket buffer empty, so a short write means a dead peer. *)
+    metric t Metrics.conn_rejected;
+    Stdx.Trace.instant "daemon.conn-limit";
+    let frame =
+      Wire.encode
+        (frame_error ~code:503 ~error:"conn-limit"
+           (Printf.sprintf "connection limit (%d) reached; retry later" t.cfg.max_conns))
+    in
+    (try ignore (Unix.write fd (Bytes.unsafe_of_string frame) 0 (String.length frame))
+     with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    Stdx.Trace.instant "daemon.accept";
+    let now = Unix.gettimeofday () in
+    let conn =
+      {
+        fd;
+        decoder = Wire.Decoder.create ();
+        outq = Queue.create ();
+        out_off = 0;
+        pending = Queue.create ();
+        busy = false;
+        eof = false;
+        closing = false;
+        dead = false;
+        gone = Atomic.make false;
+        failure = None;
+        last_activity = now;
+        tokens = Float.max 1. t.cfg.rate_limit;
+        last_refill = now;
+        req_t0 = now;
+      }
+    in
+    Hashtbl.replace t.conns fd conn;
+    metric t Metrics.conn_opened
+  end
+
+let accept_burst t =
+  let rec go n =
+    if n > 0 then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          admit t fd;
+          go (n - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go n
+      (* Transient accept failure (ECONNABORTED, EMFILE, ...): drop. *)
       | exception Unix.Unix_error _ -> ()
+  in
+  go 64
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+
+let idle_sweep t =
+  if t.cfg.idle_timeout_s > 0. then begin
+    let now = Unix.gettimeofday () in
+    let victims =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if
+            (not conn.busy) && Queue.is_empty conn.outq && Queue.is_empty conn.pending
+            && (not conn.dead)
+            && now -. conn.last_activity > t.cfg.idle_timeout_s
+          then conn :: acc
+          else acc)
+        t.conns []
+    in
+    List.iter
+      (fun conn ->
+        metric t Metrics.idle_timeout;
+        Stdx.Trace.instant "daemon.idle-timeout";
+        let frame =
+          Wire.encode
+            (frame_error ~code:408 ~error:"idle-timeout"
+               (Printf.sprintf "idle longer than %gs; closing" t.cfg.idle_timeout_s))
+        in
+        (try ignore (Unix.write conn.fd (Bytes.unsafe_of_string frame) 0 (String.length frame))
+         with Unix.Unix_error _ -> ());
+        close_conn t conn)
+      victims
+  end
+
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let run_actions t =
+  let batch =
+    locked t (fun () ->
+        let b = Queue.copy t.actions in
+        Queue.clear t.actions;
+        b)
+  in
+  Queue.iter (fun f -> try f () with _ -> ()) batch
+
+let event_loop t =
+  let rec loop () =
+    run_actions t;
+    let stopping, abort = locked t (fun () -> (t.stopping, t.abort)) in
+    if stopping && t.listener_open then begin
+      t.listener_open <- false;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+    end;
+    if stopping then begin
+      let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      List.iter
+        (fun conn ->
+          (* Gentle drain: keep a connection only while a reply is in
+             flight or still flushing; abort closes everything now. *)
+          if abort || ((not conn.busy) && Queue.is_empty conn.outq) then
+            close_conn t conn)
+        all
+    end;
+    if stopping && Hashtbl.length t.conns = 0 then ()
+    else begin
+      Poll.clear t.pset;
+      let wake_slot = Poll.add t.pset t.wake_r Poll.pollin in
+      let listen_slot =
+        if t.listener_open then Some (Poll.add t.pset t.listen_fd Poll.pollin) else None
+      in
+      let regs =
+        Hashtbl.fold
+          (fun _ conn acc ->
+            let interest =
+              if not (Queue.is_empty conn.outq) then Poll.pollout
+              else if (not conn.eof) && Queue.length conn.pending < pending_max then
+                (* Back-pressure by omission: pending output (the branch
+                   above) or a full pending queue suspends reads; EOF'd
+                   and garbage streams are never read again. *)
+                Poll.pollin
+              else 0
+            in
+            (Poll.add t.pset conn.fd interest, conn) :: acc)
+          t.conns []
+      in
+      let timeout_ms =
+        if stopping then 50
+        else if t.cfg.idle_timeout_s > 0. then
+          max 10 (min 1000 (int_of_float (t.cfg.idle_timeout_s *. 250.)))
+        else 1000
+      in
+      ignore (Poll.wait t.pset ~timeout_ms);
+      if Poll.revents t.pset wake_slot land Poll.pollin <> 0 then drain_wake t;
+      (match listen_slot with
+      | Some slot when Poll.revents t.pset slot land Poll.pollin <> 0 -> accept_burst t
+      | _ -> ());
+      List.iter
+        (fun (slot, conn) ->
+          if not conn.dead then begin
+            let r = Poll.revents t.pset slot in
+            if r land (Poll.pollerr lor Poll.pollnval) <> 0 then close_conn t conn
+            else begin
+              if r land Poll.pollout <> 0 then begin
+                try_flush t conn;
+                if not conn.dead then pump t conn
+              end;
+              if (not conn.dead) && r land Poll.pollin <> 0 then read_conn t conn
+              else if
+                  (* HUP with nothing readable and nothing in flight: the
+                     peer is gone for good — let read observe the EOF. *)
+                  (not conn.dead) && r land Poll.pollhup <> 0
+                  && Queue.is_empty conn.outq && not conn.busy
+                then read_conn t conn
+            end
+          end)
+        regs;
+      idle_sweep t;
+      loop ()
+    end
   in
   loop ();
-  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  if t.listener_open then begin
+    t.listener_open <- false;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
 
-let start_handler ?(host = "127.0.0.1") ?(port = 0) ?(on_drain = fun () -> ())
-    ?service ~handle () =
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start_async ?(host = "127.0.0.1") ?(port = 0) ?(on_drain = fun () -> ()) ?service
+    ?metrics ?(max_conns = 8192) ?(idle_timeout_s = 0.) ?(rate_limit = 0.)
+    ?(keepalive = true) ?dispatch ~ahandle () =
+  if max_conns < 1 then invalid_arg "Daemon: max_conns must be at least 1";
   (* A dead client mid-write must surface as EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let addr = Unix.inet_addr_of_string host in
@@ -157,36 +556,58 @@ let start_handler ?(host = "127.0.0.1") ?(port = 0) ?(on_drain = fun () -> ())
    with e ->
      Unix.close listen_fd;
      raise e);
-  Unix.listen listen_fd 64;
+  Unix.listen listen_fd 511;
+  Unix.set_nonblock listen_fd;
   let port =
     match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
   in
-  let stop_r, stop_w = Unix.pipe () in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
-      handle;
+      ahandle;
       on_drain;
       service;
+      metrics;
+      cfg = { max_conns; idle_timeout_s; rate_limit; keepalive };
       listen_fd;
       port;
-      mutex = Mutex.create ();
-      idle = Condition.create ();
-      active = [];
+      wake_r;
+      wake_w;
+      amutex = Mutex.create ();
+      actions = Queue.create ();
       stopping = false;
-      accept_thread = None;
-      stop_r;
-      stop_w;
+      abort = false;
+      ev_thread = None;
+      conns = Hashtbl.create 64;
+      dispatch;
+      rbuf = Bytes.create 65536;
+      pset = Poll.create_set ();
+      listener_open = true;
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.ev_thread <- Some (Thread.create (fun () -> event_loop t) ());
   t
 
-let start ?host ?port ?workers ?capacity ?cache_entries ?cache_bytes ?log () =
+let start_handler ?host ?port ?on_drain ?service ?metrics ?max_conns ?idle_timeout_s
+    ?rate_limit ?keepalive ?(dispatch_threads = 16) ~handle () =
+  let dispatch = Dispatch.create ~threads:dispatch_threads in
+  let ahandle ~cancelled request k =
+    Dispatch.submit dispatch (fun () -> k (handle ~cancelled request))
+  in
+  start_async ?host ?port ?on_drain ?service ?metrics ?max_conns ?idle_timeout_s
+    ?rate_limit ?keepalive ~dispatch ~ahandle ()
+
+let start ?host ?port ?workers ?capacity ?cache_entries ?cache_bytes ?max_conns
+    ?idle_timeout_s ?rate_limit ?keepalive ?log () =
   let service = Service.create ?workers ?capacity ?cache_entries ?cache_bytes ?log () in
-  start_handler ?host ?port
+  start_async ?host ?port
     ~on_drain:(fun () -> Service.shutdown service)
     ~service
-    ~handle:(fun ~cancelled request -> Service.handle service ~cancelled request)
+    ~metrics:(Service.metrics service)
+    ?max_conns ?idle_timeout_s ?rate_limit ?keepalive
+    ~ahandle:(fun ~cancelled request k -> Service.handle_async service ~cancelled request ~k)
     ()
 
 let service t =
@@ -195,18 +616,14 @@ let service t =
   | None -> invalid_arg "Daemon.service: handler daemon has no service"
 
 let stop ?(abort_connections = false) t =
-  initiate_stop t;
-  let fds = locked t (fun () -> if abort_connections then t.active else []) in
-  (* Wake idle connection readers so their threads can exit; in-flight
-     computations still complete on the worker domains. *)
-  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) fds
+  locked t (fun () ->
+      t.stopping <- true;
+      if abort_connections then t.abort <- true);
+  wake t
 
 let wait t =
-  locked t (fun () ->
-      while not (t.stopping && t.active = []) do
-        Condition.wait t.idle t.mutex
-      done);
-  (match t.accept_thread with Some th -> Thread.join th | None -> ());
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
-  t.on_drain ()
+  (match t.ev_thread with Some th -> Thread.join th | None -> ());
+  (match t.dispatch with Some d -> Dispatch.shutdown d | None -> ());
+  t.on_drain ();
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ())

@@ -12,6 +12,12 @@ type t = {
   mutable ring_used : int;
   mutable ring_next : int;
   started_at : float;
+  (* Connection book-keeping, fed by the daemon's event loop. *)
+  mutable conns_open : int;  (* gauge: currently accepted *)
+  mutable conns_accepted : int;
+  mutable conns_rejected : int;  (* over the max-connections cap *)
+  mutable idle_timeouts : int;
+  mutable rate_limited : int;
 }
 
 let ring_size = 1024
@@ -26,6 +32,11 @@ let create () =
     ring_used = 0;
     ring_next = 0;
     started_at = Unix.gettimeofday ();
+    conns_open = 0;
+    conns_accepted = 0;
+    conns_rejected = 0;
+    idle_timeouts = 0;
+    rate_limited = 0;
   }
 
 let locked t f =
@@ -41,6 +52,16 @@ let record t ~op ~ok ~ms =
       t.ring_next <- (t.ring_next + 1) mod ring_size;
       t.ring_used <- min ring_size (t.ring_used + 1))
 
+let conn_opened t =
+  locked t (fun () ->
+      t.conns_open <- t.conns_open + 1;
+      t.conns_accepted <- t.conns_accepted + 1)
+
+let conn_closed t = locked t (fun () -> t.conns_open <- max 0 (t.conns_open - 1))
+let conn_rejected t = locked t (fun () -> t.conns_rejected <- t.conns_rejected + 1)
+let idle_timeout t = locked t (fun () -> t.idle_timeouts <- t.idle_timeouts + 1)
+let rate_limited t = locked t (fun () -> t.rate_limited <- t.rate_limited + 1)
+
 type snapshot = {
   uptime_s : float;
   total : int;
@@ -51,6 +72,11 @@ type snapshot = {
   p90_ms : float;
   p99_ms : float;
   max_ms : float;
+  conns_open : int;
+  conns_accepted : int;
+  conns_rejected : int;
+  idle_timeouts : int;
+  rate_limited : int;
 }
 
 let snapshot t =
@@ -69,4 +95,9 @@ let snapshot t =
         p90_ms = q 0.9;
         p99_ms = q 0.99;
         max_ms = (if t.ring_used = 0 then 0. else Array.fold_left max 0. lat);
+        conns_open = t.conns_open;
+        conns_accepted = t.conns_accepted;
+        conns_rejected = t.conns_rejected;
+        idle_timeouts = t.idle_timeouts;
+        rate_limited = t.rate_limited;
       })

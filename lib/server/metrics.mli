@@ -12,6 +12,26 @@ val record : t -> op:string -> ok:bool -> ms:float -> unit
 (** Count one request for [op] with wall latency [ms]; [ok = false] also
     bumps the error counter. *)
 
+(** {2 Connection book-keeping}
+
+    Fed by the daemon's event loop; surfaced as the [connections] block
+    of the `stats` RPC. *)
+
+val conn_opened : t -> unit
+(** One connection accepted — bumps the open gauge and lifetime count. *)
+
+val conn_closed : t -> unit
+(** One connection closed — drops the open gauge. *)
+
+val conn_rejected : t -> unit
+(** One connection turned away over the max-connections cap. *)
+
+val idle_timeout : t -> unit
+(** One connection evicted by the idle timeout. *)
+
+val rate_limited : t -> unit
+(** One request answered 429 by the per-connection rate limiter. *)
+
 type snapshot = {
   uptime_s : float;
   total : int;
@@ -22,6 +42,11 @@ type snapshot = {
   p90_ms : float;  (** 90th-percentile request latency. *)
   p99_ms : float;  (** 99th-percentile request latency. *)
   max_ms : float;  (** Slowest request in the ring. *)
+  conns_open : int;  (** Connections open right now. *)
+  conns_accepted : int;  (** Lifetime accepted connections. *)
+  conns_rejected : int;  (** Turned away over the connection cap. *)
+  idle_timeouts : int;  (** Evicted by the idle timeout. *)
+  rate_limited : int;  (** Requests 429'd by the rate limiter. *)
 }
 (** One consistent reading of every counter — the `stats` RPC's source. *)
 

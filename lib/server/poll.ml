@@ -1,0 +1,63 @@
+(* OCaml face of the poll(2) stub: parallel fds/events/revents arrays,
+   resized geometrically by the caller (see [ensure]). Only the first [n]
+   entries of each array are live on any given call. *)
+
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "sketchlb_poll"
+
+external constants : unit -> int * int * int * int * int = "sketchlb_poll_constants"
+
+let pollin, pollout, pollerr, pollhup, pollnval = constants ()
+
+type set = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+let create_set () =
+  {
+    fds = Array.make 64 Unix.stdin;
+    events = Array.make 64 0;
+    revents = Array.make 64 0;
+    n = 0;
+  }
+
+let clear s = s.n <- 0
+
+(* Make room for at least [extra] more entries. *)
+let ensure s extra =
+  let need = s.n + extra in
+  if need > Array.length s.fds then begin
+    let cap = ref (Array.length s.fds) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let fds = Array.make !cap Unix.stdin in
+    let events = Array.make !cap 0 in
+    let revents = Array.make !cap 0 in
+    Array.blit s.fds 0 fds 0 s.n;
+    Array.blit s.events 0 events 0 s.n;
+    s.fds <- fds;
+    s.events <- events;
+    s.revents <- revents
+  end
+
+(* Register one fd with an interest mask; returns its slot index. *)
+let add s fd events =
+  ensure s 1;
+  let i = s.n in
+  s.fds.(i) <- fd;
+  s.events.(i) <- events;
+  s.revents.(i) <- 0;
+  s.n <- i + 1;
+  i
+
+let wait s ~timeout_ms =
+  match poll_stub s.fds s.events s.revents s.n timeout_ms with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+
+let revents s i = s.revents.(i)

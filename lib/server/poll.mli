@@ -1,0 +1,47 @@
+(** A thin binding to [poll(2)] — readiness over an explicit fd array, so
+    the event engine has no [FD_SETSIZE] cliff (the stdlib only exposes
+    [select(2)], whose fd sets cap out at 1024 descriptors on Linux).
+
+    The syscall runs with the OCaml runtime lock released; worker domains
+    and completion posters keep running while the event thread sleeps. *)
+
+val pollin : int
+(** Readable (or a pending connection on a listener). *)
+
+val pollout : int
+(** Writable without blocking. *)
+
+val pollerr : int
+(** Error condition (always reported, never requested). *)
+
+val pollhup : int
+(** Peer hung up (always reported, never requested). *)
+
+val pollnval : int
+(** Invalid descriptor (always reported, never requested). *)
+
+type set
+(** A reusable registration buffer: parallel fd/interest/result arrays,
+    grown geometrically and rebuilt (via {!clear} + {!add}) each loop
+    iteration. Not thread-safe — owned by the event thread. *)
+
+val create_set : unit -> set
+(** An empty set with a small initial capacity. *)
+
+val clear : set -> unit
+(** Forget every registration (capacity is kept). *)
+
+val add : set -> Unix.file_descr -> int -> int
+(** [add s fd interest] registers [fd] with an interest mask (an [lor] of
+    {!pollin}/{!pollout}; [0] polls only for errors) and returns the slot
+    index to pass to {!revents} after {!wait}. *)
+
+val wait : set -> timeout_ms:int -> int
+(** Block until at least one registered fd is ready or the timeout lapses
+    ([-1] = forever, [0] = non-blocking probe). Returns the number of
+    ready descriptors; [EINTR] surfaces as [0] (the caller re-loops).
+    Raises [Unix.Unix_error] on real failures. *)
+
+val revents : set -> int -> int
+(** The result mask of slot [i] after the last {!wait} — test with
+    [revents land pollin <> 0] etc. *)

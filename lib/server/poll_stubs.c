@@ -1,0 +1,77 @@
+/* A minimal poll(2) binding for the event-driven daemon core.
+ *
+ * The OCaml standard library only exposes select(2), whose fd_set caps
+ * out at FD_SETSIZE (1024 on Linux) — one silent cliff the daemon used
+ * to live under.  poll(2) takes an explicit array, so the only limit is
+ * the process's fd rlimit.
+ *
+ * Calling convention: the OCaml side keeps three parallel arrays
+ * (fds, events, revents) and tells us how many leading entries are
+ * live.  We build the struct pollfd array on the C heap, release the
+ * OCaml runtime lock for the duration of the syscall (other threads —
+ * worker domains, completion posters — keep running), and copy the
+ * revents back.  Unix.file_descr is an int on Unix, so Int_val/Val_int
+ * move descriptors directly.
+ */
+
+#include <poll.h>
+#include <errno.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+#include <caml/unixsupport.h>
+
+CAMLprim value sketchlb_poll(value v_fds, value v_events, value v_revents,
+                             value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  int n = Int_val(v_n);
+  int timeout_ms = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int ret, i;
+
+  if (n < 0 || (uintnat) n > Wosize_val(v_fds)
+      || (uintnat) n > Wosize_val(v_events)
+      || (uintnat) n > Wosize_val(v_revents))
+    caml_invalid_argument("Poll.poll: n out of bounds");
+
+  pfds = caml_stat_alloc(sizeof(struct pollfd) * (n == 0 ? 1 : n));
+  for (i = 0; i < n; i++) {
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short) Int_val(Field(v_events, i));
+    pfds[i].revents = 0;
+  }
+
+  caml_enter_blocking_section();
+  ret = poll(pfds, (nfds_t) n, timeout_ms);
+  caml_leave_blocking_section();
+
+  if (ret < 0) {
+    caml_stat_free(pfds);
+    uerror("poll", Nothing);
+  }
+  /* Plain immediates into a preallocated int array: no caml_modify needed,
+   * but Store_field keeps us honest if the array representation changes. */
+  for (i = 0; i < n; i++)
+    Store_field(v_revents, i, Val_int(pfds[i].revents));
+  caml_stat_free(pfds);
+  CAMLreturn(Val_int(ret));
+}
+
+/* The event-bit constants are platform-defined; export them rather than
+ * hard-coding Linux's values in OCaml. */
+CAMLprim value sketchlb_poll_constants(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  res = caml_alloc_tuple(5);
+  Store_field(res, 0, Val_int(POLLIN));
+  Store_field(res, 1, Val_int(POLLOUT));
+  Store_field(res, 2, Val_int(POLLERR));
+  Store_field(res, 3, Val_int(POLLHUP));
+  Store_field(res, 4, Val_int(POLLNVAL));
+  CAMLreturn(res);
+}

@@ -524,11 +524,14 @@ let close t =
 (* ------------------------------------------------------------------ *)
 (* TCP front: the generic daemon around [handle]                       *)
 
-let start ?host ?port ?vnodes ?(health_interval_s = 2.0) ?shed_backoff_ms ?log ~backends () =
+let start ?host ?port ?vnodes ?(health_interval_s = 2.0) ?shed_backoff_ms ?max_conns
+    ?idle_timeout_s ?rate_limit ?keepalive ?dispatch_threads ?log ~backends () =
   let t = create ?vnodes ?shed_backoff_ms ?log ~backends () in
   let daemon =
     Daemon.start_handler ?host ?port
       ~on_drain:(fun () -> close t)
+      ~metrics:t.metrics ?max_conns ?idle_timeout_s ?rate_limit ?keepalive
+      ?dispatch_threads
       ~handle:(fun ~cancelled payload -> handle t ~cancelled payload)
       ()
   in

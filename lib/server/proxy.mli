@@ -81,15 +81,23 @@ val start :
   ?vnodes:int ->
   ?health_interval_s:float ->
   ?shed_backoff_ms:int ->
+  ?max_conns:int ->
+  ?idle_timeout_s:float ->
+  ?rate_limit:float ->
+  ?keepalive:bool ->
+  ?dispatch_threads:int ->
   ?log:(string -> unit) ->
   backends:string list ->
   unit ->
   t
-(** {!create}, then listen via {!Daemon.start_handler} (same accept loop,
-    connection threads and graceful drain as sketchd) and start a
-    background health pinger sweeping every [health_interval_s] (default
-    2.0) seconds. [port 0] (the default) lets the kernel choose — read it
-    back with {!port}. *)
+(** {!create}, then listen via {!Daemon.start_handler} (the same poll
+    event engine, frame reassembly and graceful drain as sketchd — the
+    proxy inherits every connection knob) and start a background health
+    pinger sweeping every [health_interval_s] (default 2.0) seconds.
+    [max_conns]/[idle_timeout_s]/[rate_limit]/[keepalive]/[dispatch_threads]
+    are {!Daemon.start_handler}'s; the daemon feeds connection gauges into
+    this proxy's own metrics. [port 0] (the default) lets the kernel
+    choose — read it back with {!port}. *)
 
 val port : t -> int
 (** The bound TCP port. Raises [Invalid_argument] unless {!start}ed. *)

@@ -71,7 +71,12 @@ let await cell =
   Mutex.unlock cell.cmutex;
   r
 
-let run t ?deadline ?(cancelled = fun () -> false) f =
+(* Asynchronous submission: admission happens here (a shed request's [k]
+   runs synchronously on the caller — the event thread gets its 429
+   without a thread handoff); an admitted job's [k] runs on the worker
+   domain that executed (or dropped) it. The event engine's completion
+   path is [k]'s responsibility — it posts back to the event loop. *)
+let submit t ?deadline ?(cancelled = fun () -> false) f ~k =
   let admitted =
     locked t (fun () ->
         if t.closing then Error Shutting_down
@@ -85,15 +90,14 @@ let run t ?deadline ?(cancelled = fun () -> false) f =
         end)
   in
   match admitted with
-  | Error Overloaded as e ->
+  | Error Overloaded ->
       Stdx.Trace.instant "scheduler.shed";
-      e
-  | Error _ as e -> e
+      k (Error Overloaded)
+  | Error _ as e -> k e
   | Ok () ->
       (* Guarded: the depth read takes the mutex, don't pay it when off. *)
       if Stdx.Trace.enabled () then
         Stdx.Trace.counter "scheduler.depth" (locked t (fun () -> t.depth));
-      let cell = { cmutex = Mutex.create (); cond = Condition.create (); result = None } in
       let job () =
         let outcome =
           if (match deadline with Some d -> Unix.gettimeofday () > d | None -> false) then begin
@@ -112,13 +116,17 @@ let run t ?deadline ?(cancelled = fun () -> false) f =
             | exception e -> Error (Failed (Printexc.to_string e))
         in
         locked t (fun () -> t.depth <- t.depth - 1);
-        fill cell outcome
+        k outcome
       in
-      if Stdx.Parallel.Pool.submit t.pool job then await cell
-      else begin
+      if not (Stdx.Parallel.Pool.submit t.pool job) then begin
         locked t (fun () -> t.depth <- t.depth - 1);
-        Error Shutting_down
+        k (Error Shutting_down)
       end
+
+let run t ?deadline ?cancelled f =
+  let cell = { cmutex = Mutex.create (); cond = Condition.create (); result = None } in
+  submit t ?deadline ?cancelled f ~k:(fill cell);
+  await cell
 
 type stats = {
   depth : int;

@@ -25,11 +25,26 @@ val create : ?workers:int -> ?capacity:int -> unit -> t
 val workers : t -> int
 (** Number of worker domains in the pool. *)
 
-val run : t -> ?deadline:float -> ?cancelled:(unit -> bool) -> (unit -> 'a) -> ('a, error) result
-(** Submit [f] and block until it completes or is dropped. [deadline] is an
+val submit :
+  t ->
+  ?deadline:float ->
+  ?cancelled:(unit -> bool) ->
+  (unit -> 'a) ->
+  k:(('a, error) result -> unit) ->
+  unit
+(** Submit [f] without blocking; [k] receives the outcome exactly once.
+    Admission happens here: a shed/draining request's [k] runs
+    {e synchronously} on the caller (the event thread gets its 429
+    without a thread handoff); an admitted job's [k] runs on the worker
+    domain, after the compute (or the deadline/cancellation drop). [k]
+    must not block for long and must not raise. [deadline] is an
     absolute [Unix.gettimeofday] instant checked when the job reaches a
-    worker; [cancelled] is probed at the same point. Safe to call from many
-    threads concurrently. *)
+    worker; [cancelled] is probed at the same point. *)
+
+val run : t -> ?deadline:float -> ?cancelled:(unit -> bool) -> (unit -> 'a) -> ('a, error) result
+(** {!submit} plus a blocking wait for the outcome — the synchronous
+    convenience used by tests and anything with a thread to park. Safe to
+    call from many threads concurrently. *)
 
 type stats = {
   depth : int;  (** queued + running right now *)

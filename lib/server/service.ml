@@ -37,6 +37,7 @@ let create ?(workers = 2) ?(capacity = 16) ?cache_entries ?cache_bytes
 
 let scheduler t = t.scheduler
 let cache t = t.cache
+let metrics t = t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Response building: canonical JSON text                              *)
@@ -187,6 +188,7 @@ let handle_stats t =
             ("entries", string_of_int c.Cache.entries);
             ("bytes", string_of_int c.Cache.bytes);
             ("evictions", string_of_int c.Cache.evictions);
+            ("invalidations", string_of_int c.Cache.invalidations);
           ] );
       ( "queue",
         obj
@@ -215,28 +217,96 @@ let handle_stats t =
             ("events", string_of_int tr.Stdx.Trace.events);
             ("dropped", string_of_int tr.Stdx.Trace.dropped);
           ] );
+      (* Appended per PROTOCOL.md §6: new fields go after existing ones. *)
+      ( "connections",
+        obj
+          [
+            ("open", string_of_int m.Metrics.conns_open);
+            ("accepted", string_of_int m.Metrics.conns_accepted);
+            ("rejected", string_of_int m.Metrics.conns_rejected);
+            ("idle_timeouts", string_of_int m.Metrics.idle_timeouts);
+            ("rate_limited", string_of_int m.Metrics.rate_limited);
+          ] );
     ]
 
+(* The `cache` RPC: introspection and prefix invalidation of the result
+   cache. Sound to expose because invalidation can never change what a
+   client observes — any future recomputation is byte-identical to the
+   dropped entry (the determinism contract). Cheap: answered on the
+   calling thread, never scheduled. *)
+let handle_cache t j =
+  let prefix = str_field j "prefix" in
+  match str_field j "action" with
+  | Some "stats" ->
+      let c = Cache.stats t.cache in
+      ok_response
+        [
+          ("op", jstr "cache");
+          ("action", jstr "stats");
+          ("entries", string_of_int c.Cache.entries);
+          ("bytes", string_of_int c.Cache.bytes);
+          ("hits", string_of_int c.Cache.hits);
+          ("misses", string_of_int c.Cache.misses);
+          ("evictions", string_of_int c.Cache.evictions);
+          ("invalidations", string_of_int c.Cache.invalidations);
+        ]
+  | Some "keys" ->
+      let limit =
+        match int_field j "limit" with Some l when l > 0 -> l | Some _ | None -> 100
+      in
+      let matched, listed = Cache.keys ?prefix ~limit t.cache in
+      ok_response
+        [
+          ("op", jstr "cache");
+          ("action", jstr "keys");
+          ("prefix", jstr (Option.value ~default:"" prefix));
+          ("matched", string_of_int matched);
+          ( "keys",
+            arr
+              (List.map
+                 (fun (key, bytes) ->
+                   obj [ ("key", jstr key); ("bytes", string_of_int bytes) ])
+                 listed) );
+        ]
+  | Some "invalidate" -> (
+      match prefix with
+      | None ->
+          bad_request
+            "cache invalidate needs a string field \"prefix\" (\"\" clears everything)"
+      | Some prefix ->
+          let n = Cache.invalidate_prefix t.cache ~prefix in
+          ok_response
+            [
+              ("op", jstr "cache");
+              ("action", jstr "invalidate");
+              ("prefix", jstr prefix);
+              ("invalidated", string_of_int n);
+            ])
+  | Some a ->
+      bad_request (Printf.sprintf "unknown cache action %S (stats, keys or invalidate)" a)
+  | None -> bad_request "cache needs a string field \"action\" (stats, keys or invalidate)"
+
 (* Consult the cache under [key]; on a miss compute the payload on a worker
-   domain through the bounded scheduler. Returns the response and whether
-   it was served from cache. *)
-let cached_compute t ~key ~deadline ~cancelled compute =
+   domain through the bounded scheduler. [k] receives the response and
+   whether it was served from cache — synchronously on the caller for a
+   hit or a shed, from the worker domain after a computed miss. *)
+let cached_compute t ~key ~deadline ~cancelled compute ~k =
   match Cache.find t.cache key with
-  | Some payload -> (payload, true)
-  | None -> (
+  | Some payload -> k (payload, true)
+  | None ->
       (* The "service.schedule" span covers queueing + compute on the
          worker; the nested "scheduler.compute" span isolates the compute
          part, so the gap between the two is time spent waiting for a
          worker slot. Recorded with [complete] because connection threads
          share domains and may interleave. *)
       let t0 = Unix.gettimeofday () in
-      let outcome = Scheduler.run t.scheduler ?deadline ?cancelled:(Some cancelled) compute in
-      Stdx.Trace.complete ~t0 ~t1:(Unix.gettimeofday ()) "service.schedule";
-      match outcome with
-      | Ok payload ->
-          Cache.add t.cache key payload;
-          (payload, false)
-      | Error e -> (of_scheduler_error e, false))
+      Scheduler.submit t.scheduler ?deadline ~cancelled compute ~k:(fun outcome ->
+          Stdx.Trace.complete ~t0 ~t1:(Unix.gettimeofday ()) "service.schedule";
+          match outcome with
+          | Ok payload ->
+              Cache.add t.cache key payload;
+              k (payload, false)
+          | Error e -> k (of_scheduler_error e, false))
 
 (* Assemble and validate a [run] request's merged parameter list against
    experiment [e]'s spec — shared by [handle_run] and [request_key] so the
@@ -315,15 +385,15 @@ let request_key j =
       | _ -> None)
   | _ -> None
 
-let handle_run t ~cancelled j =
+let handle_run t ~cancelled j ~k =
   match str_field j "id" with
-  | None -> bad_request "run needs a string field \"id\""
+  | None -> k (bad_request "run needs a string field \"id\"")
   | Some id -> (
       match Core.Exp_all.find id with
-      | None -> not_found (Printf.sprintf "unknown experiment %S; see `list`" id)
+      | None -> k (not_found (Printf.sprintf "unknown experiment %S; see `list`" id))
       | Some e -> (
           match merged_of_run_request e j with
-          | Error response -> response
+          | Error response -> k response
           | Ok merged ->
               let key = canonical_key id merged in
               let compute () =
@@ -338,30 +408,30 @@ let handle_run t ~cancelled j =
                     ("rows", arr rows);
                   ]
               in
-              let payload, hit =
-                cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
-              in
-              t.log
-                (Printf.sprintf "op=run id=%s cache=%s key=%S" id
-                   (if hit then "hit" else "miss")
-                   key);
-              payload))
+              cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
+                ~k:(fun (payload, hit) ->
+                  t.log
+                    (Printf.sprintf "op=run id=%s cache=%s key=%S" id
+                       (if hit then "hit" else "miss")
+                       key);
+                  k payload)))
 
-let handle_simulate t ~cancelled j =
+let handle_simulate t ~cancelled j ~k =
   match str_field j "protocol" with
-  | None -> bad_request "simulate needs a string field \"protocol\""
+  | None -> k (bad_request "simulate needs a string field \"protocol\"")
   | Some name when not (List.mem_assoc name Simulate.protocols) ->
-      not_found (Printf.sprintf "unknown protocol %S; see `list`" name)
+      k (not_found (Printf.sprintf "unknown protocol %S; see `list`" name))
   | Some name -> (
       match T.member "graph" j with
-      | None -> bad_request "simulate needs an object field \"graph\""
+      | None -> k (bad_request "simulate needs an object field \"graph\"")
       | Some gj -> (
           match Simulate.gspec_of_json gj with
-          | Error msg -> bad_request msg
+          | Error msg -> k (bad_request msg)
           | Ok graph when not (Simulate.compatible ~protocol:name graph) ->
-              bad_request
-                (Printf.sprintf "protocol %S cannot run on a %s input" name
-                   (T.string_of_json (Simulate.json_of_gspec graph)))
+              k
+                (bad_request
+                   (Printf.sprintf "protocol %S cannot run on a %s input" name
+                      (T.string_of_json (Simulate.json_of_gspec graph))))
           | Ok graph ->
               let seed = Option.value ~default:7 (int_field j "seed") in
               let spec = { Simulate.protocol = name; graph; seed } in
@@ -372,53 +442,77 @@ let handle_simulate t ~cancelled j =
                   (("op", jstr "simulate")
                   :: List.map (fun (k, v) -> (k, T.string_of_json v)) fields)
               in
-              let payload, hit =
-                cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
-              in
-              t.log
-                (Printf.sprintf "op=simulate protocol=%s cache=%s" name
-                   (if hit then "hit" else "miss"));
-              payload))
+              cached_compute t ~key ~deadline:(deadline_of j) ~cancelled compute
+                ~k:(fun (payload, hit) ->
+                  t.log
+                    (Printf.sprintf "op=simulate protocol=%s cache=%s" name
+                       (if hit then "hit" else "miss"));
+                  k payload)))
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
 type reply = { payload : string; shutdown : bool }
 
-let handle t ?(cancelled = fun () -> false) payload =
-  let t0 = Unix.gettimeofday () in
-  let op, response, shutdown =
-    match T.json_of_string payload with
-    | exception T.Parse_error msg -> ("parse-error", bad_request ("invalid JSON: " ^ msg), false)
-    | j -> (
-        match str_field j "op" with
-        | None -> ("bad-op", bad_request "request needs a string field \"op\"", false)
-        | Some "ping" -> ("ping", handle_ping t, false)
-        | Some "list" -> ("list", handle_list t, false)
-        | Some "stats" -> ("stats", handle_stats t, false)
-        | Some "run" -> ("run", handle_run t ~cancelled j, false)
-        | Some "simulate" -> ("simulate", handle_simulate t ~cancelled j, false)
-        | Some "shutdown" ->
-            t.draining <- true;
-            ( "shutdown",
-              ok_response [ ("op", jstr "shutdown"); ("msg", jstr "draining; no new requests") ],
-              true )
-        | Some op -> ("bad-op", not_found (Printf.sprintf "unknown op %S" op), false))
-  in
+(* Close out one request: trace span, metrics, log line, then deliver.
+   Runs on whichever thread produced the response — the caller for cheap
+   ops and cache hits, a worker domain for computed misses — so the
+   "rpc.<op>" span and the recorded latency cover queueing + compute, the
+   same envelope the blocking dispatch used to measure. *)
+let finish t ~t0 ~op ~shutdown ~k response =
   let t1 = Unix.gettimeofday () in
   let ms = (t1 -. t0) *. 1000. in
   let ok = String.length response >= 11 && String.sub response 0 11 = "{\"ok\":true," in
   (* One span per request, named by op. [complete] (not begin_/end_):
-     connection threads share a domain, so a stack would mis-pair. The
-     args guard avoids building the list when tracing is off. *)
+     requests from many connections share a domain, so a stack would
+     mis-pair. The args guard avoids building the list when tracing is
+     off. *)
   if Stdx.Trace.enabled () then
-    Stdx.Trace.complete
-      ~args:[ ("ok", Stdx.Trace.Bool ok) ]
-      ~t0 ~t1
-      ("rpc." ^ op);
+    Stdx.Trace.complete ~args:[ ("ok", Stdx.Trace.Bool ok) ] ~t0 ~t1 ("rpc." ^ op);
   Metrics.record t.metrics ~op ~ok ~ms;
   t.log (Printf.sprintf "op=%s status=%s ms=%.2f" op (if ok then "ok" else "error") ms);
-  { payload = response; shutdown }
+  k { payload = response; shutdown }
+
+let handle_async t ?(cancelled = fun () -> false) payload ~k =
+  let t0 = Unix.gettimeofday () in
+  let sync op response = finish t ~t0 ~op ~shutdown:false ~k response in
+  match T.json_of_string payload with
+  | exception T.Parse_error msg -> sync "parse-error" (bad_request ("invalid JSON: " ^ msg))
+  | j -> (
+      match str_field j "op" with
+      | None -> sync "bad-op" (bad_request "request needs a string field \"op\"")
+      | Some "ping" -> sync "ping" (handle_ping t)
+      | Some "list" -> sync "list" (handle_list t)
+      | Some "stats" -> sync "stats" (handle_stats t)
+      | Some "cache" -> sync "cache" (handle_cache t j)
+      | Some "run" -> handle_run t ~cancelled j ~k:(finish t ~t0 ~op:"run" ~shutdown:false ~k)
+      | Some "simulate" ->
+          handle_simulate t ~cancelled j ~k:(finish t ~t0 ~op:"simulate" ~shutdown:false ~k)
+      | Some "shutdown" ->
+          t.draining <- true;
+          finish t ~t0 ~op:"shutdown" ~shutdown:true ~k
+            (ok_response [ ("op", jstr "shutdown"); ("msg", jstr "draining; no new requests") ])
+      | Some op -> sync "bad-op" (not_found (Printf.sprintf "unknown op %S" op)))
+
+(* Blocking convenience over [handle_async] — a result cell the calling
+   thread parks on. Used by in-process tests and anything with a thread
+   to spare; the event engine calls [handle_async] directly. *)
+let handle t ?cancelled payload =
+  let cmutex = Mutex.create () in
+  let cond = Condition.create () in
+  let result = ref None in
+  handle_async t ?cancelled payload ~k:(fun reply ->
+      Mutex.lock cmutex;
+      result := Some reply;
+      Condition.signal cond;
+      Mutex.unlock cmutex);
+  Mutex.lock cmutex;
+  while !result = None do
+    Condition.wait cond cmutex
+  done;
+  let reply = match !result with Some r -> r | None -> assert false in
+  Mutex.unlock cmutex;
+  reply
 
 let draining t = t.draining
 

@@ -5,7 +5,8 @@
     descriptors makes every endpoint unit-testable in-process; {!Daemon}
     adds TCP framing, connection threads and signals around it.
 
-    Operations: [ping], [list], [stats], [run], [simulate], [shutdown].
+    Operations: [ping], [list], [stats], [cache], [run], [simulate],
+    [shutdown].
     Responses are canonical JSON strings (fixed field order, no
     whitespace): a cached payload is byte-identical to a recomputed one.
     [run]/[simulate] go through the result cache and then the bounded
@@ -40,6 +41,10 @@ val scheduler : t -> Scheduler.t
 val cache : t -> Cache.t
 (** The result cache — exposed for tests and stats. *)
 
+val metrics : t -> Metrics.t
+(** The metrics accumulator — the daemon feeds connection gauges into it
+    so the `stats` RPC's [connections] block reflects the event loop. *)
+
 val request_key : Report.Tabular.json -> string option
 (** The canonical cache key a parsed [run]/[simulate] request will be
     stored under — exactly the key derivation the cache uses ([jobs]
@@ -53,10 +58,21 @@ type reply = { payload : string; shutdown : bool }
 (** [shutdown] is [true] exactly when the request was an accepted
     [shutdown] op — the daemon should reply, then drain and exit. *)
 
+val handle_async : t -> ?cancelled:(unit -> bool) -> string -> k:(reply -> unit) -> unit
+(** Process one request payload without blocking the caller; [k] receives
+    the reply exactly once. Cheap endpoints ([ping], [list], [stats],
+    [cache], [shutdown]), validation failures, cache hits and shed
+    requests call [k] {e synchronously} on the caller — the event thread
+    answers them without a thread handoff; computed misses call [k] from
+    the worker domain that produced the payload. [k] must not block for
+    long and must not raise. [cancelled] is probed by the scheduler just
+    before compute starts (the daemon passes the event loop's EOF flag).
+    Never raises: every failure becomes an [ok:false] response. *)
+
 val handle : t -> ?cancelled:(unit -> bool) -> string -> reply
-(** Process one request payload. [cancelled] is probed by the scheduler
-    just before compute starts (the daemon passes "has the client socket
-    gone?"). Never raises: every failure becomes an [ok:false] response. *)
+(** Blocking convenience over {!handle_async} — parks the calling thread
+    until the reply is ready. Used by in-process tests and the proxy's
+    dispatch threads. *)
 
 val draining : t -> bool
 (** Has a [shutdown] request been accepted? *)

@@ -54,6 +54,83 @@ let decode s ~off =
   (String.sub s hend n, hend + n)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental decoding: the event loop's frame reassembler            *)
+
+module Decoder = struct
+  (* Feed bytes as they arrive off a non-blocking socket; completed frames
+     queue up internally. The same defenses as the blocking reader run at
+     the same points: the header is capped at [max_header] groups, and the
+     declared length is checked against [max_frame] (negative = 63-bit
+     overflow) *before* the payload buffer is allocated. *)
+  type t = {
+    hdr : Bytes.t;  (* header bytes seen so far, < max_header of them *)
+    mutable hdr_len : int;
+    mutable expect : int;  (* payload length; -1 while still in the header *)
+    mutable payload : Bytes.t;
+    mutable filled : int;
+    ready : string Queue.t;
+  }
+
+  let create () =
+    {
+      hdr = Bytes.create max_header;
+      hdr_len = 0;
+      expect = -1;
+      payload = Bytes.empty;
+      filled = 0;
+      ready = Queue.create ();
+    }
+
+  let reset t =
+    t.hdr_len <- 0;
+    t.expect <- -1;
+    t.payload <- Bytes.empty;
+    t.filled <- 0
+
+  let buffered t = if t.expect < 0 then t.hdr_len else t.hdr_len + t.filled
+
+  let complete t =
+    Queue.add (Bytes.unsafe_to_string t.payload) t.ready;
+    reset t
+
+  let feed t buf ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length buf then
+      invalid_arg "Wire.Decoder.feed";
+    let i = ref off in
+    let stop = off + len in
+    while !i < stop do
+      if t.expect < 0 then begin
+        (* Header byte. A valid header's last group has the high bit
+           clear; [max_header] groups all with it set is garbage (same
+           cutoff as the blocking reader: the 9th continuation byte). *)
+        let c = Char.code (Bytes.get buf !i) in
+        incr i;
+        Bytes.set t.hdr t.hdr_len (Char.chr c);
+        t.hdr_len <- t.hdr_len + 1;
+        if c land 0x80 = 0 then begin
+          let n = R.uvarint (R.of_string (Bytes.sub_string t.hdr 0 t.hdr_len)) in
+          (* [n < 0]: a 9-group varint can overflow the 63-bit int. *)
+          if n < 0 || n > max_frame then raise (Oversized n);
+          t.expect <- n;
+          t.payload <- Bytes.create n;
+          t.filled <- 0;
+          if n = 0 then complete t
+        end
+        else if t.hdr_len >= max_header then raise (Malformed "header too long")
+      end
+      else begin
+        let take = min (t.expect - t.filled) (stop - !i) in
+        Bytes.blit buf !i t.payload t.filled take;
+        t.filled <- t.filled + take;
+        i := !i + take;
+        if t.filled = t.expect then complete t
+      end
+    done
+
+  let next t = Queue.take_opt t.ready
+end
+
+(* ------------------------------------------------------------------ *)
 (* Socket I/O                                                          *)
 
 let rec write_all fd buf off len =

@@ -31,6 +31,35 @@ val decode : string -> off:int -> string * int
     path ({!Closed} when [off] is the end of [s]). Inverse of {!encode}:
     [decode (encode p) ~off:0 = (p, String.length (encode p))]. *)
 
+(** Incremental decoding for non-blocking sockets: feed whatever bytes
+    arrived, collect zero or more completed frames. This is the event
+    engine's frame reassembler — one per connection — running the exact
+    defenses of the blocking reader at the same points (header capped at
+    9 groups, declared length checked {e before} the payload buffer is
+    allocated). *)
+module Decoder : sig
+  type t
+  (** Reassembly state for one byte stream. Not thread-safe — owned by
+      the event thread. *)
+
+  val create : unit -> t
+  (** At a frame boundary, nothing buffered. *)
+
+  val feed : t -> Bytes.t -> off:int -> len:int -> unit
+  (** Consume [len] bytes of [buf] at [off]. Completed frames queue up
+      for {!next}. Raises {!Malformed} (over-long header) or
+      {!Oversized} (length over {!max_frame}); after either, the stream
+      position is unrecoverable and the connection should be dropped. *)
+
+  val next : t -> string option
+  (** Pop the oldest completed frame payload, if any. *)
+
+  val buffered : t -> int
+  (** Bytes of the {e incomplete} frame currently buffered — [> 0] at
+      EOF means the peer died mid-frame (the blocking reader's
+      [Malformed]), [0] a clean close at a boundary ({!Closed}). *)
+end
+
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one complete frame (loops over partial writes). *)
 

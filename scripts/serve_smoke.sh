@@ -5,11 +5,19 @@
 # check the stats counters say exactly that, then shut down cleanly and
 # require the process to actually exit.
 #
+# Then the event engine at scale: `bench serve --connections 5000` holds
+# five thousand idle connections on the poll loop (ulimit raised first,
+# clamped to the hard limit) while the latency mixes run, sheds the
+# over-cap extras with 503 frames, and the resulting BENCH_serve.json
+# must parse.
+#
 # Run from the repo root after a build (`make serve-smoke` does both).
 set -euo pipefail
 
 SKETCHD=${SKETCHD:-./_build/default/bin/sketchd.exe}
 SKETCHCTL=${SKETCHCTL:-./_build/default/bin/sketchctl.exe}
+BENCH=${BENCH:-./_build/default/bench/main.exe}
+JSONCHECK=${JSONCHECK:-./_build/default/bin/jsoncheck.exe}
 
 tmp=$(mktemp -d)
 daemon_pid=
@@ -51,6 +59,20 @@ grep -q '"ok":true' "$tmp/r1.json" || fail "run reported an error: $(cat "$tmp/r
 grep -q '"hits":1' "$tmp/stats.json" || fail "expected exactly one cache hit: $(cat "$tmp/stats.json")"
 grep -q '"misses":1' "$tmp/stats.json" || fail "expected exactly one cache miss"
 grep -q '"version":' "$tmp/stats.json" || fail "stats does not report a version"
+grep -q '"connections":{"open":' "$tmp/stats.json" || fail "stats does not report connections"
+
+# The cache RPC: the run above left exactly one entry; list it, wipe it
+# by prefix, and see the invalidation counted (not as an eviction).
+"$SKETCHCTL" cache stats -p "$port" >"$tmp/cstats.json"
+grep -q '"entries":1' "$tmp/cstats.json" || fail "cache stats should show one entry: $(cat "$tmp/cstats.json")"
+"$SKETCHCTL" cache keys -p "$port" >"$tmp/ckeys.json"
+grep -q '"matched":1' "$tmp/ckeys.json" || fail "cache keys should match the one entry: $(cat "$tmp/ckeys.json")"
+"$SKETCHCTL" cache invalidate --prefix "" -p "$port" >"$tmp/cinv.json"
+grep -q '"invalidated":1' "$tmp/cinv.json" || fail "invalidate should remove the one entry: $(cat "$tmp/cinv.json")"
+"$SKETCHCTL" cache stats -p "$port" >"$tmp/cstats2.json"
+grep -q '"entries":0' "$tmp/cstats2.json" || fail "cache should be empty after invalidate"
+grep -q '"invalidations":1' "$tmp/cstats2.json" || fail "invalidation not counted"
+grep -q '"evictions":0' "$tmp/cstats2.json" || fail "invalidation must not count as eviction"
 
 # Graceful shutdown: the RPC is acked and the process exits by itself.
 "$SKETCHCTL" shutdown -p "$port" >"$tmp/bye.json"
@@ -61,4 +83,27 @@ for _ in $(seq 1 100); do
 done
 [ -z "$daemon_pid" ] || fail "daemon still running 10s after shutdown RPC"
 
-echo "serve-smoke: OK (byte-identical cached replay, clean shutdown)"
+# The poll engine at scale: 5000 idle connections held for the whole
+# bench (≈ 10k descriptors — client and in-process daemon share the
+# process), the over-cap extras shed with 503 conn-limit frames, and a
+# sampled herd still answering at the end. Raise the fd soft limit first,
+# clamped to the hard limit; skip only if the hard limit cannot fit.
+conns=5000
+hard=$(ulimit -Hn)
+want=12000
+if [ "$hard" != "unlimited" ] && [ "$want" -gt "$hard" ]; then want=$hard; fi
+ulimit -n "$want" 2>/dev/null || true
+soft=$(ulimit -n)
+if [ "$soft" != "unlimited" ] && [ "$soft" -lt 10500 ]; then
+  conns=$(( (soft - 500) / 2 ))
+  echo "serve-smoke: fd limit $soft too small for 5000 connections; scaling to $conns"
+fi
+"$BENCH" serve --fast --connections "$conns" >"$tmp/bench_serve.out"
+grep -q "target=$conns" "$tmp/bench_serve.out" || fail "connection herd did not run: $(cat "$tmp/bench_serve.out")"
+grep -q 'shed=8 (saw 8/8 conn-limit frames)' "$tmp/bench_serve.out" \
+  || fail "over-cap connects were not shed with 503 frames: $(cat "$tmp/bench_serve.out")"
+[ -s BENCH_serve.json ] || fail "bench serve wrote no BENCH_serve.json"
+"$JSONCHECK" BENCH_serve.json || fail "BENCH_serve.json is not valid JSON-lines"
+grep -q '"mix":"connections"' BENCH_serve.json || fail "BENCH_serve.json has no connections line"
+
+echo "serve-smoke: OK (byte-identical cached replay, cache RPC, clean shutdown, ${conns}-connection herd)"

@@ -306,6 +306,11 @@ let test_golden_cluster_stats () =
       p90_ms = 1.25;
       p99_ms = 4.;
       max_ms = 9.;
+      conns_open = 1;
+      conns_accepted = 5;
+      conns_rejected = 0;
+      idle_timeouts = 0;
+      rate_limited = 0;
     }
   in
   let backend_stats uptime total =
