@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json serve-smoke trace-smoke cluster-smoke doc check bench bench-release clean
+.PHONY: all build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke doc check bench bench-release clean
 
 all: build
 
@@ -41,12 +41,20 @@ trace-smoke: build
 cluster-smoke: build
 	bash scripts/cluster_smoke.sh
 
+# End-to-end smoke of the multi-pass wing: round-frontier and
+# stream-matching at smoke sizes, `bench streams --fast` with a
+# validated BENCH_streams.json, and the multipass simulate protocols
+# through sketchd + sketchproxy with byte-identical cached replay. See
+# scripts/streams_smoke.sh.
+streams-smoke: build
+	bash scripts/streams_smoke.sh
+
 # The odoc API site (every lib/ module with its interface docs), rendered
 # to _build/default/_doc/_html. Needs odoc on the switch.
 doc:
 	dune build @doc
 
-check: build test smoke smoke-json serve-smoke trace-smoke cluster-smoke
+check: build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
 # table: id, title, wall-clock, Gc.allocated_bytes, rows).

@@ -6,6 +6,7 @@
           dune exec bench/main.exe -- tables  (tables only)
           dune exec bench/main.exe -- bench   (micro-benches only)
           dune exec bench/main.exe -- serve   (sketchd end-to-end latency)
+          dune exec bench/main.exe -- streams (multipass per-round/per-pass accounting)
 
    The tables pass also writes BENCH_tables.json (JSON-lines: one object
    per table with id, wall-clock and rows); `--fast` shrinks sizes. *)
@@ -389,6 +390,80 @@ let cluster_bench ?(fast = false) () =
   close_out oc;
   print_endline "bench: wrote BENCH_cluster.json"
 
+(* `streams`: the multipass wing's accounting, one JSON line per run in
+   BENCH_streams.json. Two families: the r-round frontier protocols on a
+   D_MM instance (per-round player bits and broadcast bits) and the
+   multi-pass streaming matcher on gnp inputs (per-pass memory and
+   matching growth). The `--fast` sizes are what CI's streams smoke
+   validates with jsoncheck. *)
+let streams_bench ?(fast = false) () =
+  print_endline "=== multipass wing: per-round / per-pass accounting ===";
+  let oc = open_out "BENCH_streams.json" in
+  let jarr l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
+  let jarr_a a = jarr (Array.to_list a) in
+  (* Round frontier on D_MM. *)
+  let m = if fast then 5 else 25 in
+  let rs = Rsgraph.Rs_graph.bipartite m in
+  let dmm = Core.Hard_dist.sample rs (Stdx.Prng.create 77) in
+  let g = dmm.Core.Hard_dist.graph in
+  let coins = Sketchmodel.Public_coins.create 78 in
+  let round_runs =
+    List.map
+      (fun r ->
+        (Printf.sprintf "prefix-mis-r%d" r, fun () -> Multipass.Frontier.run ~rounds:r g coins))
+      (if fast then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 6 ])
+    @ List.map
+        (fun kind ->
+          ( "luby-mis-" ^ Multipass.Luby.priority_name kind,
+            fun () -> Multipass.Luby.run kind g coins ))
+        [ Multipass.Luby.Random; Multipass.Luby.Degree; Multipass.Luby.Index ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let (mis, stats), wall = Stdx.Parallel.timed run in
+      let s : Multipass.Rounds.stats = stats in
+      Printf.printf "%-18s rounds=%-3d max=%6d bits  total=%8d bits  bcast=%6d bits  %s\n%!"
+        name s.Multipass.Rounds.rounds s.Multipass.Rounds.max_bits
+        s.Multipass.Rounds.total_bits s.Multipass.Rounds.broadcast_bits
+        (if Dgraph.Mis.is_maximal g mis then "maximal" else "NOT MAXIMAL");
+      Printf.fprintf oc
+        "{\"bench\":\"rounds\",\"protocol\":%S,\"m\":%d,\"n\":%d,\"rounds\":%d,\"max_bits\":%d,\"total_bits\":%d,\"broadcast_bits\":%d,\"round_max\":%s,\"round_total\":%s,\"round_broadcast\":%s,\"wall_s\":%s}\n"
+        name m (Dgraph.Graph.n g) s.Multipass.Rounds.rounds s.Multipass.Rounds.max_bits
+        s.Multipass.Rounds.total_bits s.Multipass.Rounds.broadcast_bits
+        (jarr_a s.Multipass.Rounds.round_max)
+        (jarr_a s.Multipass.Rounds.round_total)
+        (jarr_a s.Multipass.Rounds.round_broadcast)
+        (T.float_repr wall))
+    round_runs;
+  (* Multi-pass streaming matching on gnp. *)
+  let n = if fast then 48 else 192 in
+  let rng = Stdx.Prng.create 79 in
+  let sg = Dgraph.Gen.gnp rng n (8.0 /. float_of_int n) in
+  let stream = Streams.Stream.shuffled rng sg in
+  let optimum = Dgraph.Blossom.maximum_matching_size sg in
+  List.iter
+    (fun eps_pct ->
+      let eps = float_of_int eps_pct /. 100.0 in
+      let res, wall = Stdx.Parallel.timed (fun () -> Multipass.Stream_matching.run ~eps stream) in
+      let passes = res.Multipass.Stream_matching.passes in
+      let per f = List.map f passes in
+      let size = Dgraph.Matching.size res.Multipass.Stream_matching.matching in
+      Printf.printf
+        "stream-matching    eps=%-3d%% passes=%-3d peak=%6d bits  matching=%d/%d  %s\n%!"
+        eps_pct (List.length passes) res.Multipass.Stream_matching.peak_memory_bits size optimum
+        (if res.Multipass.Stream_matching.converged then "converged" else "budget");
+      Printf.fprintf oc
+        "{\"bench\":\"passes\",\"protocol\":\"stream-matching\",\"n\":%d,\"eps_pct\":%d,\"passes\":%d,\"peak_memory_bits\":%d,\"matching\":%d,\"optimum\":%d,\"converged\":%b,\"pass_memory_bits\":%s,\"pass_matching\":%s,\"pass_augmented\":%s,\"wall_s\":%s}\n"
+        n eps_pct (List.length passes) res.Multipass.Stream_matching.peak_memory_bits size
+        optimum res.Multipass.Stream_matching.converged
+        (jarr (per (fun p -> p.Multipass.Stream_matching.memory_bits)))
+        (jarr (per (fun p -> p.Multipass.Stream_matching.matching_size)))
+        (jarr (per (fun p -> p.Multipass.Stream_matching.augmented)))
+        (T.float_repr wall))
+    [ 50; 25; 10 ];
+  close_out oc;
+  print_endline "bench: wrote BENCH_streams.json"
+
 let run_benchmarks () =
   print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -426,7 +501,7 @@ let () =
     | "--fast" :: rest -> parse mode jobs true trace conns rest
     | "--trace" :: v :: rest -> parse mode jobs fast (Some v) conns rest
     | "--connections" :: v :: rest -> parse mode jobs fast trace (int_of_string_opt v) rest
-    | ("tables" | "bench" | "serve" | "cluster" | "all") as m :: rest ->
+    | ("tables" | "bench" | "serve" | "cluster" | "streams" | "all") as m :: rest ->
         parse m jobs fast trace conns rest
     | _ :: rest -> parse mode jobs fast trace conns rest
   in
@@ -439,9 +514,11 @@ let () =
       | "bench" -> run_benchmarks ()
       | "serve" -> serve_bench ~fast ~connections ()
       | "cluster" -> cluster_bench ~fast ()
+      | "streams" -> streams_bench ~fast ()
       | _ ->
           tables ~fast ?jobs ();
           run_benchmarks ();
           serve_bench ~fast ~connections ();
-          cluster_bench ~fast ());
+          cluster_bench ~fast ();
+          streams_bench ~fast ());
   print_endline "\nbench: done"

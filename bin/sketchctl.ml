@@ -177,7 +177,11 @@ let simulate_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~doc:"Protocol name (see `list`): trivial-mm, two-round-mis, ..." ~docv:"PROTOCOL")
+      & info []
+          ~doc:
+            "Protocol name (see `list`): trivial-mm, two-round-mis, prefix-mis-r4, \
+             luby-mis-random, stream-matching, ..."
+          ~docv:"PROTOCOL")
   in
   let kind_arg =
     Arg.(

@@ -29,6 +29,8 @@ let experiments : R.experiment list =
     Exp_yao.experiment;
     Exp_bcc.experiment;
     Exp_hyper_mm.experiment;
+    Exp_round_frontier.experiment;
+    Exp_stream_matching.experiment;
     Exp_speedup.experiment;
   ]
 

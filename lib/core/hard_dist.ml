@@ -87,7 +87,16 @@ let sample rs ?k rng =
   let j_star = Stdx.Prng.int rng rs.Rs.t_count in
   let sigma = Stdx.Prng.permutation rng n in
   let edge_count = Graph.m rs.Rs.graph in
-  let kept = Array.init k (fun _ -> Array.init edge_count (fun _ -> Stdx.Prng.bool rng)) in
+  (* One bulk fill for all k x edge_count Bernoulli draws (row-major, the
+     same stream positions the per-edge draws consumed — goldens pin it),
+     then split into per-copy rows. Its own phase so BENCH_tables.json
+     [phases] shows the fill cost next to [hard_dist.make]. *)
+  let kept =
+    Stdx.Trace.span "hard_dist.kept_fill" @@ fun () ->
+    let flat = Array.make (k * edge_count) false in
+    Stdx.Prng.fill_bools rng flat;
+    Array.init k (fun i -> Array.sub flat (i * edge_count) edge_count)
+  in
   make rs ~k ~j_star ~sigma ~kept
 
 let public_set dmm =

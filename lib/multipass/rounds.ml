@@ -1,0 +1,124 @@
+(* The r-round referee engine. One iteration = one simultaneous sketch
+   round followed by one referee step; [Continue] charges the broadcast,
+   [Finish] ends the run. The two fixed engines embed exactly (adapters
+   below), which is what lets test_multipass pin r=1/r=2 runs
+   byte-identical to [Model.run]/[Rounds.run]. *)
+
+module Model = Sketchmodel.Model
+module Coins = Sketchmodel.Public_coins
+module Writer = Stdx.Bitbuf.Writer
+module Reader = Stdx.Bitbuf.Reader
+
+type ('b, 'a) step = Continue of 'b | Finish of 'a
+
+type ('b, 'a) protocol = {
+  name : string;
+  max_rounds : int;
+  init : n:int -> Coins.t -> 'b;
+  player : round:int -> Model.view -> 'b -> Coins.t -> Writer.t;
+  referee :
+    round:int -> n:int -> state:'b -> sketches:Reader.t array -> Coins.t -> ('b, 'a) step;
+  encode_broadcast : 'b -> Writer.t;
+}
+
+type stats = {
+  rounds : int;
+  max_bits : int;
+  total_bits : int;
+  broadcast_bits : int;
+  round_max : int array;
+  round_total : int array;
+  round_broadcast : int array;
+}
+
+(* Same span name and args as [Sketchmodel.Rounds.run] and the hypergraph
+   multi-round runner, so every protocol's round structure reads uniformly
+   in a trace. *)
+let round_span name r body =
+  Stdx.Trace.span
+    ~args:(fun () -> [ ("round", Stdx.Trace.Int r); ("protocol", Stdx.Trace.Str name) ])
+    "protocol.round" body
+
+let run_views protocol ~n views coins =
+  let players = Array.length views in
+  let per_player = Array.make players 0 in
+  let round_max = ref [] and round_total = ref [] and round_broadcast = ref [] in
+  let state = ref (protocol.init ~n coins) in
+  let result = ref None in
+  let round = ref 1 in
+  while Option.is_none !result do
+    if !round > protocol.max_rounds then
+      failwith (protocol.name ^ ": round limit exceeded");
+    let r = !round in
+    round_span protocol.name r (fun () ->
+        let writers = Array.map (fun view -> protocol.player ~round:r view !state coins) views in
+        let sizes = Array.map Writer.length_bits writers in
+        Array.iteri (fun p bits -> per_player.(p) <- per_player.(p) + bits) sizes;
+        round_max := Array.fold_left max 0 sizes :: !round_max;
+        round_total := Array.fold_left ( + ) 0 sizes :: !round_total;
+        let sketches = Array.map Reader.of_writer writers in
+        match protocol.referee ~round:r ~n ~state:!state ~sketches coins with
+        | Continue b ->
+            round_broadcast := Writer.length_bits (protocol.encode_broadcast b) :: !round_broadcast;
+            state := b
+        | Finish a ->
+            round_broadcast := 0 :: !round_broadcast;
+            result := Some a);
+    incr round
+  done;
+  let output = match !result with Some a -> a | None -> assert false in
+  let round_max = Array.of_list (List.rev !round_max) in
+  let round_total = Array.of_list (List.rev !round_total) in
+  let round_broadcast = Array.of_list (List.rev !round_broadcast) in
+  ( output,
+    {
+      rounds = Array.length round_max;
+      max_bits = Array.fold_left max 0 per_player;
+      total_bits = Array.fold_left ( + ) 0 per_player;
+      broadcast_bits = Array.fold_left ( + ) 0 round_broadcast;
+      round_max;
+      round_total;
+      round_broadcast;
+    } )
+
+let run protocol g coins =
+  run_views protocol ~n:(Dgraph.Graph.n g) (Model.views g) coins
+
+let of_one_round (p : 'a Model.protocol) =
+  {
+    name = p.Model.name;
+    max_rounds = 1;
+    init = (fun ~n:_ _ -> ());
+    player = (fun ~round:_ view () coins -> p.Model.player view coins);
+    referee =
+      (fun ~round:_ ~n ~state:() ~sketches coins -> Finish (p.Model.referee ~n ~sketches coins));
+    encode_broadcast = (fun () -> Writer.create ());
+  }
+
+let of_two_round (p : ('b, 'a) Sketchmodel.Rounds.protocol) =
+  {
+    name = p.Sketchmodel.Rounds.name;
+    max_rounds = 2;
+    init = (fun ~n:_ _ -> None);
+    player =
+      (fun ~round view state coins ->
+        match (round, state) with
+        | 1, _ -> p.Sketchmodel.Rounds.round1 view coins
+        | _, Some b -> p.Sketchmodel.Rounds.round2 view b coins
+        | _, None -> assert false);
+    referee =
+      (fun ~round ~n ~state ~sketches coins ->
+        match (round, state) with
+        | 1, _ -> Continue (Some (p.Sketchmodel.Rounds.decide ~n ~sketches coins))
+        | _, Some b -> Finish (p.Sketchmodel.Rounds.finish ~n ~broadcast:b ~sketches coins)
+        | _, None -> assert false);
+    encode_broadcast =
+      (function
+      | None -> Writer.create () | Some b -> p.Sketchmodel.Rounds.encode_broadcast b);
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "rounds=%d max=%d bits total=%d bits broadcast=%d bits [per-round max:%s]"
+    s.rounds s.max_bits s.total_bits s.broadcast_bits
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int s.round_max)))

@@ -1,0 +1,85 @@
+(** The r-round referee engine: the general form of the model's adaptive
+    extension, with first-class per-round accounting.
+
+    The repo's fixed engines are special cases: {!Sketchmodel.Model.run}
+    is one round (the referee answers immediately), {!Sketchmodel.Rounds.run}
+    is two (one broadcast in between). This module runs {e any} number of
+    sketch rounds, each followed by one referee broadcast, and records the
+    bit cost of every boundary: per-round player maxima and totals,
+    per-round broadcast sizes, and the cumulative figures the two fixed
+    engines report. The adapters {!of_one_round} and {!of_two_round} embed
+    the existing protocol types so that an r=1 or r=2 run is byte-identical
+    — same output, same bit counts — to the engine it generalises
+    ([test_multipass.ml] pins both).
+
+    Every round boundary is a [protocol.round] trace span (args [round],
+    [protocol]), the same span name the two fixed engines emit, so a
+    Perfetto trace of any protocol in the repo shows its round structure
+    uniformly. *)
+
+module Model = Sketchmodel.Model
+
+(** What the referee does with a round's sketches: broadcast a new state
+    (its encoded size is charged) and run another round, or stop. *)
+type ('b, 'a) step = Continue of 'b | Finish of 'a
+
+type ('b, 'a) protocol = {
+  name : string;
+  max_rounds : int;  (** Hard round limit; exceeding it is a protocol bug. *)
+  init : n:int -> Sketchmodel.Public_coins.t -> 'b;
+      (** The state players see in round 1. Not charged: it is a pure
+          function of public information (n and the coins). *)
+  player : round:int -> Model.view -> 'b -> Sketchmodel.Public_coins.t -> Stdx.Bitbuf.Writer.t;
+      (** Player sketch for the given (1-based) round, seeing the latest
+          broadcast state. *)
+  referee :
+    round:int ->
+    n:int ->
+    state:'b ->
+    sketches:Stdx.Bitbuf.Reader.t array ->
+    Sketchmodel.Public_coins.t ->
+    ('b, 'a) step;
+      (** Consume a round's sketches: [Continue b] broadcasts [b] (charged
+          at [encode_broadcast b]'s size) and runs another round; [Finish]
+          ends the protocol (nothing further is charged). *)
+  encode_broadcast : 'b -> Stdx.Bitbuf.Writer.t;
+      (** How a broadcast state would be serialised; only its length is
+          used, exactly as in {!Sketchmodel.Rounds}. *)
+}
+
+type stats = {
+  rounds : int;  (** Rounds actually run. *)
+  max_bits : int;  (** Worst-case per-player total over all rounds. *)
+  total_bits : int;  (** Sum over players and rounds. *)
+  broadcast_bits : int;  (** Cumulative broadcast cost. *)
+  round_max : int array;  (** Per round: worst single player's bits. *)
+  round_total : int array;  (** Per round: summed player bits. *)
+  round_broadcast : int array;
+      (** Per round: the broadcast that {e followed} it (0 for the final
+          round — a [Finish] broadcasts nothing). *)
+}
+
+val run_views :
+  ('b, 'a) protocol ->
+  n:int ->
+  Model.view array ->
+  Sketchmodel.Public_coins.t ->
+  'a * stats
+(** Run on explicit player views (the {!Sketchmodel.Model.run_views}
+    analogue); raises [Failure] if the referee never finishes within
+    [max_rounds]. *)
+
+val run : ('b, 'a) protocol -> Dgraph.Graph.t -> Sketchmodel.Public_coins.t -> 'a * stats
+(** Run on a graph's standard one-player-per-vertex views. *)
+
+val of_one_round : 'a Model.protocol -> (unit, 'a) protocol
+(** Embed a one-round protocol: running it here gives the same output and
+    the same [max_bits]/[total_bits] as {!Sketchmodel.Model.run}, with
+    [rounds = 1] and no broadcast. *)
+
+val of_two_round : ('b, 'a) Sketchmodel.Rounds.protocol -> ('b option, 'a) protocol
+(** Embed a two-round protocol: same output as {!Sketchmodel.Rounds.run},
+    with [round_max] matching [round1_max]/[round2_max] and
+    [broadcast_bits] equal bit for bit. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -420,7 +420,10 @@ let handle_simulate t ~cancelled j ~k =
   match str_field j "protocol" with
   | None -> k (bad_request "simulate needs a string field \"protocol\"")
   | Some name when not (List.mem_assoc name Simulate.protocols) ->
-      k (not_found (Printf.sprintf "unknown protocol %S; see `list`" name))
+      k
+        (bad_request
+           (Printf.sprintf "unknown protocol %S; valid protocols: %s" name
+              (String.concat ", " (List.map fst Simulate.protocols))))
   | Some name -> (
       match T.member "graph" j with
       | None -> k (bad_request "simulate needs an object field \"graph\"")

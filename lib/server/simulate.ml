@@ -27,6 +27,7 @@ type gspec =
 type spec = { protocol : string; graph : gspec; seed : int }
 
 let graph_rng seed = Stdx.Prng.split (Stdx.Prng.create seed) 1
+let stream_rng seed = Stdx.Prng.split (Stdx.Prng.create seed) 2
 let coins seed = Sketchmodel.Public_coins.create seed
 
 let graph_of_spec { graph; seed; _ } =
@@ -96,6 +97,11 @@ let protocols =
     ("hyper-iterated-mm", "proposal rounds to a maximal hypergraph matching (multi-round)");
     ("hyper-local-minima-mis", "one-bit hypergraph MIS attempt (one round; rarely maximal)");
     ("hyper-luby-mis", "Luby-style hypergraph MIS (multi-round, always maximal)");
+    ("prefix-mis-r4", "r-round prefix-greedy MIS at r=4 (multipass frontier)");
+    ("luby-mis-random", "Luby MIS, fresh public-coin priorities (2 bits/player/round)");
+    ("luby-mis-degree", "Luby MIS, degree-biased priorities (degree prep round first)");
+    ("luby-mis-index", "Luby MIS, fixed index priorities (deterministic rounds)");
+    ("stream-matching", "multi-pass semi-streaming (1+eps) matching at eps=1/4");
   ]
 
 (* Graph protocols need a graph-shaped input; the hypergraph protocols
@@ -149,6 +155,37 @@ let two_round_stats (s : Rounds.stats) =
       ("round2_max", T.Jint s.Rounds.round2_max);
       ("broadcast_bits", T.Jint s.Rounds.broadcast_bits);
       ("total_bits", T.Jint s.Rounds.total_bits);
+    ]
+
+let jarr_of_ints a = T.Jarr (Array.to_list (Array.map (fun i -> T.Jint i) a))
+
+(* The r-round engine's stats: the cumulative figures the fixed engines
+   report, plus the per-round curves the round-frontier experiment plots. *)
+let multipass_stats (s : Multipass.Rounds.stats) =
+  T.Jobj
+    [
+      ("rounds", T.Jint s.Multipass.Rounds.rounds);
+      ("max_bits", T.Jint s.Multipass.Rounds.max_bits);
+      ("total_bits", T.Jint s.Multipass.Rounds.total_bits);
+      ("broadcast_bits", T.Jint s.Multipass.Rounds.broadcast_bits);
+      ("round_max", jarr_of_ints s.Multipass.Rounds.round_max);
+      ("round_total", jarr_of_ints s.Multipass.Rounds.round_total);
+      ("round_broadcast", jarr_of_ints s.Multipass.Rounds.round_broadcast);
+    ]
+
+(* Streaming passes are the cost axis, not rounds: report per-pass memory
+   and matching growth alongside the peak. *)
+let stream_stats (r : Multipass.Stream_matching.result) =
+  let passes = r.Multipass.Stream_matching.passes in
+  let per f = T.Jarr (List.map (fun p -> T.Jint (f p)) passes) in
+  T.Jobj
+    [
+      ("passes", T.Jint (List.length passes));
+      ("peak_memory_bits", T.Jint r.Multipass.Stream_matching.peak_memory_bits);
+      ("converged", T.Jbool r.Multipass.Stream_matching.converged);
+      ("pass_memory_bits", per (fun p -> p.Multipass.Stream_matching.memory_bits));
+      ("pass_matching", per (fun p -> p.Multipass.Stream_matching.matching_size));
+      ("pass_augmented", per (fun p -> p.Multipass.Stream_matching.augmented));
     ]
 
 let multi_round_stats (s : Protocols.Hyper_views.multi_stats) =
@@ -229,6 +266,27 @@ let run spec =
         let h = hypergraph_of_spec spec in
         let mis, s = Protocols.Hyper_mis.run_luby h coins in
         ((Dgraph.Hypergraph.n h, Dgraph.Hypergraph.m h), hyper_mis_output h mis, multi_round_stats s)
+    | "prefix-mis-r4" ->
+        let g = graph_of_spec spec in
+        let mis, s = Multipass.Frontier.run ~rounds:4 g coins in
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mis_output g mis, multipass_stats s)
+    | ("luby-mis-random" | "luby-mis-degree" | "luby-mis-index") as name ->
+        let kind =
+          match name with
+          | "luby-mis-random" -> Multipass.Luby.Random
+          | "luby-mis-degree" -> Multipass.Luby.Degree
+          | _ -> Multipass.Luby.Index
+        in
+        let g = graph_of_spec spec in
+        let mis, s = Multipass.Luby.run kind g coins in
+        ((Dgraph.Graph.n g, Dgraph.Graph.m g), mis_output g mis, multipass_stats s)
+    | "stream-matching" ->
+        let g = graph_of_spec spec in
+        let stream = Streams.Stream.shuffled (stream_rng spec.seed) g in
+        let res = Multipass.Stream_matching.run ~eps:0.25 stream in
+        ( (Dgraph.Graph.n g, Dgraph.Graph.m g),
+          mm_output g res.Multipass.Stream_matching.matching,
+          stream_stats res )
     | other -> invalid_arg (Printf.sprintf "Simulate.run: unknown protocol %S" other)
   in
   [

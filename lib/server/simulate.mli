@@ -28,6 +28,11 @@ type spec = { protocol : string; graph : gspec; seed : int }
 val graph_rng : int -> Stdx.Prng.t
 (** The generator a seed derives for graph construction. *)
 
+val stream_rng : int -> Stdx.Prng.t
+(** The generator a seed derives for edge-stream order
+    ([Stdx.Prng.split (Stdx.Prng.create seed) 2]): what the
+    [stream-matching] protocol shuffles the input's edges with. *)
+
 val coins : int -> Sketchmodel.Public_coins.t
 (** The public coins a seed derives for the protocol run. *)
 
@@ -49,9 +54,11 @@ val gspec_of_json : T.json -> (gspec, string) result
 
 val protocols : (string * string) list
 (** [(name, doc)] for every runnable protocol: [trivial-mm], [trivial-mis],
-    [local-minima], [two-round-mm], [two-round-mis], plus the hypergraph
+    [local-minima], [two-round-mm], [two-round-mis], the hypergraph
     protocols [hyper-trivial-mm], [hyper-iterated-mm],
-    [hyper-local-minima-mis], [hyper-luby-mis] (PROTOCOL.md §4.5). *)
+    [hyper-local-minima-mis], [hyper-luby-mis], and the multipass wing
+    [prefix-mis-r4], [luby-mis-random], [luby-mis-degree],
+    [luby-mis-index], [stream-matching] (PROTOCOL.md §4.5). *)
 
 val compatible : protocol:string -> gspec -> bool
 (** Whether the protocol can run on the input: graph protocols need a

@@ -73,6 +73,15 @@ let float g = Stdlib.float_of_int (Int64.to_int (Int64.shift_right_logical (bits
 
 let bool g = Int64.logand (bits64 g) 1L = 1L
 
+(* One [bits64] per element, exactly like repeated [bool] calls — the
+   draw sequence is pinned by goldens, so the win is the single tight
+   loop over a preallocated array (no per-element closure dispatch), not
+   fewer draws. *)
+let fill_bools g a =
+  for i = 0 to Array.length a - 1 do
+    Array.unsafe_set a i (Int64.logand (bits64 g) 1L = 1L)
+  done
+
 let bernoulli g p = float g < p
 
 let shuffle g a =

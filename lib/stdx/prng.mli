@@ -54,6 +54,13 @@ val float : t -> float
 val bool : t -> bool
 (** A fair coin. *)
 
+val fill_bools : t -> bool array -> unit
+(** [fill_bools g a] overwrites every cell of [a] with a fair coin,
+    consuming {e exactly} the stream positions repeated {!bool} calls
+    would — [fill_bools g a] and [Array.map (fun _ -> bool g) a] produce
+    identical contents from identical states (qcheck-pinned). Bulk-fill
+    form for hot paths such as [Hard_dist.sample]'s kept masks. *)
+
 val bernoulli : t -> float -> bool
 (** [bernoulli g p] is [true] with probability [p]. *)
 

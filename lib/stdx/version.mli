@@ -5,7 +5,7 @@
     a bug report can always name the exact build. *)
 
 val current : string
-(** The semantic version of this build, e.g. ["1.5.0"]. *)
+(** The semantic version of this build, e.g. ["1.6.0"]. *)
 
 val describe : unit -> string
 (** Human-readable one-liner: version plus the OCaml compiler it was built

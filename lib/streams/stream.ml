@@ -46,6 +46,27 @@ let with_decoys rng g ~decoys =
   in
   { n; events }
 
+let chunks stream k =
+  if k < 1 then invalid_arg "Stream.chunks: k must be positive";
+  let events = Array.of_list stream.events in
+  let total = Array.length events in
+  let base = total / k and extra = total mod k in
+  let start = ref 0 in
+  List.init k (fun i ->
+      let len = base + if i < extra then 1 else 0 in
+      let piece = Array.sub events !start len in
+      start := !start + len;
+      { n = stream.n; events = Array.to_list piece })
+
+let concat pieces =
+  match pieces with
+  | [] -> invalid_arg "Stream.concat: empty list"
+  | first :: rest ->
+      List.iter
+        (fun p -> if p.n <> first.n then invalid_arg "Stream.concat: size mismatch")
+        rest;
+      { n = first.n; events = List.concat_map (fun p -> p.events) pieces }
+
 let final_graph stream =
   let present = Hashtbl.create 256 in
   List.iter

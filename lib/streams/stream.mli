@@ -21,6 +21,20 @@ val with_decoys : Stdx.Prng.t -> Dgraph.Graph.t -> decoys:int -> t
     insertions, [decoys] random non-final edges are inserted and later
     deleted, at random positions (every deletion follows its insertion). *)
 
+val chunks : t -> int -> t list
+(** [chunks s k] splits the event sequence into [k] contiguous pieces
+    (the trailing pieces may be empty when [k > length s]); each piece
+    keeps [s.n]. Concatenation order is preserved: [concat (chunks s k)]
+    has exactly [s]'s events. Multi-pass processors use this to model a
+    pass as a sequence of arrival batches. Requires [k >= 1]. *)
+
+val concat : t list -> t
+(** [concat pieces] joins event sequences end to end. All pieces must
+    agree on [n]; raises [Invalid_argument] on an empty list or a
+    mismatch. For insertion-only pieces with disjoint edges, any
+    ordering of the pieces freezes to the same final graph
+    (qcheck-pinned in [test_streams.ml]). *)
+
 val final_graph : t -> Dgraph.Graph.t
 (** Replays the stream; raises [Invalid_argument] on inconsistent events
     (inserting a present edge / deleting an absent one). *)

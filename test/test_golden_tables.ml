@@ -52,6 +52,8 @@ let captures =
     );
     ("bcc", [ ("m", vl [ 5 ]); ("trials", vi 2); ("seed", vi 67) ]);
     ("hypergraph-mm", [ ("n", vi 60); ("m", vi 40); ("k", vl [ 2; 3 ]); ("seed", vi 71) ]);
+    ("round-frontier", [ ("m", vl [ 5 ]); ("rounds", vl [ 1; 2; 3 ]); ("seed", vi 53) ]);
+    ("stream-matching", [ ("n", vl [ 24 ]); ("eps", vl [ 50; 25 ]); ("seed", vi 59) ]);
   ]
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all

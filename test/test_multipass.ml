@@ -1,0 +1,330 @@
+(* Tests for Multipass: the r-round referee engine (and its byte-identity
+   with the fixed one- and two-round engines), the frontier prefix MIS
+   family, the Luby priority variants, and multi-pass streaming matching. *)
+
+module Model = Sketchmodel.Model
+module Rounds2 = Sketchmodel.Rounds
+module MP = Multipass.Rounds
+module PC = Sketchmodel.Public_coins
+module G = Dgraph.Graph
+module S = Streams.Stream
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkis = Alcotest.(check (list int))
+
+let graphs seed =
+  let rng = Stdx.Prng.create seed in
+  [
+    Dgraph.Gen.gnp rng 20 0.2;
+    Dgraph.Gen.gnp rng 32 0.1;
+    Dgraph.Gen.cycle 15;
+    Dgraph.Gen.complete 8;
+    Dgraph.Gen.star 6;
+  ]
+
+(* ---- Regression: r = 1 embedding is byte-identical to Model.run ---- *)
+
+let test_of_one_round_identity () =
+  List.iteri
+    (fun i g ->
+      let coins = PC.create (100 + i) in
+      let direct, ds = Model.run Protocols.Trivial.mis g coins in
+      let embedded, es = MP.run (MP.of_one_round Protocols.Trivial.mis) g coins in
+      checkis "same MIS" (List.sort compare direct) (List.sort compare embedded);
+      checki "same max_bits" ds.Model.max_bits es.MP.max_bits;
+      checki "same total_bits" ds.Model.total_bits es.MP.total_bits;
+      checki "one round" 1 es.MP.rounds;
+      checki "no broadcast" 0 es.MP.broadcast_bits;
+      checki "round_max agrees" ds.Model.max_bits es.MP.round_max.(0);
+      checki "round_total agrees" ds.Model.total_bits es.MP.round_total.(0))
+    (graphs 11)
+
+let test_of_one_round_identity_mis_protocol () =
+  List.iteri
+    (fun i g ->
+      let coins = PC.create (200 + i) in
+      let p = Protocols.One_round_mis.local_minima in
+      let direct, ds = Model.run p g coins in
+      let embedded, es = MP.run (MP.of_one_round p) g coins in
+      checkis "same MIS" (List.sort compare direct) (List.sort compare embedded);
+      checki "same max_bits" ds.Model.max_bits es.MP.max_bits;
+      checki "same total_bits" ds.Model.total_bits es.MP.total_bits)
+    (graphs 12)
+
+(* ---- Regression: r = 2 embedding is byte-identical to Rounds.run ---- *)
+
+let test_of_two_round_identity_mis () =
+  List.iteri
+    (fun i g ->
+      let n = G.n g in
+      let coins = PC.create (300 + i) in
+      let p = Protocols.Two_round_mis.protocol ~n () in
+      let direct, ds = Rounds2.run p g coins in
+      let embedded, es = MP.run (MP.of_two_round p) g coins in
+      checkis "same MIS" (List.sort compare direct) (List.sort compare embedded);
+      checki "same max_bits" ds.Rounds2.max_bits es.MP.max_bits;
+      checki "same total_bits" ds.Rounds2.total_bits es.MP.total_bits;
+      checki "same broadcast_bits" ds.Rounds2.broadcast_bits es.MP.broadcast_bits;
+      checki "two rounds" 2 es.MP.rounds;
+      checki "round1_max agrees" ds.Rounds2.round1_max es.MP.round_max.(0);
+      checki "round2_max agrees" ds.Rounds2.round2_max es.MP.round_max.(1);
+      checki "broadcast after round 1" ds.Rounds2.broadcast_bits es.MP.round_broadcast.(0);
+      checki "no broadcast after finish" 0 es.MP.round_broadcast.(1))
+    (graphs 13)
+
+let test_of_two_round_identity_mm () =
+  List.iteri
+    (fun i g ->
+      let n = G.n g in
+      let coins = PC.create (400 + i) in
+      let p = Protocols.Two_round_mm.protocol ~n () in
+      let direct, ds = Rounds2.run p g coins in
+      let embedded, es = MP.run (MP.of_two_round p) g coins in
+      checkb "same matching" true (List.sort compare direct = List.sort compare embedded);
+      checki "same max_bits" ds.Rounds2.max_bits es.MP.max_bits;
+      checki "same total_bits" ds.Rounds2.total_bits es.MP.total_bits;
+      checki "same broadcast_bits" ds.Rounds2.broadcast_bits es.MP.broadcast_bits)
+    (graphs 14)
+
+(* ---- Engine accounting invariants ---- *)
+
+let test_stats_consistency () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 21) 30 0.2 in
+  let coins = PC.create 22 in
+  let _, s = Multipass.Frontier.run ~rounds:3 g coins in
+  checki "rounds matches arrays" s.MP.rounds (Array.length s.MP.round_max);
+  checki "rounds matches totals" s.MP.rounds (Array.length s.MP.round_total);
+  checki "rounds matches broadcasts" s.MP.rounds (Array.length s.MP.round_broadcast);
+  checki "total is the sum of rounds" s.MP.total_bits
+    (Array.fold_left ( + ) 0 s.MP.round_total);
+  checki "broadcast is the sum of rounds" s.MP.broadcast_bits
+    (Array.fold_left ( + ) 0 s.MP.round_broadcast);
+  checkb "max_bits >= each round max" true
+    (Array.for_all (fun m -> s.MP.max_bits >= m) s.MP.round_max);
+  checki "final round broadcasts nothing" 0 s.MP.round_broadcast.(s.MP.rounds - 1)
+
+let test_max_rounds_guard () =
+  let never =
+    {
+      MP.name = "never-finishes";
+      max_rounds = 3;
+      init = (fun ~n:_ _ -> ());
+      player = (fun ~round:_ _ () _ -> Stdx.Bitbuf.Writer.create ());
+      referee = (fun ~round:_ ~n:_ ~state:() ~sketches:_ _ -> MP.Continue ());
+      encode_broadcast = (fun () -> Stdx.Bitbuf.Writer.create ());
+    }
+  in
+  checkb "exceeding max_rounds raises" true
+    (try
+       ignore (MP.run never (Dgraph.Gen.cycle 4) (PC.create 1));
+       false
+     with Failure _ -> true)
+
+(* ---- Frontier prefix MIS ---- *)
+
+let test_frontier_blocks () =
+  let b = Multipass.Frontier.blocks ~n:100 ~rounds:3 in
+  checki "three cutoffs" 3 (Array.length b);
+  checki "last cutoff is n" 100 b.(2);
+  checkb "monotone" true (b.(0) <= b.(1) && b.(1) <= b.(2));
+  let b1 = Multipass.Frontier.blocks ~n:50 ~rounds:1 in
+  checkb "r=1 is the whole graph" true (b1 = [| 50 |])
+
+let test_frontier_maximal_all_rounds () =
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun r ->
+          let coins = PC.create ((i * 10) + r) in
+          let mis, stats = Multipass.Frontier.run ~rounds:r g coins in
+          checkb
+            (Printf.sprintf "maximal IS (graph %d, r=%d)" i r)
+            true
+            (Dgraph.Mis.is_maximal g mis);
+          checki "uses exactly r rounds" r stats.MP.rounds)
+        [ 1; 2; 3; 4 ])
+    (graphs 15)
+
+let test_frontier_r1_ships_adjacency () =
+  (* r = 1 is the full-information regime: every player reports all its
+     neighbours, so the referee could not be cheaper — and more rounds
+     shrink the worst single message on a dense graph. *)
+  let g = Dgraph.Gen.complete 16 in
+  let coins = PC.create 31 in
+  let _, s1 = Multipass.Frontier.run ~rounds:1 g coins in
+  let _, s4 = Multipass.Frontier.run ~rounds:4 g coins in
+  checkb "r=4 max message below r=1" true (s4.MP.max_bits < s1.MP.max_bits)
+
+(* ---- Luby priority variants ---- *)
+
+let test_luby_maximal_all_priorities () =
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun prio ->
+          let coins = PC.create ((500 + i) * 3) in
+          let mis, stats = Multipass.Luby.run prio g coins in
+          checkb
+            (Printf.sprintf "maximal IS (%s, graph %d)" (Multipass.Luby.priority_name prio) i)
+            true
+            (Dgraph.Mis.is_maximal g mis);
+          checkb "terminates within the cap" true (stats.MP.rounds <= G.n g + 3))
+        [ Multipass.Luby.Random; Multipass.Luby.Degree; Multipass.Luby.Index ])
+    (graphs 16)
+
+let test_luby_deterministic () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 41) 24 0.2 in
+  let a, sa = Multipass.Luby.run Multipass.Luby.Random g (PC.create 7) in
+  let b, sb = Multipass.Luby.run Multipass.Luby.Random g (PC.create 7) in
+  checkis "same output" a b;
+  checki "same rounds" sa.MP.rounds sb.MP.rounds;
+  checki "same bits" sa.MP.total_bits sb.MP.total_bits
+
+let test_luby_index_path_is_slow () =
+  (* Under Index priority a path 0-1-...-(n-1) admits one join per round
+     from the high end: the deterministic worst case of the family. *)
+  let n = 12 in
+  let g = Dgraph.Gen.path n in
+  let mis, stats = Multipass.Luby.run Multipass.Luby.Index g (PC.create 1) in
+  checkb "maximal" true (Dgraph.Mis.is_maximal g mis);
+  checkb "needs many rounds" true (stats.MP.rounds >= n / 2)
+
+let test_luby_degree_prep_round () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 51) 20 0.25 in
+  let coins = PC.create 52 in
+  let _, sd = Multipass.Luby.run Multipass.Luby.Degree g coins in
+  (* The prep round charges one uvarint per player and a broadcast. *)
+  checkb "prep round broadcast charged" true (sd.MP.round_broadcast.(0) > 0);
+  checkb "prep round player bits charged" true (sd.MP.round_max.(0) > 0)
+
+(* ---- Multi-pass streaming matching ---- *)
+
+let test_stream_matching_valid_and_monotone () =
+  let rng = Stdx.Prng.create 61 in
+  for seed = 1 to 8 do
+    let g = Dgraph.Gen.gnp (Stdx.Prng.create (seed * 13)) 40 0.12 in
+    let stream = S.shuffled rng g in
+    let r = Multipass.Stream_matching.run ~eps:0.34 stream in
+    checkb "valid matching" true (Dgraph.Matching.is_matching g r.Multipass.Stream_matching.matching);
+    checkb "maximal (pass 1 guarantees it)" true
+      (Dgraph.Matching.is_maximal g r.Multipass.Stream_matching.matching);
+    let sizes =
+      List.map
+        (fun p -> p.Multipass.Stream_matching.matching_size)
+        r.Multipass.Stream_matching.passes
+    in
+    checkb "matching never shrinks" true
+      (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length sizes - 1) sizes)
+         (List.tl sizes));
+    checkb "within the optimum" true
+      (List.length r.Multipass.Stream_matching.matching
+      <= Dgraph.Blossom.maximum_matching_size g)
+  done
+
+let test_stream_matching_reaches_near_optimum () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 71) 48 0.15 in
+  let stream = S.shuffled (Stdx.Prng.create 72) g in
+  let r = Multipass.Stream_matching.run ~eps:0.10 stream in
+  let opt = Dgraph.Blossom.maximum_matching_size g in
+  let got = List.length r.Multipass.Stream_matching.matching in
+  checkb "within (1+eps) of optimum" true (float_of_int opt <= 1.10 *. float_of_int got)
+
+let test_stream_matching_peak_memory () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 81) 36 0.2 in
+  let r = Multipass.Stream_matching.run ~eps:0.5 (S.of_graph g) in
+  let max_pass =
+    List.fold_left
+      (fun acc p -> max acc p.Multipass.Stream_matching.memory_bits)
+      0 r.Multipass.Stream_matching.passes
+  in
+  checki "peak is the max over passes" max_pass r.Multipass.Stream_matching.peak_memory_bits;
+  checkb "at least one pass" true (List.length r.Multipass.Stream_matching.passes >= 1)
+
+let test_stream_matching_guards () =
+  let deletions = { S.n = 3; events = [ S.Insert (0, 1); S.Delete (0, 1) ] } in
+  checkb "rejects deletions" true
+    (try
+       ignore (Multipass.Stream_matching.run deletions);
+       false
+     with Invalid_argument _ -> true);
+  checkb "rejects eps <= 0" true
+    (try
+       ignore (Multipass.Stream_matching.run ~eps:0.0 { S.n = 2; events = [] });
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_matching_pass_budget () =
+  let g = Dgraph.Gen.gnp (Stdx.Prng.create 91) 30 0.3 in
+  let r = Multipass.Stream_matching.run ~eps:0.05 ~max_passes:2 (S.of_graph g) in
+  checkb "respects the budget" true (List.length r.Multipass.Stream_matching.passes <= 2)
+
+(* ---- Properties ---- *)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frontier MIS maximal for any (n, seed, r)" ~count:60
+         QCheck.(triple (int_range 1 30) (int_range 0 10000) (int_range 1 5))
+         (fun (n, seed, r) ->
+           let g = Dgraph.Gen.gnp (Stdx.Prng.create seed) n 0.25 in
+           let mis, _ = Multipass.Frontier.run ~rounds:r g (PC.create (seed + r)) in
+           Dgraph.Mis.is_maximal g mis));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"luby MIS maximal for any priority" ~count:60
+         QCheck.(triple (int_range 1 25) (int_range 0 10000) (int_range 0 2))
+         (fun (n, seed, p) ->
+           let prio =
+             match p with 0 -> Multipass.Luby.Random | 1 -> Multipass.Luby.Degree | _ -> Multipass.Luby.Index
+           in
+           let g = Dgraph.Gen.gnp (Stdx.Prng.create seed) n 0.3 in
+           let mis, _ = Multipass.Luby.run prio g (PC.create (seed * 2 + 1)) in
+           Dgraph.Mis.is_maximal g mis));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"stream matching maximal for any chunked replay" ~count:40
+         QCheck.(triple (int_range 2 25) (int_range 0 10000) (int_range 1 6))
+         (fun (n, seed, k) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           let s = S.concat (S.chunks (S.shuffled rng g) k) in
+           let r = Multipass.Stream_matching.run ~eps:0.5 s in
+           Dgraph.Matching.is_maximal g r.Multipass.Stream_matching.matching));
+  ]
+
+let () =
+  Alcotest.run "multipass"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "r=1 identity (trivial mis)" `Quick test_of_one_round_identity;
+          Alcotest.test_case "r=1 identity (local minima)" `Quick
+            test_of_one_round_identity_mis_protocol;
+          Alcotest.test_case "r=2 identity (two-round mis)" `Quick test_of_two_round_identity_mis;
+          Alcotest.test_case "r=2 identity (two-round mm)" `Quick test_of_two_round_identity_mm;
+          Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+          Alcotest.test_case "max_rounds guard" `Quick test_max_rounds_guard;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "block cutoffs" `Quick test_frontier_blocks;
+          Alcotest.test_case "maximal for all r" `Quick test_frontier_maximal_all_rounds;
+          Alcotest.test_case "r=1 ships adjacency" `Quick test_frontier_r1_ships_adjacency;
+        ] );
+      ( "luby",
+        [
+          Alcotest.test_case "maximal for all priorities" `Quick test_luby_maximal_all_priorities;
+          Alcotest.test_case "deterministic" `Quick test_luby_deterministic;
+          Alcotest.test_case "index priority path worst case" `Quick test_luby_index_path_is_slow;
+          Alcotest.test_case "degree prep round" `Quick test_luby_degree_prep_round;
+        ] );
+      ( "stream-matching",
+        [
+          Alcotest.test_case "valid and monotone" `Quick test_stream_matching_valid_and_monotone;
+          Alcotest.test_case "near optimum at small eps" `Quick
+            test_stream_matching_reaches_near_optimum;
+          Alcotest.test_case "peak memory" `Quick test_stream_matching_peak_memory;
+          Alcotest.test_case "guards" `Quick test_stream_matching_guards;
+          Alcotest.test_case "pass budget" `Quick test_stream_matching_pass_budget;
+        ] );
+      ("multipass-properties", qcheck_tests);
+    ]

@@ -173,6 +173,20 @@ let qcheck_tests =
            let s = Stdx.Prng.sample_distinct (Stdx.Prng.create seed) k n in
            let l = Array.to_list s in
            List.length (List.sort_uniq compare l) = k && List.for_all (fun v -> v >= 0 && v < n) l));
+    (* Pins the stream-position contract on [Prng.fill_bools]: the bulk
+       fill consumes exactly the draws repeated [bool] would, so the
+       batched kept-mask fill in [Hard_dist.sample] cannot drift from
+       the golden tables recorded with per-edge draws. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fill_bools matches repeated bool" ~count:200
+         QCheck.(pair (int_range 0 1000) (int_range 0 300))
+         (fun (seed, len) ->
+           let g = Stdx.Prng.create seed in
+           let a = Array.make len false in
+           Stdx.Prng.fill_bools g a;
+           let g' = Stdx.Prng.create seed in
+           let b = Array.init len (fun _ -> Stdx.Prng.bool g') in
+           a = b && Stdx.Prng.bits64 g = Stdx.Prng.bits64 g'));
   ]
 
 let () =

@@ -220,8 +220,21 @@ let test_service_errors () =
       expect "wrong param type"
         [ ("op", T.Jstr "run"); ("id", T.Jstr "claim31"); ("params", T.Jobj [ ("m", T.Jint 5) ]) ]
         "bad-request" 400;
+      (* Unknown protocol: a client mistake, so 400, and the message must
+         list every valid id so the client can self-correct. *)
       expect "unknown protocol" [ ("op", T.Jstr "simulate"); ("protocol", T.Jstr "psychic") ]
-        "not-found" 404;
+        "bad-request" 400;
+      (let j = json t [ ("op", T.Jstr "simulate"); ("protocol", T.Jstr "psychic") ] in
+       let msg = match T.member "msg" j with Some (T.Jstr m) -> m | _ -> "" in
+       let contains s sub =
+         let ls = String.length s and lsub = String.length sub in
+         let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+         lsub = 0 || go 0
+       in
+       List.iter
+         (fun (name, _) ->
+           checkb ("unknown-protocol msg lists " ^ name) true (contains msg name))
+         Server.Simulate.protocols);
       expect "bad graph"
         [ ("op", T.Jstr "simulate");
           ("protocol", T.Jstr "trivial-mm");
@@ -275,6 +288,9 @@ let test_service_simulate_bits () =
           let spec = { Server.Simulate.protocol; graph = gspec; seed } in
           let g = Server.Simulate.graph_of_spec spec in
           let coins = Server.Simulate.coins seed in
+          let multipass_bits (s : Multipass.Rounds.stats) =
+            (s.Multipass.Rounds.max_bits, s.Multipass.Rounds.total_bits)
+          in
           let expect_max, expect_total =
             match protocol with
             | "trivial-mm" ->
@@ -308,6 +324,22 @@ let test_service_simulate_bits () =
                 let h = Server.Simulate.hypergraph_of_spec spec in
                 let _, s = Protocols.Hyper_mis.run_luby h coins in
                 (s.Protocols.Hyper_views.max_bits, s.Protocols.Hyper_views.total_bits)
+            | "prefix-mis-r4" ->
+                let _, s = Multipass.Frontier.run ~rounds:4 g coins in
+                multipass_bits s
+            | "luby-mis-random" ->
+                let _, s = Multipass.Luby.run Multipass.Luby.Random g coins in
+                multipass_bits s
+            | "luby-mis-degree" ->
+                let _, s = Multipass.Luby.run Multipass.Luby.Degree g coins in
+                multipass_bits s
+            | "luby-mis-index" ->
+                let _, s = Multipass.Luby.run Multipass.Luby.Index g coins in
+                multipass_bits s
+            | "stream-matching" ->
+                (* Pass accounting, not bit accounting: checked below
+                   against peak_memory_bits/passes instead. *)
+                (-1, -1)
             | p -> Alcotest.fail ("catalogue grew a protocol the test does not know: " ^ p)
           in
           let j =
@@ -321,6 +353,15 @@ let test_service_simulate_bits () =
           in
           checkb (protocol ^ " ok") true (is_ok j);
           match T.member "stats" j with
+          | Some stats when protocol = "stream-matching" ->
+              let stream = Streams.Stream.shuffled (Server.Simulate.stream_rng seed) g in
+              let res = Multipass.Stream_matching.run ~eps:0.25 stream in
+              checkb (protocol ^ " passes") true
+                (T.member "passes" stats
+                = Some (T.Jint (List.length res.Multipass.Stream_matching.passes)));
+              checkb (protocol ^ " peak_memory_bits") true
+                (T.member "peak_memory_bits" stats
+                = Some (T.Jint res.Multipass.Stream_matching.peak_memory_bits))
           | Some stats ->
               checkb (protocol ^ " max_bits") true (T.member "max_bits" stats = Some (T.Jint expect_max));
               checkb (protocol ^ " total_bits") true
@@ -356,6 +397,42 @@ let test_service_simulate_hyperk_cached () =
           checkb "multi-round stats" true (T.member "rounds" stats <> None);
           checkb "broadcast accounted" true (T.member "broadcast_bits" stats <> None)
       | None -> Alcotest.fail "hyperk simulate: no stats field")
+
+(* Same discipline for the multipass wing: an r-round frontier run and a
+   multi-pass streaming run must both replay from the LRU byte for byte,
+   and their stats must carry the per-round / per-pass curves. *)
+let test_service_simulate_multipass_cached () =
+  with_service (fun t ->
+      let gj = T.Jobj [ ("kind", T.Jstr "gnp"); ("n", T.Jint 32); ("p", T.Jfloat 0.2) ] in
+      List.iter
+        (fun (protocol, curve_field) ->
+          let req =
+            [
+              ("op", T.Jstr "simulate");
+              ("protocol", T.Jstr protocol);
+              ("graph", gj);
+              ("seed", T.Jint 9);
+            ]
+          in
+          let c0 = Server.Cache.stats (S.cache t) in
+          let p1 = payload t req in
+          let p2 = payload t req in
+          checkb (protocol ^ " ok") true (is_ok (T.json_of_string p1));
+          checks (protocol ^ " cached replay byte-identical") p1 p2;
+          let c1 = Server.Cache.stats (S.cache t) in
+          checki (protocol ^ " one miss") (c0.Server.Cache.misses + 1) c1.Server.Cache.misses;
+          checki (protocol ^ " one hit") (c0.Server.Cache.hits + 1) c1.Server.Cache.hits;
+          match T.member "stats" (T.json_of_string p1) with
+          | Some stats -> (
+              match T.member curve_field stats with
+              | Some (T.Jarr (_ :: _)) -> ()
+              | _ -> Alcotest.fail (protocol ^ ": stats lack a non-empty " ^ curve_field))
+          | None -> Alcotest.fail (protocol ^ ": no stats field"))
+        [
+          ("prefix-mis-r4", "round_max");
+          ("luby-mis-degree", "round_broadcast");
+          ("stream-matching", "pass_memory_bits");
+        ])
 
 let test_service_shutdown_op () =
   with_service (fun t ->
@@ -652,6 +729,8 @@ let () =
           Alcotest.test_case "simulate = library bits" `Quick test_service_simulate_bits;
           Alcotest.test_case "hyperk simulate cached replay" `Quick
             test_service_simulate_hyperk_cached;
+          Alcotest.test_case "multipass simulate cached replay" `Quick
+            test_service_simulate_multipass_cached;
           Alcotest.test_case "shutdown op" `Quick test_service_shutdown_op;
         ] );
       ( "daemon",

@@ -146,6 +146,32 @@ let qcheck_tests =
            let rng = Stdx.Prng.create seed in
            let g = Dgraph.Gen.gnp rng n 0.3 in
            Dgraph.Mis.is_maximal g (IG.mis_of_graph g ~order:(Stdx.Prng.permutation rng n))));
+    (* The multi-pass contract: however a stream is cut into arrival
+       batches, and (for insertion-only streams) in whatever order those
+       batches are replayed, the frozen graph is the same one. This is
+       what lets [Multipass.Stream_matching] treat "a pass" as any
+       chunking of the event sequence. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"any chunking reassembles to the same frozen graph" ~count:60
+         QCheck.(triple (int_range 2 25) (int_range 0 10000) (int_range 1 12))
+         (fun (n, seed, k) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           let s = S.shuffled rng g in
+           let pieces = S.chunks s k in
+           List.length pieces = k
+           && S.length (S.concat pieces) = S.length s
+           && G.equal g (S.final_graph (S.concat pieces))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"any pass order of insertion-only chunks freezes identically"
+         ~count:60
+         QCheck.(triple (int_range 2 25) (int_range 0 10000) (int_range 1 12))
+         (fun (n, seed, k) ->
+           let rng = Stdx.Prng.create seed in
+           let g = Dgraph.Gen.gnp rng n 0.3 in
+           let pieces = Array.of_list (S.chunks (S.shuffled rng g) k) in
+           Stdx.Prng.shuffle rng pieces;
+           G.equal g (S.final_graph (S.concat (Array.to_list pieces)))));
   ]
 
 let () =
