@@ -1,4 +1,4 @@
-.PHONY: all build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke doc check bench bench-release clean
+.PHONY: all build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke alloc-smoke doc check bench bench-release clean
 
 all: build
 
@@ -49,24 +49,33 @@ cluster-smoke: build
 streams-smoke: build
 	bash scripts/streams_smoke.sh
 
+# Allocation regression gate: regenerate BENCH_tables.json at --fast
+# with jobs=1, validate its schema (GC columns included), and fail if a
+# gated experiment's body allocation exceeds its committed ceiling. See
+# scripts/alloc_smoke.sh and PERFORMANCE.md.
+alloc-smoke: build
+	bash scripts/alloc_smoke.sh
+
 # The odoc API site (every lib/ module with its interface docs), rendered
 # to _build/default/_doc/_html. Needs odoc on the switch.
 doc:
 	dune build @doc
 
-check: build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke
+check: build test smoke smoke-json serve-smoke trace-smoke cluster-smoke streams-smoke alloc-smoke
 
 # Regenerates every table and writes BENCH_tables.json (one JSON line per
-# table: id, title, wall-clock, Gc.allocated_bytes, rows).
+# table: id, title, wall-clock, body-only alloc_bytes and GC collection
+# counts, rows). See PERFORMANCE.md for how to read the GC columns.
 bench: build
 	dune exec bench/main.exe -- tables
 
 # Same, under the release profile at shrunk sizes — what the CI
-# bench-release job runs. jobs=1 so allocated_bytes covers the full table.
+# bench-release job runs. jobs=1 so the domain-local GC counters cover
+# the full table.
 bench-release:
 	dune build --profile release @all
 	./_build/default/bench/main.exe tables --fast -j 1
-	./_build/default/bin/jsoncheck.exe BENCH_tables.json
+	./_build/default/bin/jsoncheck.exe --tables BENCH_tables.json
 
 clean:
 	dune clean

@@ -35,17 +35,19 @@ let tables ?(fast = false) ?jobs () =
   List.iter
     (fun e ->
       let overrides = R.overrides_for ~fast e @ [ ("jobs", R.Vint jobs) ] in
-      (* [Gc.allocated_bytes] counts the calling domain only, so at jobs>1
-         the figure covers the main-domain share; at jobs=1 (the CI
-         setting) it is the full allocation of the table. *)
-      let alloc0 = Gc.allocated_bytes () in
+      (* GC cost comes from the registry, which snapshots counters around
+         the experiment body only (rendering and harness work excluded).
+         The counters are domain-local, so at jobs>1 the figures cover the
+         main-domain share; at jobs=1 (the CI setting) they are the full
+         cost of the table. *)
       let c0 = Stdx.Trace.now_us () in
-      let tbl, wall = Stdx.Parallel.timed (fun () -> R.table e overrides) in
+      let (tbl, gc), wall = Stdx.Parallel.timed (fun () -> R.measured_table e overrides) in
       let c1 = Stdx.Trace.now_us () in
-      let alloc = Gc.allocated_bytes () -. alloc0 in
       print_string (T.to_text tbl);
-      Printf.printf "    [%s: %.2f s wall, %.2f MB alloc]\n%!" (R.title e) wall
-        (alloc /. 1048576.);
+      Printf.printf "    [%s: %.2f s wall, %.2f MB alloc, %d minor / %d major GC]\n%!"
+        (R.title e) wall
+        (gc.R.alloc_bytes /. 1048576.)
+        gc.R.minor_collections gc.R.major_collections;
       total := !total +. wall;
       let phases =
         Report.Trace_export.phase_totals ~since:c0 ~until:c1 (Stdx.Trace.dump ())
@@ -58,8 +60,9 @@ let tables ?(fast = false) ?jobs () =
       in
       let rows = List.map (T.json_of_row tbl.T.schema) tbl.T.rows in
       Printf.fprintf oc
-        "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"alloc_bytes\":%.0f,\"phases\":%s,\"rows\":[%s]}\n"
-        (R.id e) (R.title e) (T.float_repr wall) alloc phases_json (String.concat "," rows))
+        "{\"id\":%S,\"title\":%S,\"wall_s\":%s,\"alloc_bytes\":%.0f,\"minor_collections\":%d,\"major_collections\":%d,\"phases\":%s,\"rows\":[%s]}\n"
+        (R.id e) (R.title e) (T.float_repr wall) gc.R.alloc_bytes gc.R.minor_collections
+        gc.R.major_collections phases_json (String.concat "," rows))
     (Core.Exp_all.all ());
   Printf.printf
     "\nTotal wall-clock: %.2f s (jobs=%d; every table bit-identical at any job count)\n" !total

@@ -1,23 +1,64 @@
 (* CI smoke gate: parse a JSON-lines stream (file argument or stdin) with
    the same minimal parser the test suite uses, failing loudly on the
-   first malformed line. *)
+   first malformed line.
+
+   With [--tables] the stream must additionally satisfy the
+   BENCH_tables.json schema: every line an object carrying "id", "title",
+   "wall_s", "alloc_bytes" and the GC-cost columns "minor_collections" /
+   "major_collections" (ints >= 0) that the bench harness snapshots
+   around each experiment body (see PERFORMANCE.md). *)
+
+module T = Report.Tabular
 
 let read_all ic = In_channel.input_all ic
 
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("jsoncheck: " ^ msg); exit 1) fmt
+
+(* One BENCH_tables.json line: presence and shape of the required fields. *)
+let check_table_line i line =
+  let want name = match T.member name line with
+    | Some v -> v
+    | None -> fail "line %d: missing field %S" i name
+  in
+  (match want "id" with T.Jstr _ -> () | _ -> fail "line %d: \"id\" is not a string" i);
+  (match want "title" with T.Jstr _ -> () | _ -> fail "line %d: \"title\" is not a string" i);
+  (match want "wall_s" with
+  | T.Jint _ | T.Jfloat _ -> ()
+  | _ -> fail "line %d: \"wall_s\" is not a number" i);
+  (match want "alloc_bytes" with
+  | T.Jint n when n >= 0 -> ()
+  | T.Jfloat f when f >= 0. -> ()
+  | T.Jint _ | T.Jfloat _ -> fail "line %d: \"alloc_bytes\" is negative" i
+  | _ -> fail "line %d: \"alloc_bytes\" is not a number" i);
+  List.iter
+    (fun name ->
+      match want name with
+      | T.Jint n when n >= 0 -> ()
+      | T.Jint _ -> fail "line %d: %S is negative" i name
+      | _ -> fail "line %d: %S is not an int" i name)
+    [ "minor_collections"; "major_collections" ];
+  match want "rows" with
+  | T.Jarr _ -> ()
+  | _ -> fail "line %d: \"rows\" is not an array" i
+
 let () =
-  let input =
-    match Sys.argv with
-    | [| _ |] -> read_all stdin
-    | [| _; file |] -> In_channel.with_open_bin file read_all
+  let tables, file =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> (false, None)
+    | [ _; "--tables" ] -> (true, None)
+    | [ _; "--tables"; f ] | [ _; f; "--tables" ] -> (true, Some f)
+    | [ _; f ] -> (false, Some f)
     | _ ->
-        prerr_endline "usage: jsoncheck [FILE]  (reads stdin when FILE is omitted)";
+        prerr_endline "usage: jsoncheck [--tables] [FILE]  (reads stdin when FILE is omitted)";
         exit 2
   in
-  match Report.Tabular.json_lines_of_string input with
-  | [] ->
-      prerr_endline "jsoncheck: no JSON lines found";
-      exit 1
-  | lines -> Printf.printf "jsoncheck: %d JSON lines parsed\n" (List.length lines)
-  | exception Report.Tabular.Parse_error msg ->
-      Printf.eprintf "jsoncheck: %s\n" msg;
-      exit 1
+  let input =
+    match file with None -> read_all stdin | Some f -> In_channel.with_open_bin f read_all
+  in
+  match T.json_lines_of_string input with
+  | [] -> fail "no JSON lines found"
+  | lines ->
+      if tables then List.iteri (fun i l -> check_table_line (i + 1) l) lines;
+      Printf.printf "jsoncheck: %d JSON lines parsed%s\n" (List.length lines)
+        (if tables then " (tables schema ok)" else "")
+  | exception T.Parse_error msg -> fail "%s" msg

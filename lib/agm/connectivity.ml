@@ -10,8 +10,12 @@ let forest_coins coins j = Public_coins.derive coins "agm-kforest" j
 
 let forests_player config ~n ~k (view : Model.view) coins =
   let w = Stdx.Bitbuf.Writer.create () in
+  let arena = Stdx.Scratch.domain () in
   for j = 0 to k - 1 do
-    let stack = SF.empty_stack config ~n (forest_coins coins j) in
+    (* One arena key for all k stacks: stack j is serialised before the
+       borrow for stack j+1 invalidates it. *)
+    let params = SF.sampler_params config ~n (forest_coins coins j) in
+    let stack = SF.scratch_stack arena "conn.forests-player" params in
     Array.iter
       (fun u -> SF.stack_update ~n stack view.Model.vertex u ~weight:1)
       view.Model.neighbors;
@@ -20,11 +24,29 @@ let forests_player config ~n ~k (view : Model.view) coins =
   w
 
 let forests_referee config ~n ~k ~sketches coins =
-  (* Parse the k stacks of every vertex. *)
+  (* Parse the k stacks of every vertex into one flat arena borrow; the
+     whole parse must survive the peeling below, which subtracts prior
+     forests from later stacks in place. *)
   let params = Array.init k (fun j -> SF.sampler_params config ~n (forest_coins coins j)) in
+  let stack_off = Array.make (k + 1) 0 in
+  for j = 0 to k - 1 do
+    stack_off.(j + 1) <- stack_off.(j) + SF.stack_words params.(j)
+  done;
+  let vertex_words = stack_off.(k) in
+  let buf =
+    Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "conn.forests-referee"
+      (Array.length sketches * vertex_words)
+  in
   let parsed =
-    Array.map
-      (fun r -> Array.init k (fun j -> Array.map (fun p -> L0.read p r) params.(j)))
+    Array.mapi
+      (fun v r ->
+        (* Stacks are serialised j = 0 .. k-1, so thread the reader in
+           that order at explicit offsets. *)
+        let stacks = Array.make k [||] in
+        for j = 0 to k - 1 do
+          stacks.(j) <- SF.read_stack_into params.(j) buf ((v * vertex_words) + stack_off.(j)) r
+        done;
+        stacks)
       sketches
   in
   (* Peel: decode forest j after subtracting forests 0..j-1 from stack j —
@@ -102,31 +124,31 @@ let edge_connectivity_estimate cert ~k =
 
 (* --- bipartiteness via the double cover --- *)
 
-let double_cover_updates ~n vertex neighbors =
-  (* Vertex v holds both cover copies v and n+v; edge (v, u) becomes
-     (v, n+u) and (n+v, u). Returns (cover_vertex, cover_neighbor) pairs. *)
-  Array.to_list neighbors
-  |> List.concat_map (fun u -> [ (vertex, n + u); (n + vertex, u) ])
+(* Vertex v holds both cover copies v and n+v; edge (v, u) becomes
+   (v, n+u) and (n+v, u), applied directly below — no intermediate
+   pair lists. *)
 
 let bipartiteness_player config ~n (view : Model.view) coins =
   let w = Stdx.Bitbuf.Writer.create () in
+  let arena = Stdx.Scratch.domain () in
+  let v = view.Model.vertex in
   (* Stack on G itself (for the component count of G)... *)
-  let g_stack = SF.empty_stack config ~n (Public_coins.derive coins "agm-bip-g" 0) in
-  Array.iter
-    (fun u -> SF.stack_update ~n g_stack view.Model.vertex u ~weight:1)
-    view.Model.neighbors;
+  let g_params = SF.sampler_params config ~n (Public_coins.derive coins "agm-bip-g" 0) in
+  let g_stack = SF.scratch_stack arena "conn.bip-g" g_params in
+  Array.iter (fun u -> SF.stack_update ~n g_stack v u ~weight:1) view.Model.neighbors;
   Array.iter (fun s -> L0.write s w) g_stack;
-  (* ...and the two double-cover copies this vertex simulates. *)
-  let cover_coins = Public_coins.derive coins "agm-bip-cover" 0 in
-  let stack_for cover_vertex =
-    let stack = SF.empty_stack config ~n:(2 * n) cover_coins in
-    List.iter
-      (fun (cv, cu) -> if cv = cover_vertex then SF.stack_update ~n:(2 * n) stack cv cu ~weight:1)
-      (double_cover_updates ~n view.Model.vertex view.Model.neighbors);
-    stack
+  (* ...and the two double-cover copies this vertex simulates (the same
+     arena key twice: the first copy is serialised before the second
+     borrow resets it). *)
+  let cover_params =
+    SF.sampler_params config ~n:(2 * n) (Public_coins.derive coins "agm-bip-cover" 0)
   in
-  Array.iter (fun s -> L0.write s w) (stack_for view.Model.vertex);
-  Array.iter (fun s -> L0.write s w) (stack_for (n + view.Model.vertex));
+  let low = SF.scratch_stack arena "conn.bip-cover" cover_params in
+  Array.iter (fun u -> SF.stack_update ~n:(2 * n) low v (n + u) ~weight:1) view.Model.neighbors;
+  Array.iter (fun s -> L0.write s w) low;
+  let high = SF.scratch_stack arena "conn.bip-cover" cover_params in
+  Array.iter (fun u -> SF.stack_update ~n:(2 * n) high (n + v) u ~weight:1) view.Model.neighbors;
+  Array.iter (fun s -> L0.write s w) high;
   w
 
 let bipartiteness_referee config ~n ~sketches coins =
@@ -134,13 +156,20 @@ let bipartiteness_referee config ~n ~sketches coins =
   let cover_params =
     SF.sampler_params config ~n:(2 * n) (Public_coins.derive coins "agm-bip-cover" 0)
   in
+  let gw = SF.stack_words g_params and cw = SF.stack_words cover_params in
+  (* Both decodes below run after the full parse, so all 3n stacks share
+     one borrow: per vertex, its G stack then its two cover stacks. *)
+  let buf =
+    Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "conn.bip-referee" (n * (gw + (2 * cw)))
+  in
   let g_stacks = Array.make n [||] in
   let cover_stacks = Array.make (2 * n) [||] in
   Array.iteri
     (fun v r ->
-      g_stacks.(v) <- Array.map (fun p -> L0.read p r) g_params;
-      cover_stacks.(v) <- Array.map (fun p -> L0.read p r) cover_params;
-      cover_stacks.(n + v) <- Array.map (fun p -> L0.read p r) cover_params)
+      let off = v * (gw + (2 * cw)) in
+      g_stacks.(v) <- SF.read_stack_into g_params buf off r;
+      cover_stacks.(v) <- SF.read_stack_into cover_params buf (off + gw) r;
+      cover_stacks.(n + v) <- SF.read_stack_into cover_params buf (off + gw + cw) r)
     sketches;
   let g_components = n - List.length (SF.decode_forest ~n ~per_vertex:g_stacks) in
   let cover_components =

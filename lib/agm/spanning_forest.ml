@@ -10,14 +10,46 @@ let rounds n =
   let rec bits v acc = if v <= 1 then acc else bits ((v + 1) / 2) (acc + 1) in
   max 1 (bits n 0) + 1
 
-let sampler_params config ~n coins =
-  let universe = Edge_encoding.universe n in
-  Array.init (rounds n) (fun round ->
-      let rng = Public_coins.keyed coins "agm-sampler" round in
-      L0.make_params rng ~universe ~sparsity:config.sparsity ~reps:config.reps ())
+(* Sampler params are a pure function of (config, n, coin seed) —
+   [Public_coins.keyed] builds a fresh stream per call — but players
+   re-derive them once per vertex, which at n vertices per trial was the
+   dominant setup churn (prime search plus reps hash samples per round,
+   per vertex). Memoize per domain: the cache is domain-local (no locks,
+   no cross-domain sharing, so [Parallel] determinism is untouched) and
+   bounded — trials use fresh seeds, so old entries are dead weight. *)
+let params_cache :
+    (int * int * int * int, L0.params array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
-let empty_stack config ~n coins =
-  Array.map L0.create (sampler_params config ~n coins)
+let sampler_params config ~n coins =
+  let cache = Domain.DLS.get params_cache in
+  let key = (config.sparsity, config.reps, n, Public_coins.seed coins) in
+  match Hashtbl.find_opt cache key with
+  | Some ps -> ps
+  | None ->
+      let universe = Edge_encoding.universe n in
+      let ps =
+        Array.init (rounds n) (fun round ->
+            let rng = Public_coins.keyed coins "agm-sampler" round in
+            L0.make_params rng ~universe ~sparsity:config.sparsity ~reps:config.reps ())
+      in
+      if Hashtbl.length cache >= 64 then Hashtbl.reset cache;
+      Hashtbl.add cache key ps;
+      ps
+
+let stack_words params = Array.fold_left (fun acc p -> acc + L0.size_words p) 0 params
+
+let scratch_stack arena key params =
+  let buf = Stdx.Scratch.ints arena key (stack_words params) in
+  let off = ref 0 in
+  Array.map
+    (fun p ->
+      let s = L0.of_buffer p buf !off in
+      off := !off + L0.size_words p;
+      s)
+    params
+
+let empty_stack config ~n coins = Array.map L0.create (sampler_params config ~n coins)
 
 let stack_update ~n stack v u ~weight =
   if u = v then invalid_arg "Spanning_forest.stack_update: self-loop";
@@ -26,7 +58,9 @@ let stack_update ~n stack v u ~weight =
   Array.iter (fun s -> L0.update s idx w) stack
 
 let player_sketches config ~n coins (view : Model.view) =
-  let stack = empty_stack config ~n coins in
+  (* The stack only lives until [write_stack]; borrow it from the arena
+     (zeroed per borrow, reallocated only when n changes). *)
+  let stack = scratch_stack (Stdx.Scratch.domain ()) "sf.player" (sampler_params config ~n coins) in
   Array.iter (fun u -> stack_update ~n stack view.Model.vertex u ~weight:1) view.Model.neighbors;
   stack
 
@@ -35,12 +69,20 @@ let write_stack sketches =
   Array.iter (fun s -> L0.write s w) sketches;
   w
 
-let read_sketches params r = Array.map (fun p -> L0.read p r) params
+let read_stack_into params buf off r =
+  let off = ref off in
+  Array.map
+    (fun p ->
+      let s = L0.read_into p buf !off r in
+      off := !off + L0.size_words p;
+      s)
+    params
 
 (* Borůvka: in round [j] every component sums its members' round-[j]
    samplers and decodes one outgoing edge; internal edges cancel by
    construction, so any decoded coordinate crosses the cut. *)
 let decode_forest ~n ~per_vertex =
+  let arena = Stdx.Scratch.domain () in
   let uf = Dgraph.Unionfind.create n in
   let forest = ref [] in
   let round_count = if Array.length per_vertex = 0 then 0 else Array.length per_vertex.(0) in
@@ -56,11 +98,11 @@ let decode_forest ~n ~per_vertex =
         | [] -> ()
         | first :: rest ->
             ignore root;
-            let combined =
-              List.fold_left
-                (fun acc v -> L0.combine acc per_vertex.(v).(!round))
-                per_vertex.(first).(!round) rest
-            in
+            (* Accumulate the component's samplers into one arena borrow
+               instead of a fresh buffer per [combine] — re-borrowed (and
+               so invalidated) at the next component, after decoding. *)
+            let combined = L0.scratch_copy arena "sf.decode-acc" per_vertex.(first).(!round) in
+            List.iter (fun v -> L0.add_into ~dst:combined per_vertex.(v).(!round)) rest;
             (match L0.decode combined with
             | Some (idx, _) -> candidates := idx :: !candidates
             | None -> ()))
@@ -81,7 +123,14 @@ let decode_forest ~n ~per_vertex =
 
 let referee config ~n ~sketches coins =
   let params = sampler_params config ~n coins in
-  let per_vertex = Array.map (read_sketches params) sketches in
+  (* Parse every vertex's stack into one flat arena borrow: the regions
+     live exactly as long as the Borůvka decode below, which uses the
+     distinct keys "sf.decode-acc" / "sparse_recovery.decode". *)
+  let sw = stack_words params in
+  let buf =
+    Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "sf.referee" (Array.length sketches * sw)
+  in
+  let per_vertex = Array.mapi (fun v r -> read_stack_into params buf (v * sw) r) sketches in
   decode_forest ~n ~per_vertex
 
 let protocol ?(config = default_config) ~n () =

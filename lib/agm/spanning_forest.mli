@@ -46,11 +46,27 @@ val connected_components :
 val sampler_params :
   config -> n:int -> Sketchmodel.Public_coins.t -> Linear_sketch.L0_sampler.params array
 (** One sampler parameter set per Borůvka round, derived from public
-    coins (players and referee call this identically). *)
+    coins (players and referee call this identically). Memoized per
+    domain on [(config, n, seed)] — the derivation is pure, so the
+    cache changes allocation, never values. *)
 
 val empty_stack :
   config -> n:int -> Sketchmodel.Public_coins.t -> Linear_sketch.L0_sampler.t array
-(** Fresh all-zero samplers, one per round. *)
+(** Fresh all-zero samplers, one per round, each owning its buffer —
+    for long-lived stacks (e.g. the dynamic-stream processor). Hot
+    loops use {!scratch_stack} instead. *)
+
+val stack_words : Linear_sketch.L0_sampler.params array -> int
+(** Flat size in ints of one vertex's whole sampler stack (the sum of
+    the rounds' {!Linear_sketch.L0_sampler.size_words}). *)
+
+val scratch_stack :
+  Stdx.Scratch.t -> string -> Linear_sketch.L0_sampler.params array -> Linear_sketch.L0_sampler.t array
+(** [scratch_stack arena key params] borrows one zeroed arena buffer of
+    {!stack_words} ints and carves it into per-round sampler views —
+    the allocation-free {!empty_stack} for stacks that die before the
+    key is borrowed again (a player's stack lives only until
+    [write_stack]). See the {!Stdx.Scratch} ownership contract. *)
 
 val stack_update : n:int -> Linear_sketch.L0_sampler.t array -> int -> int -> weight:int -> unit
 (** [stack_update ~n stack v u ~weight] applies the signed edge-incidence
@@ -60,7 +76,20 @@ val stack_update : n:int -> Linear_sketch.L0_sampler.t array -> int -> int -> we
 val write_stack : Linear_sketch.L0_sampler.t array -> Stdx.Bitbuf.Writer.t
 (** Serialise a vertex's samplers — this is the protocol message. *)
 
+val read_stack_into :
+  Linear_sketch.L0_sampler.params array ->
+  int array ->
+  int ->
+  Stdx.Bitbuf.Reader.t ->
+  Linear_sketch.L0_sampler.t array
+(** [read_stack_into params buf off r] deserialises one vertex's stack
+    into the caller-owned region at [buf.(off ..)] ({!stack_words} ints,
+    every slot overwritten) and returns the per-round sampler views.
+    How referees parse whole instances into a single arena borrow. *)
+
 val decode_forest :
   n:int -> per_vertex:Linear_sketch.L0_sampler.t array array -> Dgraph.Graph.edge list
 (** The Borůvka referee over deserialised (or directly maintained)
-    per-vertex sampler stacks. *)
+    per-vertex sampler stacks. Component sums accumulate in an arena
+    borrow under the key ["sf.decode-acc"]; input stacks are not
+    modified. *)

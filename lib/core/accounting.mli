@@ -63,6 +63,31 @@ val analyze : spec -> report
 (** Requires the space to stay enumerable: [k·|E(rs)| <= 16], and in
     [Enumerate_sigma] mode additionally [n <= 7]. *)
 
+val message : spec -> Sketchmodel.Model.view -> string
+(** The [b]-bit message of one player given its view: the adjacency
+    bitmap over labels [< bits] ({!Truncate}) or a hash of the whole
+    ordered neighbourhood ({!Hash}). The reference semantics the
+    enumeration fast paths must reproduce byte-for-byte. *)
+
+val enumerated_views :
+  spec -> sigma:int array -> j:int -> code:int -> Sketchmodel.Model.view array
+(** The augmented views of one outcome [(σ, j, code)] of the enumeration,
+    computed without materialising the outcome's graph ([code] packs the
+    [k·|E(rs)|] edge-drop coins, row-major by copy as in {!analyze}).
+    Byte-identical to
+    [Hard_dist.augmented_views (Hard_dist.make rs ~k ~j_star:j ~sigma ~kept)]
+    — the equivalence the test suite pins; {!analyze} runs on this
+    graph-free path. *)
+
+val enumerated_messages : spec -> sigma:int array -> j:int -> code:int -> string array
+(** Per-player messages of the same outcome, in the player order of
+    {!enumerated_views}, computed on the path {!analyze} actually takes:
+    the bitmap fast path for {!Truncate} (messages written straight off
+    the mapped edge arrays, no views), {!message} over views for
+    {!Hash}. Byte-identical to [Array.map (message spec)
+    (enumerated_views ...)] — the fast-path equivalence the test suite
+    pins. *)
+
 val tiny_rs : unit -> Rsgraph.Rs_graph.t
 (** The [(1, 2)]-RS instance (two disjoint edges, [N = 4]) whose [D_MM]
     with [k = 2] has [n = 6] — small enough to enumerate all [6!]

@@ -112,16 +112,43 @@ let trace_args ps () =
       | Vints l -> (name, Stdx.Trace.Str (String.concat "," (List.map string_of_int l))))
     ps
 
-(* Run an experiment and package the result for any renderer. *)
-let table (module E : EXPERIMENT) overrides =
+(* GC cost of one experiment body, measured on the calling domain. *)
+type gc_cost = { alloc_bytes : float; minor_collections : int; major_collections : int }
+
+(* Run an experiment and package the result for any renderer, with the
+   GC cost of the body. The snapshots bracket [E.run] alone — parameter
+   merging, row rendering and preamble/footer formatting stay outside the
+   window, so the figure is the experiment's own allocation, not the
+   harness's. [Gc.allocated_bytes] and the collection counters cover the
+   calling domain only: at jobs>1 worker-domain shares are invisible, so
+   bench measures at jobs=1 when the absolute number matters. *)
+let measured_table (module E : EXPERIMENT) overrides =
   let ps = merge E.params overrides in
-  let rows = Stdx.Trace.span ~args:(trace_args ps) ("exp." ^ E.id) (fun () -> E.run ps) in
-  {
-    T.schema = E.schema;
-    rows = List.map E.to_row rows;
-    preamble = E.preamble ps rows;
-    footer = E.footer rows;
-  }
+  let cost = ref { alloc_bytes = 0.; minor_collections = 0; major_collections = 0 } in
+  let rows =
+    Stdx.Trace.span ~args:(trace_args ps) ("exp." ^ E.id) (fun () ->
+        let s0 = Gc.quick_stat () in
+        let a0 = Gc.allocated_bytes () in
+        let rows = E.run ps in
+        let a1 = Gc.allocated_bytes () in
+        let s1 = Gc.quick_stat () in
+        cost :=
+          {
+            alloc_bytes = a1 -. a0;
+            minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+            major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+          };
+        rows)
+  in
+  ( {
+      T.schema = E.schema;
+      rows = List.map E.to_row rows;
+      preamble = E.preamble ps rows;
+      footer = E.footer rows;
+    },
+    !cost )
+
+let table e overrides = fst (measured_table e overrides)
 
 (* ------------------------------------------------------------------ *)
 (* The registry                                                        *)

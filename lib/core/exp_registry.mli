@@ -128,10 +128,27 @@ val smoke : experiment -> params
 val overrides_for : fast:bool -> experiment -> params
 (** The [all] override set for the chosen speed. *)
 
+type gc_cost = {
+  alloc_bytes : float;  (** [Gc.allocated_bytes] delta across the body. *)
+  minor_collections : int;  (** Minor-collection count delta. *)
+  major_collections : int;  (** Major-collection cycle delta. *)
+}
+(** GC cost of one experiment body. The snapshots bracket
+    {!EXPERIMENT.run} alone — parameter merging and row/preamble/footer
+    rendering stay outside the window — and count the calling domain
+    only, so worker-domain shares are invisible at [jobs > 1]. The bench
+    harness measures at [jobs = 1] when the absolute figure matters; see
+    PERFORMANCE.md ("Reading the bench columns"). *)
+
 val table : experiment -> params -> Report.Tabular.table
 (** Merge overrides, run the experiment inside an [exp.<id>] trace span
     annotated with every merged parameter (seed included), and package
     rows, preamble and footer for any renderer. *)
+
+val measured_table : experiment -> params -> Report.Tabular.table * gc_cost
+(** Like {!table}, and additionally reports the {!gc_cost} of the
+    experiment body — allocation bytes and minor/major collection deltas
+    measured around {!EXPERIMENT.run} only. *)
 
 (** {1 The global catalogue} *)
 

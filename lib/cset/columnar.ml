@@ -15,7 +15,10 @@ let radix_threshold = 512
    of passes is the byte-width of the largest key, so graph keys bounded
    by n^2 take ceil(2*log2(n)/8) passes instead of the comparison sort's
    log-factor of generic-compare calls. Replaces [Array.sort] in the
-   `graph.sort` phase (ISSUE 7 / ROADMAP allocation offensive). *)
+   `graph.sort` phase (ISSUE 7 / ROADMAP allocation offensive). Both
+   scratch buffers are arena borrows (PERFORMANCE.md): the sort is a
+   leaf, so the keys are exclusive to this call site, and repeated
+   freezes of same-sized key sets reuse the same buffers. *)
 let radix_sort_nonneg a =
   let len = Array.length a in
   if len > 1 then begin
@@ -23,8 +26,9 @@ let radix_sort_nonneg a =
     for i = 0 to len - 1 do
       if a.(i) > !max_key then max_key := a.(i)
     done;
-    let buf = Array.make len 0 in
-    let count = Array.make 257 0 in
+    let arena = Stdx.Scratch.domain () in
+    let buf = Stdx.Scratch.dirty_ints arena "cset.radix-buf" len in
+    let count = Stdx.Scratch.dirty_ints arena "cset.radix-count" 257 in
     let src = ref a and dst = ref buf in
     let shift = ref 0 in
     while !shift = 0 || !max_key lsr !shift > 0 do
@@ -96,7 +100,10 @@ let neighbor_csr ~n ~eu ~ev =
     row_start.(v) <- row_start.(v) + row_start.(v - 1)
   done;
   let col = Array.make (2 * m) 0 in
-  let cursor = Array.sub row_start 0 (max n 1) in
+  (* The write cursors are a throwaway copy of the prefix sums — an arena
+     borrow, not an allocation, since they never escape the fill. *)
+  let cursor = Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "cset.neighbor-cursor" (max n 1) in
+  Array.blit row_start 0 cursor 0 (max n 1);
   for i = 0 to m - 1 do
     let u = eu.(i) and v = ev.(i) in
     col.(cursor.(u)) <- v;
@@ -118,7 +125,11 @@ let incidence_of_fixed ~cod_count vals =
     row.(v) <- row.(v) + row.(v - 1)
   done;
   let ids = Array.make dom_count 0 in
-  let cursor = Array.sub row 0 (max cod_count 1) in
+  let cursor =
+    Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "cset.incidence-fixed-cursor"
+      (max cod_count 1)
+  in
+  Array.blit row 0 cursor 0 (max cod_count 1);
   for i = 0 to dom_count - 1 do
     let v = vals.(i) in
     ids.(cursor.(v)) <- i;
@@ -139,7 +150,11 @@ let incidence_of_segments ~cod_count ~seg_row ~seg_val =
     row.(v) <- row.(v) + row.(v - 1)
   done;
   let ids = Array.make total 0 in
-  let cursor = Array.sub row 0 (max cod_count 1) in
+  let cursor =
+    Stdx.Scratch.dirty_ints (Stdx.Scratch.domain ()) "cset.incidence-seg-cursor"
+      (max cod_count 1)
+  in
+  Array.blit row 0 cursor 0 (max cod_count 1);
   for e = 0 to dom_count - 1 do
     for idx = seg_row.(e) to seg_row.(e + 1) - 1 do
       let v = seg_val.(idx) in

@@ -3,7 +3,12 @@
 
     These are the allocation-disciplined interior loops of
     {!Store.freeze} (and, through it, [Dgraph.Graph.of_keys]): plain int
-    arrays in, plain int arrays out, no closures on the hot paths. *)
+    arrays in, plain int arrays out, no closures on the hot paths. Their
+    internal scratch (the radix sort's swap buffer and byte counters,
+    the CSR fills' write cursors) is borrowed from the per-domain
+    {!Stdx.Scratch} arena rather than allocated, so repeated freezes of
+    same-shaped inputs allocate only their results — see PERFORMANCE.md
+    for the ownership contract and the reserved key names. *)
 
 val sort_keys : int array -> unit
 (** Sort non-negative int keys ascending, in place. Large arrays (length
@@ -12,7 +17,8 @@ val sort_keys : int array -> unit
     the generic comparison sort's [O(len log len)] compare calls with
     [ceil(bits/8)] counting passes over the data (one scratch array of
     the same length). Small arrays fall back to [Array.sort]. The result
-    is identical either way. *)
+    is identical either way. Scratch is an arena borrow (keys
+    ["cset.radix-buf"] / ["cset.radix-count"]). *)
 
 val radix_sort_nonneg : int array -> unit
 (** The radix sort itself, without the small-array fallback — exposed for

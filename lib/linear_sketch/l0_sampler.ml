@@ -5,15 +5,16 @@ type params = {
   universe : int;
 }
 
+(* Trailing zeros of a salted 62-bit mix of the index; the cap is
+   threaded as an argument so the loop is a static function (a local
+   helper capturing [params] would allocate a closure per update). *)
+let rec trailing_zeros h cap acc =
+  if acc >= cap then cap
+  else if h land 1 = 1 then acc
+  else trailing_zeros (h lsr 1) cap (acc + 1)
+
 let level_of params i =
-  (* Trailing zeros of a salted 62-bit mix of the index. *)
-  let h = Stdx.Hashing.mix64 (i lxor params.salt) in
-  let rec count h acc =
-    if acc >= params.levels - 1 then params.levels - 1
-    else if h land 1 = 1 then acc
-    else count (h lsr 1) (acc + 1)
-  in
-  count h 0
+  trailing_zeros (Stdx.Hashing.mix64 (i lxor params.salt)) (params.levels - 1) 0
 
 let hash_rank params i = Stdx.Hashing.mix64 ((i * 2654435761) lxor params.salt lxor 0x5bd1e995)
 
@@ -32,23 +33,48 @@ let make_params rng ~universe ?(sparsity = 8) ?(reps = 3) () =
 
 let universe params = params.universe
 
-type t = { params : params; per_level : Sparse_recovery.t array }
+(* Flat layout: [levels] sparse-recovery regions back to back. A sampler
+   is a view [(buf, off)] onto such a region — [create] owns a private
+   buffer, [of_buffer] views a caller-owned (typically arena) one. *)
+let size_words params = params.levels * Sparse_recovery.words params.sparse
 
-let create params =
-  { params; per_level = Array.init params.levels (fun _ -> Sparse_recovery.create params.sparse) }
+type t = { params : params; buf : int array; off : int }
+
+let create params = { params; buf = Array.make (size_words params) 0; off = 0 }
+
+let of_buffer params buf off =
+  if off < 0 || off + size_words params > Array.length buf then
+    invalid_arg "L0_sampler.of_buffer: region out of bounds";
+  { params; buf; off }
+
+let reset sketch = Array.fill sketch.buf sketch.off (size_words sketch.params) 0
 
 let zero_like sketch = create sketch.params
+
+let level_off sketch level = sketch.off + (level * Sparse_recovery.words sketch.params.sparse)
 
 let update sketch i w =
   (* Coordinate i participates in levels 0 .. level_of i. *)
   let top = level_of sketch.params i in
   for level = 0 to top do
-    Sparse_recovery.update sketch.per_level.(level) i w
+    Sparse_recovery.update_at sketch.params.sparse sketch.buf (level_off sketch level) i w
+  done
+
+let add_into ~dst src =
+  if dst.params != src.params && dst.params <> src.params then invalid_arg "L0_sampler.add_into";
+  (* Levels are contiguous, so the whole region adds in one pass. *)
+  for level = 0 to dst.params.levels - 1 do
+    Sparse_recovery.add_at dst.params.sparse ~dst:dst.buf (level_off dst level) ~src:src.buf
+      (level_off src level)
   done
 
 let combine a b =
   if a.params != b.params && a.params <> b.params then invalid_arg "L0_sampler.combine";
-  { params = a.params; per_level = Array.map2 Sparse_recovery.combine a.per_level b.per_level }
+  let c =
+    { params = a.params; buf = Array.sub a.buf a.off (size_words a.params); off = 0 }
+  in
+  add_into ~dst:c b;
+  c
 
 let decoded_levels sketch =
   (* Deepest-first: deeper levels are sparser and decode more reliably, but
@@ -56,7 +82,7 @@ let decoded_levels sketch =
   let rec scan level =
     if level < 0 then None
     else
-      match Sparse_recovery.decode sketch.per_level.(level) with
+      match Sparse_recovery.decode_at sketch.params.sparse sketch.buf (level_off sketch level) with
       | Some ((_ :: _) as items) -> Some items
       | Some [] | None -> scan (level - 1)
   in
@@ -79,10 +105,27 @@ let decode sketch =
       in
       best
 
-let write sketch w = Array.iter (fun level -> Sparse_recovery.write level w) sketch.per_level
+let write sketch w =
+  for level = 0 to sketch.params.levels - 1 do
+    Sparse_recovery.write_at sketch.params.sparse sketch.buf (level_off sketch level) w
+  done
+
+let read_into params buf off r =
+  let sketch = of_buffer params buf off in
+  for level = 0 to params.levels - 1 do
+    Sparse_recovery.read_at params.sparse sketch.buf (level_off sketch level) r
+  done;
+  sketch
 
 let read params r =
-  { params; per_level = Array.init params.levels (fun _ -> Sparse_recovery.read params.sparse r) }
+  let sketch = create params in
+  read_into params sketch.buf sketch.off r
+
+let scratch_copy arena key src =
+  let len = size_words src.params in
+  let buf = Stdx.Scratch.dirty_ints arena key len in
+  Array.blit src.buf src.off buf 0 len;
+  { params = src.params; buf; off = 0 }
 
 let size_bits sketch =
   let w = Stdx.Bitbuf.Writer.create () in

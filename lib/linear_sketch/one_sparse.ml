@@ -7,53 +7,52 @@ let make_params rng ~universe =
 
 let universe params = params.universe
 
-type t = { params : params; mutable s0 : int; mutable s1 : int; mutable f : int }
+(* Flat layout: a cell is [words] consecutive ints [s0; s1; f] inside a
+   caller-owned [int array]. Sparse_recovery and L0_sampler pack their
+   reps x buckets (x levels) cells into single flat buffers and drive
+   them through the [_at] operations below — no per-cell boxes on the
+   hot paths. The record [t] further down is a 3-word view kept for the
+   boxed public API. *)
+let words = 3
 
-let create params = { params; s0 = 0; s1 = 0; f = 0 }
+(* [m] is threaded as an argument: a local recursive helper capturing it
+   would heap-allocate one closure per call, and [powmod] runs once per
+   cell per update/decode on the hot paths. *)
+let rec powmod_loop base exp m acc =
+  if exp = 0 then acc
+  else
+    let acc = if exp land 1 = 1 then acc * base mod m else acc in
+    powmod_loop (base * base mod m) (exp lsr 1) m acc
 
-let copy cell = { cell with s0 = cell.s0 }
+let powmod base exp m = powmod_loop (base mod m) exp m 1
 
-let zero_like cell = create cell.params
-
-let powmod base exp m =
-  let rec go base exp acc =
-    if exp = 0 then acc
-    else
-      let acc = if exp land 1 = 1 then acc * base mod m else acc in
-      go (base * base mod m) (exp lsr 1) acc
-  in
-  go (base mod m) exp 1
-
-let update cell i w =
-  if i < 0 || i >= cell.params.universe then invalid_arg "One_sparse.update: index";
-  let p = cell.params.p in
-  cell.s0 <- cell.s0 + w;
-  cell.s1 <- cell.s1 + (i * w);
+let update_at params buf off i w =
+  if i < 0 || i >= params.universe then invalid_arg "One_sparse.update: index";
+  let p = params.p in
+  buf.(off) <- buf.(off) + w;
+  buf.(off + 1) <- buf.(off + 1) + (i * w);
   let wp = ((w mod p) + p) mod p in
-  cell.f <- (cell.f + (wp * powmod cell.params.z i p)) mod p
+  buf.(off + 2) <- (buf.(off + 2) + (wp * powmod params.z i p)) mod p
 
-let combine a b =
-  if a.params <> b.params then invalid_arg "One_sparse.combine: params mismatch";
-  { params = a.params; s0 = a.s0 + b.s0; s1 = a.s1 + b.s1; f = (a.f + b.f) mod a.params.p }
-
-let scale cell c =
-  let p = cell.params.p in
-  let cp = ((c mod p) + p) mod p in
-  { cell with s0 = cell.s0 * c; s1 = cell.s1 * c; f = cell.f * cp mod p }
+let add_at params ~dst doff ~src soff =
+  dst.(doff) <- dst.(doff) + src.(soff);
+  dst.(doff + 1) <- dst.(doff + 1) + src.(soff + 1);
+  dst.(doff + 2) <- (dst.(doff + 2) + src.(soff + 2)) mod params.p
 
 type result = Zero | Singleton of int * int | Collision
 
-let decode cell =
-  let p = cell.params.p in
-  if cell.s0 = 0 && cell.s1 = 0 && cell.f = 0 then Zero
-  else if cell.s0 = 0 then Collision
-  else if cell.s1 mod cell.s0 <> 0 then Collision
+let decode_at params buf off =
+  let s0 = buf.(off) and s1 = buf.(off + 1) and f = buf.(off + 2) in
+  let p = params.p in
+  if s0 = 0 && s1 = 0 && f = 0 then Zero
+  else if s0 = 0 then Collision
+  else if s1 mod s0 <> 0 then Collision
   else begin
-    let i = cell.s1 / cell.s0 in
-    if i < 0 || i >= cell.params.universe then Collision
+    let i = s1 / s0 in
+    if i < 0 || i >= params.universe then Collision
     else begin
-      let wp = ((cell.s0 mod p) + p) mod p in
-      if wp * powmod cell.params.z i p mod p = cell.f then Singleton (i, cell.s0) else Collision
+      let wp = ((s0 mod p) + p) mod p in
+      if wp * powmod params.z i p mod p = f then Singleton (i, s0) else Collision
     end
   end
 
@@ -65,13 +64,52 @@ let field_width params =
   let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
   bits params.p 0
 
-let write cell w =
-  Stdx.Bitbuf.Writer.uvarint w (zigzag cell.s0);
-  Stdx.Bitbuf.Writer.uvarint w (zigzag cell.s1);
-  Stdx.Bitbuf.Writer.bits w cell.f ~width:(field_width cell.params)
+let write_at params buf off w =
+  Stdx.Bitbuf.Writer.uvarint w (zigzag buf.(off));
+  Stdx.Bitbuf.Writer.uvarint w (zigzag buf.(off + 1));
+  Stdx.Bitbuf.Writer.bits w buf.(off + 2) ~width:(field_width params)
+
+let read_at params buf off r =
+  buf.(off) <- unzigzag (Stdx.Bitbuf.Reader.uvarint r);
+  buf.(off + 1) <- unzigzag (Stdx.Bitbuf.Reader.uvarint r);
+  buf.(off + 2) <- Stdx.Bitbuf.Reader.bits r ~width:(field_width params)
+
+(* ------------------------------------------------------------------ *)
+(* Boxed single-cell view                                              *)
+
+type t = { params : params; buf : int array; off : int }
+
+let create params = { params; buf = Array.make words 0; off = 0 }
+
+let copy cell = { params = cell.params; buf = Array.sub cell.buf cell.off words; off = 0 }
+
+let zero_like cell = create cell.params
+
+let update cell i w = update_at cell.params cell.buf cell.off i w
+
+let combine a b =
+  if a.params <> b.params then invalid_arg "One_sparse.combine: params mismatch";
+  let c = copy a in
+  add_at a.params ~dst:c.buf c.off ~src:b.buf b.off;
+  c
+
+let scale cell c =
+  let p = cell.params.p in
+  let cp = ((c mod p) + p) mod p in
+  let buf =
+    [|
+      cell.buf.(cell.off) * c;
+      cell.buf.(cell.off + 1) * c;
+      cell.buf.(cell.off + 2) * cp mod p;
+    |]
+  in
+  { params = cell.params; buf; off = 0 }
+
+let decode cell = decode_at cell.params cell.buf cell.off
+
+let write cell w = write_at cell.params cell.buf cell.off w
 
 let read params r =
-  let s0 = unzigzag (Stdx.Bitbuf.Reader.uvarint r) in
-  let s1 = unzigzag (Stdx.Bitbuf.Reader.uvarint r) in
-  let f = Stdx.Bitbuf.Reader.bits r ~width:(field_width params) in
-  { params; s0; s1; f }
+  let cell = create params in
+  read_at params cell.buf cell.off r;
+  cell

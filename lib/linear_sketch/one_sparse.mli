@@ -15,7 +15,18 @@
 
     All operations are linear: {!combine} of two cells built from the same
     {!params} is the cell of the summed vectors — the property AGM's
-    referee exploits when it merges the sketches of a component. *)
+    referee exploits when it merges the sketches of a component.
+
+    {2 Flat representation}
+
+    A cell is {!words} (= 3) consecutive ints [s0; s1; f] in a
+    caller-owned [int array]. The [_at] operations act on such a region
+    at a given offset; {!Sparse_recovery} and {!L0_sampler} pack all
+    their cells into single flat buffers (typically borrowed from a
+    {!Stdx.Scratch} arena) and never box individual cells on hot paths.
+    The abstract {!t} below is a one-cell view kept for the boxed public
+    API; both act on identical bit patterns, so the two layers are
+    interchangeable bit-for-bit. *)
 
 type params
 (** Public randomness of a cell: the prime [p], evaluation point [z] and
@@ -25,7 +36,40 @@ type params
 val make_params : Stdx.Prng.t -> universe:int -> params
 val universe : params -> int
 
+val words : int
+(** Flat size of one cell in ints — [3]: the [s0], [s1] and [f]
+    counters, in that order. *)
+
+val update_at : params -> int array -> int -> int -> int -> unit
+(** [update_at params buf off i w] adds [w] to coordinate [i] of the
+    cell stored at [buf.(off .. off+words-1)]. Raises
+    [Invalid_argument] when [i] is outside the universe. *)
+
+val add_at : params -> dst:int array -> int -> src:int array -> int -> unit
+(** [add_at params ~dst doff ~src soff] adds the cell at
+    [src.(soff ..)] into the cell at [dst.(doff ..)] in place — the
+    in-place {!combine}, used by arena-backed accumulators. The two
+    regions must not overlap unless they coincide exactly. *)
+
+type result =
+  | Zero  (** the zero vector (up to fingerprint error) *)
+  | Singleton of int * int  (** exactly one nonzero: (index, weight) *)
+  | Collision  (** two or more nonzeros *)
+
+val decode_at : params -> int array -> int -> result
+(** Decode the cell stored at [buf.(off .. off+words-1)]. *)
+
+val write_at : params -> int array -> int -> Stdx.Bitbuf.Writer.t -> unit
+(** Serialise the cell at [off] (zigzag varints for [s0], [s1]; the
+    fingerprint at the field width of [p]) — exact bit accounting,
+    byte-identical to {!write} of the equivalent boxed cell. *)
+
+val read_at : params -> int array -> int -> Stdx.Bitbuf.Reader.t -> unit
+(** Deserialise one cell into [buf.(off .. off+words-1)], overwriting
+    the three slots. *)
+
 type t
+(** A boxed one-cell view: [params] plus a private 3-int buffer. *)
 
 val create : params -> t
 val copy : t -> t
@@ -41,11 +85,6 @@ val combine : t -> t -> t
 
 val scale : t -> int -> t
 (** Cell of the scaled vector. *)
-
-type result =
-  | Zero  (** the zero vector (up to fingerprint error) *)
-  | Singleton of int * int  (** exactly one nonzero: (index, weight) *)
-  | Collision  (** two or more nonzeros *)
 
 val decode : t -> result
 

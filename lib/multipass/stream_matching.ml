@@ -132,6 +132,27 @@ let run ?(eps = 0.25) ?max_passes stream =
     stats := stat :: !stats;
     incr pass
   done;
+  (* Blossom maximises over the sparsified subgraph only: an edge the
+     caps dropped can be left with both endpoints free when augmenting
+     frees a previously matched vertex. One last greedy sweep over the
+     stream restores maximality in the full graph — the same one-pass
+     memory budget as pass 1, and a no-op on almost every instance. *)
+  let matched_fin = Array.make n false in
+  List.iter
+    (fun (u, v) ->
+      matched_fin.(u) <- true;
+      matched_fin.(v) <- true)
+    !matching;
+  let extra = ref [] in
+  List.iter
+    (fun (u, v) ->
+      if (not matched_fin.(u)) && not matched_fin.(v) then begin
+        matched_fin.(u) <- true;
+        matched_fin.(v) <- true;
+        extra := (u, v) :: !extra
+      end)
+    edges;
+  if !extra <> [] then matching := !matching @ List.rev !extra;
   let passes = List.rev !stats in
   {
     matching = !matching;

@@ -1,4 +1,17 @@
-type history = Stdx.Bitbuf.Reader.t array list
+(* The history is deliberately *not* a materialised list of reader
+   arrays: building fresh readers of every prior round for every
+   consumer made [run] O(n²·rounds²) in byte copies — the dominant
+   allocation of the whole bench suite. Instead a history is a handle
+   that mints fresh readers for one round on demand; consumers that
+   replay incrementally (e.g. Bcc_mm) touch only the newest round. *)
+
+type history = { upto : int; fresh : int -> Stdx.Bitbuf.Reader.t array }
+
+let rounds_so_far h = h.upto
+
+let round_readers h round =
+  if round < 1 || round > h.upto then invalid_arg "Bcc.round_readers: round out of range";
+  h.fresh round
 
 type 'a protocol = {
   name : string;
@@ -14,24 +27,24 @@ let run protocol g coins =
   if protocol.rounds < 1 then invalid_arg "Bcc.run: rounds";
   let n = Dgraph.Graph.n g in
   let views = Model.views g in
-  let stored : Stdx.Bitbuf.Writer.t array list ref = ref [] in
+  let stored = Array.make protocol.rounds [||] in
   (* Fresh readers for every consumer: broadcast messages are public, but
-     each recipient parses its own copy. *)
-  let fresh_history () =
-    List.map (fun writers -> Array.map Stdx.Bitbuf.Reader.of_writer writers) !stored
+     each recipient parses its own copy — [fresh] mints a new reader
+     array per call, so no two consumers share cursor state. *)
+  let history upto =
+    { upto; fresh = (fun round -> Array.map Stdx.Bitbuf.Reader.of_writer stored.(round - 1)) }
   in
   let per_round_max = ref 0 in
   let per_vertex_total = Array.make n 0 in
   for round = 1 to protocol.rounds do
-    let writers =
-      Array.map (fun view -> protocol.broadcast ~round view (fresh_history ()) coins) views
-    in
+    let h = history (round - 1) in
+    let writers = Array.map (fun view -> protocol.broadcast ~round view h coins) views in
     let sizes = Array.map Stdx.Bitbuf.Writer.length_bits writers in
     per_round_max := max !per_round_max (Array.fold_left max 0 sizes);
     Array.iteri (fun v s -> per_vertex_total.(v) <- per_vertex_total.(v) + s) sizes;
-    stored := !stored @ [ writers ]
+    stored.(round - 1) <- writers
   done;
-  let output = protocol.output ~n (fresh_history ()) coins in
+  let output = protocol.output ~n (history protocol.rounds) coins in
   ( output,
     {
       max_bits_per_round = !per_round_max;
@@ -49,15 +62,18 @@ let of_sketch (p : 'a Model.protocol) =
         p.Model.player view coins);
     output =
       (fun ~n history coins ->
-        match history with
-        | [ sketches ] -> p.Model.referee ~n ~sketches coins
-        | _ -> invalid_arg "Bcc.of_sketch: expected exactly one round of history");
+        if rounds_so_far history <> 1 then
+          invalid_arg "Bcc.of_sketch: expected exactly one round of history";
+        p.Model.referee ~n ~sketches:(round_readers history 1) coins);
   }
 
 let to_sketch (p : 'a protocol) =
   if p.rounds <> 1 then invalid_arg "Bcc.to_sketch: protocol uses more than one round";
+  let empty = { upto = 0; fresh = (fun _ -> [||]) } in
   {
     Model.name = p.name ^ "@sketch";
-    player = (fun view coins -> p.broadcast ~round:1 view [] coins);
-    referee = (fun ~n ~sketches coins -> p.output ~n [ sketches ] coins);
+    player = (fun view coins -> p.broadcast ~round:1 view empty coins);
+    (* The referee's readers pass through as round 1 (not re-minted:
+       sketching hands each consumer its readers exactly once). *)
+    referee = (fun ~n ~sketches coins -> p.output ~n { upto = 1; fresh = (fun _ -> sketches) } coins);
   }

@@ -18,9 +18,27 @@
     number of rounds so upper bounds like the [Õ(√n)] two-round protocols
     can also be phrased here. *)
 
-type history = Stdx.Bitbuf.Reader.t array list
-(** Messages of the previous rounds, oldest first; element [r] is one
-    reader per vertex. Readers are fresh per consumer. *)
+type history
+(** Everything broadcast so far: {!rounds_so_far} completed rounds, with
+    the messages of any of them available through {!round_readers}.
+
+    The history is an on-demand handle, not a materialised list: readers
+    for a round exist only once a consumer asks for that round. A
+    protocol that replays incrementally (caching the state it derived
+    from rounds [1..k] and consuming only rounds [k+1..]) therefore pays
+    for each broadcast bit a constant number of times over the whole
+    execution, rather than once per vertex per later round. See
+    PERFORMANCE.md ("Broadcast history is lazy"). *)
+
+val rounds_so_far : history -> int
+(** Number of completed rounds recorded in the history. [0] for the
+    history passed to round 1's broadcasts. *)
+
+val round_readers : history -> int -> Stdx.Bitbuf.Reader.t array
+(** [round_readers h r] is one fresh reader per vertex over the messages
+    of round [r] (1-based). Each call mints fresh readers, so distinct
+    consumers never share cursor state. Raises [Invalid_argument] unless
+    [1 <= r <= rounds_so_far h]. *)
 
 type 'a protocol = {
   name : string;

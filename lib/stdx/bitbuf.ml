@@ -75,21 +75,30 @@ module Reader = struct
     r.pos <- r.pos + 1;
     Char.code (Bytes.get r.data byte) land (1 lsl (7 - off)) <> 0
 
+  (* Closure- and ref-free extraction loop: [bits]/[uvarint] run once
+     per serialised sketch counter on the referee hot path, where a
+     [ref] accumulator or a captured-environment closure per call is
+     exactly the boxed-intermediate churn PERFORMANCE.md bans. All
+     state is threaded through arguments of top-level functions. *)
+  let rec bits_loop data pos k acc =
+    if k = 0 then acc
+    else
+      let b = (Char.code (Bytes.unsafe_get data (pos lsr 3)) lsr (7 - (pos land 7))) land 1 in
+      bits_loop data (pos + 1) (k - 1) ((acc lsl 1) lor b)
+
   let bits r ~width =
     if width < 0 || width > 62 then invalid_arg "Bitbuf.Reader.bits: width";
-    let v = ref 0 in
-    for _ = 1 to width do
-      v := (!v lsl 1) lor (if bit r then 1 else 0)
-    done;
-    !v
+    if r.len_bits - r.pos < width then raise Underflow;
+    let v = bits_loop r.data r.pos width 0 in
+    r.pos <- r.pos + width;
+    v
 
-  let uvarint r =
-    let rec go shift acc =
-      let group = bits r ~width:8 in
-      let acc = acc lor ((group land 127) lsl shift) in
-      if group land 128 = 0 then acc else go (shift + 7) acc
-    in
-    go 0 0
+  let rec uvarint_loop r shift acc =
+    let group = bits r ~width:8 in
+    let acc = acc lor ((group land 127) lsl shift) in
+    if group land 128 = 0 then acc else uvarint_loop r (shift + 7) acc
+
+  let uvarint r = uvarint_loop r 0 0
 
   let int_list r =
     let n = uvarint r in

@@ -24,6 +24,10 @@ let init ?jobs n f =
        worker domain — so a trace shows exactly how the index range was
        sharded and how balanced the shards were. *)
     let traced_fill lo hi =
+      (* Warm this domain's scratch arena before the first trial of the
+         chunk runs: buffers borrowed by trials are then cache hits from
+         trial 2 on (Scratch's "allocated once per chunk" contract). *)
+      Scratch.chunk_begin ();
       Trace.begin_ "parallel.chunk";
       match fill_range slots f lo hi with
       | () -> Trace.end_ ()

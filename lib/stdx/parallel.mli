@@ -31,7 +31,13 @@
 
     When {!Trace} is enabled, each chunk fill records a ["parallel.chunk"]
     span and each pool job a ["pool.job"] span, so a trace shows the
-    sharding and its balance. *)
+    sharding and its balance.
+
+    Each chunk fill also calls {!Scratch.chunk_begin} before its first
+    trial, warming the worker domain's scratch arena — buffers borrowed
+    inside trials are allocated once per chunk and reused (reset, never
+    reallocated) across the chunk's trials. See {!Scratch} and
+    [PERFORMANCE.md] for the arena ownership contract. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the runtime's estimate of how

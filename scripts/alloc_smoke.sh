@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Allocation regression gate for the scratch-arena work (PERFORMANCE.md).
+#
+# Regenerates BENCH_tables.json at --fast with jobs=1 (the GC counters
+# are domain-local, so only jobs=1 measures the whole table), validates
+# the schema with `jsoncheck --tables`, and fails if any gated
+# experiment's body allocation exceeds its committed ceiling.
+#
+# The ceilings are deliberately loose against the measured numbers
+# (bcc ~4 MB, info-accounting ~126 MB, connectivity ~73 MB at --fast on
+# the reference container) but far below the pre-arena baselines
+# (1528 / 578 / 419 MB) — they catch a lost optimisation, not runtime
+# noise. Raise a ceiling only with a PERFORMANCE.md update explaining
+# the new cost.
+#
+# Run from the repo root after a build (`make alloc-smoke` does both).
+set -euo pipefail
+
+BENCH=${BENCH:-./_build/default/bench/main.exe}
+JSONCHECK=${JSONCHECK:-./_build/default/bin/jsoncheck.exe}
+
+fail() { echo "alloc-smoke: FAIL: $*" >&2; exit 1; }
+
+"$BENCH" tables --fast -j 1 > /dev/null || fail "bench tables run failed"
+[ -s BENCH_tables.json ] || fail "BENCH_tables.json missing or empty"
+"$JSONCHECK" --tables BENCH_tables.json || fail "BENCH_tables.json failed schema validation"
+
+# id -> ceiling in bytes (committed; see header comment before raising).
+gate() { # id ceiling_bytes
+  local id="$1" ceiling="$2"
+  # Each line is one flat JSON object; alloc_bytes is a bare integer.
+  local line bytes
+  line=$(grep -F "\"id\":\"$id\"" BENCH_tables.json) || fail "no line for id $id"
+  bytes=$(printf '%s' "$line" | sed -n 's/.*"alloc_bytes":\([0-9]*\).*/\1/p')
+  [ -n "$bytes" ] || fail "no alloc_bytes field on the $id line"
+  if [ "$bytes" -gt "$ceiling" ]; then
+    fail "$id allocated $bytes bytes at --fast (ceiling $ceiling)"
+  fi
+  echo "alloc-smoke: $id $bytes bytes <= $ceiling ok"
+}
+
+gate bcc              67108864    # 64 MB  (measured ~4 MB;   baseline 1528 MB)
+gate info-accounting  202375168   # 193 MB (measured ~126 MB; baseline 578 MB)
+gate connectivity     146800640   # 140 MB (measured ~73 MB;  baseline 419 MB)
+
+echo "alloc-smoke: OK"

@@ -147,6 +147,64 @@ let test_theorem_chain_interpretation () =
   checkb "info <= H(P) + sum H(U_i)/t" true (r.A.info <= middle +. 1e-9);
   checkb "middle <= budget bound" true (middle <= r.A.budget_bound +. 1e-9)
 
+(* The graph-free enumeration path vs the reference: for random outcomes
+   (σ, j, code), [enumerated_views] must equal
+   [Hard_dist.augmented_views (Hard_dist.make ...)] on the materialised
+   graph, and [enumerated_messages] (the Truncate bitmap fast path) must
+   equal [message] applied to those reference views. This is the
+   byte-identity contract that lets [analyze] skip graph freezes
+   (PERFORMANCE.md, "Graph-free accounting frames"). *)
+let test_graph_free_enumeration_matches_reference () =
+  let view_eq (a : Sketchmodel.Model.view) (b : Sketchmodel.Model.view) =
+    a.Sketchmodel.Model.n = b.Sketchmodel.Model.n
+    && a.Sketchmodel.Model.vertex = b.Sketchmodel.Model.vertex
+    && a.Sketchmodel.Model.neighbors = b.Sketchmodel.Model.neighbors
+  in
+  List.iter
+    (fun (name, spec) ->
+      let rs = spec.A.rs in
+      let edge_count = Dgraph.Graph.m rs.Rsgraph.Rs_graph.graph in
+      let k = spec.A.k in
+      let nn = Rsgraph.Rs_graph.n rs in
+      let rr = rs.Rsgraph.Rs_graph.r in
+      let n = nn - (2 * rr) + (2 * rr * k) in
+      let rng = Stdx.Prng.create 4242 in
+      for trial = 1 to 25 do
+        (* Fisher–Yates permutation of the G-labels. *)
+        let sigma = Array.init n (fun i -> i) in
+        for i = n - 1 downto 1 do
+          let j = Stdx.Prng.int rng (i + 1) in
+          let tmp = sigma.(i) in
+          sigma.(i) <- sigma.(j);
+          sigma.(j) <- tmp
+        done;
+        let j = Stdx.Prng.int rng rs.Rsgraph.Rs_graph.t_count in
+        let code = Stdx.Prng.int rng (1 lsl (k * edge_count)) in
+        let kept =
+          Array.init k (fun i ->
+              Array.init edge_count (fun e -> code land (1 lsl ((i * edge_count) + e)) <> 0))
+        in
+        let dmm = Core.Hard_dist.make rs ~k ~j_star:j ~sigma ~kept in
+        let reference = Core.Hard_dist.augmented_views dmm in
+        let fast = A.enumerated_views spec ~sigma ~j ~code in
+        checkb
+          (Printf.sprintf "%s trial %d: views identical" name trial)
+          true
+          (Array.length fast = Array.length reference
+          && Array.for_all2 view_eq fast reference);
+        let ref_msgs = Array.map (A.message spec) reference in
+        let fast_msgs = A.enumerated_messages spec ~sigma ~j ~code in
+        checkb
+          (Printf.sprintf "%s trial %d: messages byte-identical" name trial)
+          true (fast_msgs = ref_msgs)
+      done)
+    [
+      ("tiny/truncate", tiny_spec 3);
+      ("tiny/hash", tiny_spec ~strategy:A.Hash 3);
+      ("micro/truncate", micro_spec 4);
+      ("micro/truncate b=0", micro_spec 0);
+    ]
+
 let () =
   Alcotest.run "accounting"
     [
@@ -166,5 +224,7 @@ let () =
           Alcotest.test_case "other shapes" `Quick test_other_shapes;
           Alcotest.test_case "bipartite m=3 subset" `Slow test_bipartite_m3_subset;
           Alcotest.test_case "theorem chain" `Quick test_theorem_chain_interpretation;
+          Alcotest.test_case "graph-free path == reference" `Quick
+            test_graph_free_enumeration_matches_reference;
         ] );
     ]

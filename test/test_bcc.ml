@@ -55,20 +55,19 @@ let max_degree_protocol =
     broadcast =
       (fun ~round view history _ ->
         let w = W.create () in
-        (match (round, history) with
+        (match (round, Bcc.rounds_so_far history) with
         | 1, _ -> W.uvarint w (Array.length view.Model.neighbors)
-        | 2, [ round1 ] ->
-            let degrees = Array.map R.uvarint round1 in
+        | 2, 1 ->
+            let degrees = Array.map R.uvarint (Bcc.round_readers history 1) in
             let maximum = Array.fold_left max 0 degrees in
             W.bit w (Array.length view.Model.neighbors = maximum)
         | _ -> invalid_arg "unexpected round/history");
         w);
     output =
       (fun ~n history _ ->
-        match history with
-        | [ _; round2 ] ->
-            List.filter (fun v -> R.bit round2.(v)) (List.init n (fun v -> v))
-        | _ -> invalid_arg "bad history");
+        if Bcc.rounds_so_far history <> 2 then invalid_arg "bad history";
+        let round2 = Bcc.round_readers history 2 in
+        List.filter (fun v -> R.bit round2.(v)) (List.init n (fun v -> v)));
   }
 
 let test_two_round_history () =
@@ -98,19 +97,23 @@ let test_fresh_readers_per_consumer () =
       broadcast =
         (fun ~round view history _ ->
           let w = W.create () in
-          (match (round, history) with
+          (match (round, Bcc.rounds_so_far history) with
           | 1, _ -> W.uvarint w view.Model.vertex
-          | 2, [ round1 ] ->
+          | 2, 1 ->
               (* Sum everything broadcast in round 1. *)
-              let sum = Array.fold_left (fun acc r -> acc + R.uvarint r) 0 round1 in
+              let sum =
+                Array.fold_left (fun acc r -> acc + R.uvarint r) 0 (Bcc.round_readers history 1)
+              in
               W.uvarint w sum
           | _ -> ());
           w);
       output =
         (fun ~n history _ ->
-          match history with
-          | [ _; round2 ] -> Array.to_list (Array.map R.uvarint round2) |> List.fold_left ( + ) 0 |> fun s -> s / n
-          | _ -> -1);
+          if Bcc.rounds_so_far history <> 2 then -1
+          else
+            Array.to_list (Array.map R.uvarint (Bcc.round_readers history 2))
+            |> List.fold_left ( + ) 0
+            |> fun s -> s / n);
     }
   in
   let n = 6 in

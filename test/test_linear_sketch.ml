@@ -214,6 +214,116 @@ let qcheck_tests =
            Sr.decode (Sr.combine a b) = Sr.decode whole));
   ]
 
+(* Flat/boxed equivalence: the [_at] operations over caller-owned
+   buffers and the boxed API must act on identical bit patterns
+   (PERFORMANCE.md, "Flat sketch layouts"). Same updates through both
+   layers must decode the same and serialise byte-identically, from any
+   buffer offset; and a Scratch reset-reuse cycle — borrow, poison the
+   cached store, re-borrow — must be invisible in the serialised bytes. *)
+let writer_bytes w =
+  let bytes, bits = Stdx.Bitbuf.Writer.contents w in
+  (Bytes.to_string bytes, bits)
+
+let flat_boxed_qcheck =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"one-sparse flat region == boxed cell" ~count:300
+         QCheck.(
+           triple (int_range 0 1000) (int_range 0 5)
+             (small_list (pair (int_range 0 9999) (int_range (-9) 9))))
+         (fun (seed, off, updates) ->
+           let params = one_params seed in
+           let boxed = One.create params in
+           let buf = Array.make (off + One.words) 0 in
+           List.iter
+             (fun (i, w) ->
+               One.update boxed i w;
+               One.update_at params buf off i w)
+             updates;
+           let wb = Stdx.Bitbuf.Writer.create () and wf = Stdx.Bitbuf.Writer.create () in
+           One.write boxed wb;
+           One.write_at params buf off wf;
+           One.decode_at params buf off = One.decode boxed && writer_bytes wf = writer_bytes wb));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sparse-recovery flat region == boxed sketch" ~count:200
+         QCheck.(
+           triple (int_range 0 1000) (int_range 0 5)
+             (small_list (pair (int_range 0 4999) (int_range (-9) 9))))
+         (fun (seed, off, updates) ->
+           let params = sr_params seed in
+           let boxed = Sr.create params in
+           let buf = Array.make (off + Sr.words params) 0 in
+           List.iter
+             (fun (i, w) ->
+               Sr.update boxed i w;
+               Sr.update_at params buf off i w)
+             updates;
+           let wb = Stdx.Bitbuf.Writer.create () and wf = Stdx.Bitbuf.Writer.create () in
+           Sr.write boxed wb;
+           Sr.write_at params buf off wf;
+           Sr.decode_at params buf off = Sr.decode boxed && writer_bytes wf = writer_bytes wb));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"l0 of_buffer == private-buffer sampler" ~count:200
+         QCheck.(
+           triple (int_range 0 1000) (int_range 0 7)
+             (small_list (pair (int_range 0 4095) (int_range (-5) 5))))
+         (fun (seed, off, updates) ->
+           let params = l0_params seed in
+           let boxed = L0.create params in
+           let buf = Array.make (off + L0.size_words params) 0 in
+           let flat = L0.of_buffer params buf off in
+           List.iter
+             (fun (i, w) ->
+               L0.update boxed i w;
+               L0.update flat i w)
+             updates;
+           let wb = Stdx.Bitbuf.Writer.create () and wf = Stdx.Bitbuf.Writer.create () in
+           L0.write boxed wb;
+           L0.write flat wf;
+           L0.decode flat = L0.decode boxed && writer_bytes wf = writer_bytes wb));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"arena reset-reuse leaves sampler bytes unchanged" ~count:100
+         QCheck.(pair (int_range 0 1000) (small_list (pair (int_range 0 4095) (int_range (-5) 5))))
+         (fun (seed, updates) ->
+           let params = l0_params seed in
+           let arena = Stdx.Scratch.create () in
+           let run () =
+             let buf = Stdx.Scratch.ints arena "test.l0" (L0.size_words params) in
+             let s = L0.of_buffer params buf 0 in
+             List.iter (fun (i, w) -> L0.update s i w) updates;
+             let w = Stdx.Bitbuf.Writer.create () in
+             L0.write s w;
+             writer_bytes w
+           in
+           let first = run () in
+           (* Poison the cached backing store, then re-borrow: the
+              zero-fill reset must make the rerun byte-identical. *)
+           let poison = Stdx.Scratch.dirty_ints arena "test.l0" (L0.size_words params) in
+           Array.fill poison 0 (Array.length poison) max_int;
+           run () = first));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"l0 reset == fresh sampler" ~count:100
+         QCheck.(
+           triple (int_range 0 1000)
+             (small_list (pair (int_range 0 4095) (int_range (-5) 5)))
+             (small_list (pair (int_range 0 4095) (int_range (-5) 5))))
+         (fun (seed, first, second) ->
+           let params = l0_params seed in
+           let reused = L0.create params in
+           List.iter (fun (i, w) -> L0.update reused i w) first;
+           L0.reset reused;
+           let fresh = L0.create params in
+           List.iter
+             (fun (i, w) ->
+               L0.update reused i w;
+               L0.update fresh i w)
+             second;
+           let wr = Stdx.Bitbuf.Writer.create () and wf = Stdx.Bitbuf.Writer.create () in
+           L0.write reused wr;
+           L0.write fresh wf;
+           writer_bytes wr = writer_bytes wf));
+  ]
+
 let scale_qcheck =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"one-sparse scale is linear" ~count:200
@@ -256,4 +366,5 @@ let () =
           Alcotest.test_case "support hint" `Quick test_l0_support_hint;
         ] );
       ("linear-sketch-properties", scale_qcheck :: qcheck_tests);
+      ("flat-boxed-equivalence", flat_boxed_qcheck);
     ]
